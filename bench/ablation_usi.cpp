@@ -1,0 +1,177 @@
+// Ablations beyond the paper's figures (DESIGN.md Section 4, last row):
+//  (a) Approximate-Top-K oversampling factor (our addition; Section VI only
+//      fixes the per-round list at K) — accuracy/runtime trade-off;
+//  (b) LCE backend used inside Approximate-Top-K — space/time trade-off
+//      standing in for Prezza's in-place structure;
+//  (c) global utility kinds — query-time invariance of the USI design;
+//  (d) dynamic appends — per-append cost of the Section X extension.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "usi/core/dynamic_usi.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/suffix/lce.hpp"
+#include "usi/topk/approximate_topk.hpp"
+#include "usi/topk/measures.hpp"
+#include "usi/topk/substring_stats.hpp"
+#include "usi/util/memory.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+void OversampleAblation() {
+  const DatasetSpec& spec = DatasetSpecByName("ECOLI");
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 120'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  const u64 k =
+      std::max<u64>(10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+  SubstringStats stats(ws.text());
+  const TopKList exact = stats.TopK(k);
+
+  TablePrinter table("Ablation (a) — AT oversampling factor on ECOLI (s=" +
+                     TablePrinter::Int(spec.default_s) + ")");
+  table.SetHeader({"oversample", "Accuracy", "NDCG", "seconds"});
+  for (u32 factor : {1u, 2u, 4u, 8u}) {
+    ApproximateTopKOptions options;
+    options.rounds = spec.default_s;
+    options.oversample = factor;
+    TopKList approx;
+    const double seconds = bench::TimeOnce(
+        [&] { approx = ApproximateTopK(ws.text(), k, options); });
+    table.AddRow(
+        {TablePrinter::Int(factor),
+         TablePrinter::Num(TopKAccuracyPercent(exact.items, approx.items), 1),
+         TablePrinter::Num(TopKNdcg(exact.items, approx.items), 4),
+         TablePrinter::Num(seconds, 2)});
+  }
+  table.Print();
+}
+
+void LceBackendAblation() {
+  const DatasetSpec& spec = DatasetSpecByName("HUM");
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 120'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  const u64 k =
+      std::max<u64>(10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+  SubstringStats stats(ws.text());
+  const TopKList exact = stats.TopK(k);
+
+  struct Case {
+    const char* name;
+    LceBackendKind backend;
+  };
+  TablePrinter table("Ablation (b) — LCE backend inside AT on HUM (s=" +
+                     TablePrinter::Int(spec.default_s) + ")");
+  table.SetHeader({"backend", "Accuracy", "seconds", "LCE space"});
+  for (const Case& c :
+       {Case{"sampled-KR (paper-faithful)", LceBackendKind::kSampledKr},
+        Case{"full-KR table", LceBackendKind::kFullKr},
+        Case{"SA+LCP+RMQ", LceBackendKind::kRmq},
+        Case{"naive scan", LceBackendKind::kNaive}}) {
+    ApproximateTopKOptions options;
+    options.rounds = spec.default_s;
+    options.lce_backend = c.backend;
+    TopKList approx;
+    const double seconds = bench::TimeOnce(
+        [&] { approx = ApproximateTopK(ws.text(), k, options); });
+    std::size_t lce_space = 0;
+    {
+      KarpRabinHasher hasher(1);
+      switch (c.backend) {
+        case LceBackendKind::kSampledKr:
+          lce_space = SampledKrLce(ws.text(), hasher, spec.default_s).SizeInBytes();
+          break;
+        case LceBackendKind::kFullKr:
+          lce_space = KrLce(ws.text(), hasher).SizeInBytes();
+          break;
+        case LceBackendKind::kRmq:
+          lce_space = RmqLce(ws.text()).SizeInBytes();
+          break;
+        case LceBackendKind::kNaive:
+          lce_space = NaiveLce(ws.text()).SizeInBytes();
+          break;
+      }
+    }
+    table.AddRow(
+        {c.name,
+         TablePrinter::Num(TopKAccuracyPercent(exact.items, approx.items), 1),
+         TablePrinter::Num(seconds, 2), FormatBytes(lce_space)});
+  }
+  table.Print();
+}
+
+void UtilityKindAblation() {
+  const DatasetSpec& spec = DatasetSpecByName("ADV");
+  const index_t n = bench::ScaledLength(spec);
+  const WeightedString ws = MakeDataset(spec, n);
+  SubstringStats stats(ws.text());
+  const TopKList pool = stats.TopK(n / 50);
+  Rng rng(3);
+  std::vector<Text> queries;
+  for (int q = 0; q < 3000 && !pool.items.empty(); ++q) {
+    const TopKSubstring& item = pool.items[rng.UniformBelow(pool.items.size())];
+    queries.push_back(Text(ws.text().begin() + item.witness,
+                           ws.text().begin() + item.witness + item.length));
+  }
+
+  TablePrinter table("Ablation (c) — global utility kinds on ADV (class U)");
+  table.SetHeader({"U", "avg query time (us)", "construction (s)"});
+  for (auto kind : {GlobalUtilityKind::kSum, GlobalUtilityKind::kMin,
+                    GlobalUtilityKind::kMax, GlobalUtilityKind::kAvg}) {
+    UsiOptions options;
+    options.k = spec.default_k;
+    options.utility = kind;
+    double construction = 0;
+    UsiIndex* index = nullptr;
+    construction = bench::TimeOnce([&] { index = new UsiIndex(ws, options); });
+    double checksum = 0;
+    const double seconds = bench::TimeOnce([&] {
+      for (const Text& q : queries) checksum += index->Utility(q);
+    });
+    (void)checksum;
+    table.AddRow({GlobalUtilityKindName(kind),
+                  TablePrinter::Num(seconds * 1e6 / queries.size(), 3),
+                  TablePrinter::Num(construction, 3)});
+    delete index;
+  }
+  table.Print();
+}
+
+void DynamicAppendCost() {
+  const DatasetSpec& spec = DatasetSpecByName("HUM");
+  const WeightedString seed_ws = MakeDataset(spec, 50'000);
+  TablePrinter table("Ablation (d) — Section X dynamic appends (HUM seed n=50k)");
+  table.SetHeader({"tracked K", "appends", "us/append", "tracked lengths ok"});
+  for (u64 k : {256ULL, 1024ULL, 4096ULL}) {
+    DynamicUsiOptions options;
+    options.k = k;
+    DynamicUsi dynamic(seed_ws, options);
+    Rng rng(7);
+    const int appends = 20'000;
+    const double seconds = bench::TimeOnce([&] {
+      for (int a = 0; a < appends; ++a) {
+        dynamic.Append(static_cast<Symbol>(rng.UniformBelow(4)),
+                       rng.UniformDouble());
+      }
+    });
+    table.AddRow({TablePrinter::Int(static_cast<long long>(k)),
+                  TablePrinter::Int(appends),
+                  TablePrinter::Num(seconds * 1e6 / appends, 2),
+                  dynamic.TrackedEntries() > 0 ? "yes" : "no"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("ablation_usi", "design-choice ablations (ours)");
+  usi::OversampleAblation();
+  usi::LceBackendAblation();
+  usi::UtilityKindAblation();
+  usi::DynamicAppendCost();
+  return 0;
+}

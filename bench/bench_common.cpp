@@ -1,0 +1,96 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "usi/topk/approximate_topk.hpp"
+#include "usi/topk/heavy_keeper.hpp"
+#include "usi/topk/substring_stats.hpp"
+#include "usi/topk/topk_trie.hpp"
+#include "usi/util/memory.hpp"
+
+namespace usi::bench {
+
+index_t ScaleDivisor() {
+  const char* env = std::getenv("USI_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  const long value = std::strtol(env, nullptr, 10);
+  return value >= 1 ? static_cast<index_t>(value) : 1;
+}
+
+index_t ScaledLength(const DatasetSpec& spec) {
+  return std::max<index_t>(1000, spec.default_n / ScaleDivisor());
+}
+
+void PrintBanner(const char* bench_name, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s  —  regenerates %s of 'Indexing Strings with Utilities'\n",
+              bench_name, paper_ref);
+  std::printf("scale divisor: %u (set USI_BENCH_SCALE to change)\n",
+              ScaleDivisor());
+  std::printf("datasets (synthetic stand-ins, DESIGN.md Sec. 3):");
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    std::printf(" %s[n=%u,seed=%llu]", spec.name.c_str(), ScaledLength(spec),
+                static_cast<unsigned long long>(spec.seed));
+  }
+  std::printf("\n==============================================================\n");
+}
+
+const char* MinerName(Miner miner) {
+  switch (miner) {
+    case Miner::kEt:
+      return "ET";
+    case Miner::kAt:
+      return "AT";
+    case Miner::kTt:
+      return "TT";
+    case Miner::kSh:
+      return "SH";
+  }
+  return "?";
+}
+
+MinerRun RunMiner(Miner miner, const Text& text, u64 k, u32 s) {
+  MinerRun run;
+  Timer timer;
+  switch (miner) {
+    case Miner::kEt: {
+      SubstringStats stats(text);
+      run.list = stats.TopK(k);
+      run.space_bytes = stats.SizeInBytes();
+      break;
+    }
+    case Miner::kAt: {
+      ApproximateTopKOptions options;
+      options.rounds = s;
+      run.list = ApproximateTopK(text, k, options);
+      // Working space: the sparse index (n/s positions + lcp), the sampled-KR
+      // LCE table (n/s fingerprints), and the 2*oversample*k merge lists.
+      run.space_bytes =
+          (text.size() / std::max<u32>(1, s)) * (2 * sizeof(index_t)) +
+          (text.size() / std::max<u32>(1, s)) * sizeof(u64) +
+          2 * options.oversample * k * sizeof(TopKSubstring);
+      break;
+    }
+    case Miner::kTt: {
+      TopKTrieStats stats;
+      run.list = TopKTrie(text, k, {}, &stats);
+      run.space_bytes = stats.space_bytes;
+      break;
+    }
+    case Miner::kSh: {
+      SubstringHkOptions options;
+      // Work budget: the bench analogue of the paper's 5-day cutoff.
+      options.max_hashed_substrings = 24ULL * text.size();
+      SubstringHkStats stats;
+      run.list = SubstringHeavyKeeper(text, k, options, &stats);
+      run.space_bytes = stats.space_bytes;
+      run.timed_out = stats.timed_out;
+      break;
+    }
+  }
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+}  // namespace usi::bench

@@ -1,0 +1,60 @@
+#ifndef USI_BENCH_BENCH_COMMON_HPP_
+#define USI_BENCH_BENCH_COMMON_HPP_
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table benches.
+///
+/// Every bench regenerates one table or figure of the paper's evaluation
+/// (Section IX) at laptop scale and prints the same rows/series the paper
+/// plots. Sizes derive from the Table II registry divided by
+/// USI_BENCH_SCALE (environment variable, default 1): raise it to make a
+/// quick pass, lower it (0 is clamped to 1) for the full run.
+
+#include <string>
+#include <vector>
+
+#include "usi/text/dataset.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/table_printer.hpp"
+#include "usi/util/timer.hpp"
+
+namespace usi::bench {
+
+/// Reads USI_BENCH_SCALE (>= 1) from the environment.
+index_t ScaleDivisor();
+
+/// Dataset length after scaling.
+index_t ScaledLength(const DatasetSpec& spec);
+
+/// Prints the standard bench banner (dataset sizes, seeds, scale divisor).
+void PrintBanner(const char* bench_name, const char* paper_ref);
+
+/// Runs \p fn once and returns elapsed seconds.
+template <typename Fn>
+double TimeOnce(Fn fn) {
+  Timer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+/// Mining-method identifiers used across the Fig. 3-5 benches.
+enum class Miner { kEt, kAt, kTt, kSh };
+
+/// Display name of a miner ("ET", "AT", "TT", "SH").
+const char* MinerName(Miner miner);
+
+/// Result of running one miner: substrings + cost measurements.
+struct MinerRun {
+  TopKList list;
+  double seconds = 0;
+  std::size_t space_bytes = 0;  ///< Structure-reported working space.
+  bool timed_out = false;       ///< SH work budget exhausted (paper: ">5 days").
+};
+
+/// Runs one of the four top-K miners with the defaults used throughout the
+/// benches. \p s is only used by AT.
+MinerRun RunMiner(Miner miner, const Text& text, u64 k, u32 s);
+
+}  // namespace usi::bench
+
+#endif  // USI_BENCH_BENCH_COMMON_HPP_

@@ -1,0 +1,114 @@
+// Regenerates Example 2 (Section I): on genomic data, querying frequent
+// 8-mers through USI_TOP-K (K = n/100) versus the classic suffix-array +
+// prefix-sums index. The paper reports ~3 orders of magnitude speedup at
+// nearly identical index size (85.31 GB vs 86.38 GB at their scale).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "usi/core/baselines.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/suffix/suffix_array.hpp"
+#include "usi/topk/substring_stats.hpp"
+#include "usi/util/memory.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+void Run() {
+  const DatasetSpec& spec = DatasetSpecByName("HUM");
+  const index_t n = bench::ScaledLength(spec);
+  const WeightedString ws = MakeDataset(spec, n);
+
+  // 5,000 8-mer patterns sampled from the top-(n/50) frequent substrings.
+  // At the paper's 2.9G-letter scale *every* frequent 8-mer occurs >10^5
+  // times; at laptop scale occurrence counts shrink with n, so we sample the
+  // heaviest quartile of frequent 8-mers to keep the experiment's defining
+  // property — queries with many occurrences — and report the counts.
+  SubstringStats stats(ws.text());
+  const TopKList pool = stats.TopK(n / 50);
+  std::vector<Text> queries;
+  Rng rng(spec.seed);
+  std::vector<const TopKSubstring*> eight_mers;
+  for (const TopKSubstring& item : pool.items) {
+    if (item.length == 8) eight_mers.push_back(&item);
+  }
+  std::sort(eight_mers.begin(), eight_mers.end(),
+            [](const TopKSubstring* a, const TopKSubstring* b) {
+              return a->frequency > b->frequency;
+            });
+  if (eight_mers.size() > 4) eight_mers.resize(eight_mers.size() / 4);
+  index_t least_frequent = kInvalidIndex;
+  u64 total_occurrences = 0;
+  for (int q = 0; q < 5000 && !eight_mers.empty(); ++q) {
+    const TopKSubstring& item =
+        *eight_mers[rng.UniformBelow(eight_mers.size())];
+    least_frequent = std::min(least_frequent, item.frequency);
+    total_occurrences += item.frequency;
+    queries.push_back(Text(ws.text().begin() + item.witness,
+                           ws.text().begin() + item.witness + 8));
+  }
+  std::printf("n = %u; %zu queries (heavy 8-mers from top-(n/50)); least "
+              "frequent occurs %u times, avg %.0f occurrences/query\n",
+              n, queries.size(), least_frequent,
+              static_cast<double>(total_occurrences) / queries.size());
+
+  // Classic index: suffix array + PSW (BSL1).
+  const std::vector<index_t> sa = BuildSuffixArray(ws.text());
+  const PrefixSumWeights psw(ws);
+  BaselineContext context;
+  context.ws = &ws;
+  context.sa = &sa;
+  context.psw = &psw;
+  auto classic = MakeBaseline(BaselineKind::kBsl1, context);
+
+  // Our index with K = n/100.
+  UsiOptions options;
+  options.k = n / 100;
+  const UsiIndex usi(ws, options);
+
+  double classic_checksum = 0;
+  const double classic_seconds = bench::TimeOnce([&] {
+    for (const Text& q : queries) classic_checksum += classic->Query(q).utility;
+  });
+  double usi_checksum = 0;
+  const double usi_seconds = bench::TimeOnce([&] {
+    for (const Text& q : queries) usi_checksum += usi.Query(q).utility;
+  });
+  USI_CHECK(std::abs(classic_checksum - usi_checksum) <
+            1e-6 * (1 + std::abs(classic_checksum)));
+
+  TablePrinter table("Example 2 — avg query time and index size");
+  table.SetHeader({"Index", "Avg query time (us)", "Index size", "Speedup"});
+  const double classic_us = classic_seconds / queries.size() * 1e6;
+  const double usi_us = usi_seconds / queries.size() * 1e6;
+  table.AddRow({"Suffix array + PSW (classic)", TablePrinter::Num(classic_us, 3),
+                FormatBytes(classic->SizeInBytes()), "1.0x"});
+  table.AddRow({"USI_TOP-K (K = n/100)", TablePrinter::Num(usi_us, 3),
+                FormatBytes(usi.SizeInBytes()),
+                TablePrinter::Num(classic_us / usi_us, 1) + "x"});
+  table.Print();
+  // The speedup is Theta(avg occurrences per query): the classic index pays
+  // O(occ) per query, USI O(m). The paper's 3-orders-of-magnitude factor
+  // needs their billion-letter occurrence counts; the shape (large speedup,
+  // ~1% size overhead) is what scales down.
+  std::printf("\nShape check (paper: USI >> classic at ~1%% size overhead): "
+              "%s (%.1fx faster, %.1f%% larger)\n",
+              classic_us / usi_us > 3 ? "REPRODUCED" : "NOT reproduced",
+              classic_us / usi_us,
+              100.0 * (static_cast<double>(usi.SizeInBytes()) /
+                           static_cast<double>(classic->SizeInBytes()) -
+                       1.0));
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("example2_speedup", "Example 2 (Section I)");
+  usi::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Regenerates Fig. 3f-i: Accuracy of AT, TT and SH versus the text length n
+// (prefixes of each dataset at the default K ratio and default s).
+
+#include "bench_common.hpp"
+#include "usi/topk/measures.hpp"
+#include "usi/topk/substring_stats.hpp"
+
+namespace usi {
+namespace {
+
+using bench::Miner;
+
+void RunDataset(const DatasetSpec& spec) {
+  const index_t full_n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
+  const WeightedString full = MakeDataset(spec, full_n);
+
+  TablePrinter table("Fig. 3f-i — Accuracy (%) vs n on " + spec.name +
+                     " (K = n * default ratio, s=" +
+                     TablePrinter::Int(spec.default_s) + ")");
+  table.SetHeader({"n", "AT", "TT", "SH"});
+  for (int step = 1; step <= 5; ++step) {
+    const index_t n = full_n / 5 * step;
+    const Text text(full.text().begin(), full.text().begin() + n);
+    const u64 k = std::max<u64>(
+        10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+    SubstringStats stats(text);
+    const TopKList exact = stats.TopK(k);
+    const bench::MinerRun at = bench::RunMiner(Miner::kAt, text, k,
+                                               spec.default_s);
+    const bench::MinerRun tt = bench::RunMiner(Miner::kTt, text, k, 0);
+    const bench::MinerRun sh = bench::RunMiner(Miner::kSh, text, k, 0);
+    table.AddRow(
+        {TablePrinter::Int(n),
+         TablePrinter::Num(TopKAccuracyPercent(exact.items, at.list.items), 1),
+         TablePrinter::Num(TopKAccuracyPercent(exact.items, tt.list.items), 1),
+         sh.timed_out
+             ? "DNF"
+             : TablePrinter::Num(
+                   TopKAccuracyPercent(exact.items, sh.list.items), 1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("fig3_accuracy_vs_n", "Fig. 3f-i");
+  for (const usi::DatasetSpec& spec : usi::AllDatasetSpecs()) {
+    usi::RunDataset(spec);
+  }
+  return 0;
+}

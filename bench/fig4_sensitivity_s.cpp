@@ -1,0 +1,73 @@
+// Regenerates Fig. 3j + 4a-c (Accuracy of AT vs the number of sampling
+// rounds s) and Fig. 4d-e (NDCG for all datasets and NDCG vs s).
+
+#include "bench_common.hpp"
+#include "usi/topk/measures.hpp"
+#include "usi/topk/substring_stats.hpp"
+
+namespace usi {
+namespace {
+
+using bench::Miner;
+
+void AccuracyVsS(const DatasetSpec& spec) {
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 100'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  const u64 k =
+      std::max<u64>(10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+  SubstringStats stats(ws.text());
+  const TopKList exact = stats.TopK(k);
+
+  TablePrinter table("Fig. 3j/4a-c — AT Accuracy (%) and NDCG vs s on " +
+                     spec.name + " (n=" + TablePrinter::Int(n) +
+                     ", K=" + TablePrinter::Int(static_cast<long long>(k)) + ")");
+  table.SetHeader({"s", "Accuracy", "NDCG", "AT seconds"});
+  for (u32 s : spec.s_sweep) {
+    const bench::MinerRun at = bench::RunMiner(Miner::kAt, ws.text(), k, s);
+    table.AddRow(
+        {TablePrinter::Int(s),
+         TablePrinter::Num(TopKAccuracyPercent(exact.items, at.list.items), 1),
+         TablePrinter::Num(TopKNdcg(exact.items, at.list.items), 4),
+         TablePrinter::Num(at.seconds, 2)});
+  }
+  table.Print();
+}
+
+void NdcgAllDatasets() {
+  TablePrinter table("Fig. 4d — NDCG of AT / TT / SH at default parameters");
+  table.SetHeader({"Dataset", "AT", "TT", "SH"});
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    const index_t n = std::min<index_t>(bench::ScaledLength(spec), 120'000);
+    const WeightedString ws = MakeDataset(spec, n);
+    const u64 k = std::max<u64>(
+        10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+    SubstringStats stats(ws.text());
+    const TopKList exact = stats.TopK(k);
+    const bench::MinerRun at =
+        bench::RunMiner(Miner::kAt, ws.text(), k, spec.default_s);
+    const bench::MinerRun tt = bench::RunMiner(Miner::kTt, ws.text(), k, 0);
+    const bench::MinerRun sh = bench::RunMiner(Miner::kSh, ws.text(), k, 0);
+    table.AddRow({spec.name,
+                  TablePrinter::Num(TopKNdcg(exact.items, at.list.items), 4),
+                  TablePrinter::Num(TopKNdcg(exact.items, tt.list.items), 4),
+                  sh.timed_out
+                      ? "DNF"
+                      : TablePrinter::Num(
+                            TopKNdcg(exact.items, sh.list.items), 4)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("fig4_sensitivity_s", "Fig. 3j, 4a-e");
+  // The paper's s-sensitivity panels cover IOT (3j), XML (4a), HUM (4b) and
+  // ECOLI (4c); ADV is not part of this figure.
+  for (const usi::DatasetSpec& spec : usi::AllDatasetSpecs()) {
+    if (spec.name != "ADV") usi::AccuracyVsS(spec);
+  }
+  usi::NdcgAllDatasets();
+  return 0;
+}

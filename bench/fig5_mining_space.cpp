@@ -1,0 +1,73 @@
+// Regenerates Fig. 5a-d: working space of the four top-K miners versus n
+// (XML- and HUM-like) and versus s (AT only). ET holds the full Section V
+// structure (O(n)); AT holds the sparse index + merge lists (O(n/s + K));
+// TT and SH hold O(K) sketches. Structure-reported bytes are the primary
+// number; process peak RSS is printed for reference.
+
+#include "bench_common.hpp"
+#include "usi/util/memory.hpp"
+
+namespace usi {
+namespace {
+
+using bench::Miner;
+
+void SpaceVsN(const char* name) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t full_n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
+  const WeightedString full = MakeDataset(spec, full_n);
+
+  TablePrinter table(std::string("Fig. 5a-b — working space vs n on ") + name +
+                     " (default K ratio)");
+  table.SetHeader({"n", "ET", "AT", "TT", "SH"});
+  for (int step = 1; step <= 4; ++step) {
+    const index_t n = full_n / 4 * step;
+    const Text text(full.text().begin(), full.text().begin() + n);
+    const u64 k = std::max<u64>(
+        10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+    const auto et = bench::RunMiner(Miner::kEt, text, k, 0);
+    const auto at = bench::RunMiner(Miner::kAt, text, k, spec.default_s);
+    const auto tt = bench::RunMiner(Miner::kTt, text, k, 0);
+    const auto sh = bench::RunMiner(Miner::kSh, text, k, 0);
+    table.AddRow({TablePrinter::Int(n), FormatBytes(et.space_bytes),
+                  FormatBytes(at.space_bytes), FormatBytes(tt.space_bytes),
+                  FormatBytes(sh.space_bytes)});
+  }
+  table.Print();
+}
+
+void SpaceVsS(const char* name) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  const u64 k =
+      std::max<u64>(10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+
+  TablePrinter table(std::string("Fig. 5c-d — AT working space vs s on ") +
+                     name + " (n=" + TablePrinter::Int(n) + ")");
+  table.SetHeader({"s", "AT space", "vs ET"});
+  const auto et = bench::RunMiner(Miner::kEt, ws.text(), k, 0);
+  for (u32 s : spec.s_sweep) {
+    const auto at = bench::RunMiner(Miner::kAt, ws.text(), k, s);
+    table.AddRow({TablePrinter::Int(s), FormatBytes(at.space_bytes),
+                  TablePrinter::Num(static_cast<double>(et.space_bytes) /
+                                        static_cast<double>(at.space_bytes),
+                                    1) +
+                      "x smaller"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("fig5_mining_space", "Fig. 5a-d");
+  usi::SpaceVsN("XML");
+  usi::SpaceVsN("HUM");
+  usi::SpaceVsS("XML");
+  usi::SpaceVsS("HUM");
+  std::printf("\npeak process RSS: %s\n",
+              usi::FormatBytes(usi::ReadPeakRssBytes()).c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Regenerates Fig. 6q-t: construction time of UET, UAT and BSL1-4 versus K
+// and versus n (XML- and HUM-like). Shape: baselines build faster (no top-K
+// mining or table population), UET builds faster than UAT, and everything
+// scales (near-)linearly in n.
+
+#include "bench_common.hpp"
+#include "usi/core/baselines.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/suffix/suffix_array.hpp"
+
+namespace usi {
+namespace {
+
+std::vector<std::string> ConstructionRow(const WeightedString& ws, u64 k,
+                                         u32 s, std::string label) {
+  std::vector<std::string> row = {std::move(label)};
+  {
+    const double seconds = bench::TimeOnce([&] {
+      UsiOptions options;
+      options.k = k;
+      UsiIndex uet(ws, options);
+    });
+    row.push_back(TablePrinter::Num(seconds, 3));
+  }
+  {
+    const double seconds = bench::TimeOnce([&] {
+      UsiOptions options;
+      options.k = k;
+      options.miner = UsiMiner::kApproximate;
+      options.approx.rounds = s;
+      UsiIndex uat(ws, options);
+    });
+    row.push_back(TablePrinter::Num(seconds, 3));
+  }
+  {
+    // The baselines share one SA + PSW build; their caches are O(1) to init.
+    const double seconds = bench::TimeOnce([&] {
+      const std::vector<index_t> sa = BuildSuffixArray(ws.text());
+      const PrefixSumWeights psw(ws);
+      BaselineContext context;
+      context.ws = &ws;
+      context.sa = &sa;
+      context.psw = &psw;
+      context.cache_capacity = k;
+      for (auto kind : {BaselineKind::kBsl1, BaselineKind::kBsl2,
+                        BaselineKind::kBsl3, BaselineKind::kBsl4}) {
+        auto baseline = MakeBaseline(kind, context);
+        (void)baseline;
+      }
+    });
+    row.push_back(TablePrinter::Num(seconds, 3));
+  }
+  return row;
+}
+
+void ConstructionVsK(const char* name) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  TablePrinter table(std::string("Fig. 6q-r — construction time (s) vs K on ") +
+                     name + " (n=" + TablePrinter::Int(n) + ")");
+  table.SetHeader({"K", "UET", "UAT", "BSL1-4 (shared)"});
+  for (std::size_t ki = 0; ki + 1 < spec.k_sweep.size(); ++ki) {
+    const u64 k = std::max<u64>(
+        10, static_cast<u64>(spec.k_sweep[ki]) * n / spec.default_n);
+    table.AddRow(ConstructionRow(ws, k, spec.default_s,
+                                 TablePrinter::Int(static_cast<long long>(k))));
+  }
+  table.Print();
+}
+
+void ConstructionVsN(const char* name) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t full_n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
+  const WeightedString full = MakeDataset(spec, full_n);
+  TablePrinter table(std::string("Fig. 6s-t — construction time (s) vs n on ") +
+                     name + " (default K ratio)");
+  table.SetHeader({"n", "UET", "UAT", "BSL1-4 (shared)"});
+  for (int step = 1; step <= 4; ++step) {
+    const index_t n = full_n / 4 * step;
+    const WeightedString ws = full.Prefix(n);
+    const u64 k = std::max<u64>(
+        10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+    table.AddRow(ConstructionRow(ws, k, spec.default_s, TablePrinter::Int(n)));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("fig6_construction", "Fig. 6q-t");
+  usi::ConstructionVsK("XML");
+  usi::ConstructionVsK("HUM");
+  usi::ConstructionVsN("XML");
+  usi::ConstructionVsN("HUM");
+  return 0;
+}

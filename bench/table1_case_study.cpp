@@ -1,0 +1,102 @@
+// Regenerates Table I (Section II case study): on the ADV dataset, the top-4
+// substrings of length >= 3 by *global utility* versus the top-4 *frequent*
+// substrings, with their utility ranks. The paper's headline: the two lists
+// differ, and the most frequent substring ranks only 21st by utility.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/topk/substring_stats.hpp"
+
+namespace usi {
+namespace {
+
+std::string Pretty(const Text& text, index_t witness, index_t length) {
+  // Categories are letters a..n, as in the paper's Table Ic.
+  std::string s;
+  for (index_t k = 0; k < length; ++k) {
+    s.push_back(static_cast<char>('a' + text[witness + k]));
+  }
+  return s;
+}
+
+void Run() {
+  const DatasetSpec& spec = DatasetSpecByName("ADV");
+  const index_t n = bench::ScaledLength(spec);
+  const WeightedString ws = MakeDataset(spec, n);
+
+  UsiOptions options;
+  options.k = spec.default_k;
+  const UsiIndex index(ws, options);
+
+  SubstringStats stats(ws.text());
+  const TopKList frequent = stats.TopK(spec.default_k);
+
+  struct Entry {
+    std::string substring;
+    double utility;
+    index_t frequency;
+    std::size_t frequency_rank;
+  };
+  std::vector<Entry> entries;
+  std::size_t frequency_rank = 0;
+  for (const TopKSubstring& item : frequent.items) {
+    if (item.length < 3) continue;
+    ++frequency_rank;
+    const Text pattern(ws.text().begin() + item.witness,
+                       ws.text().begin() + item.witness + item.length);
+    entries.push_back({Pretty(ws.text(), item.witness, item.length),
+                       index.Utility(pattern), item.frequency, frequency_rank});
+  }
+  std::vector<std::size_t> by_utility(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) by_utility[i] = i;
+  std::sort(by_utility.begin(), by_utility.end(), [&](std::size_t a, std::size_t b) {
+    return entries[a].utility > entries[b].utility;
+  });
+  std::vector<std::size_t> utility_rank(entries.size());
+  for (std::size_t rank = 0; rank < by_utility.size(); ++rank) {
+    utility_rank[by_utility[rank]] = rank + 1;
+  }
+
+  TablePrinter table_a("Table Ia — top-4 substrings (len >= 3) by global utility");
+  table_a.SetHeader({"Substring", "Rank", "Utility U", "Frequency"});
+  for (std::size_t rank = 0; rank < std::min<std::size_t>(4, by_utility.size());
+       ++rank) {
+    const Entry& e = entries[by_utility[rank]];
+    table_a.AddRow({e.substring, TablePrinter::Int(static_cast<long long>(rank + 1)),
+                    TablePrinter::Num(e.utility, 1), TablePrinter::Int(e.frequency)});
+  }
+  table_a.Print();
+
+  TablePrinter table_b("Table Ib — top-4 FREQUENT substrings (len >= 3) + their utility rank");
+  table_b.SetHeader({"Substring", "UtilityRank", "Utility U", "Frequency"});
+  for (std::size_t i = 0; i < entries.size() && entries[i].frequency_rank <= 4;
+       ++i) {
+    table_b.AddRow({entries[i].substring,
+                    TablePrinter::Int(static_cast<long long>(utility_rank[i])),
+                    TablePrinter::Num(entries[i].utility, 1),
+                    TablePrinter::Int(entries[i].frequency)});
+  }
+  table_b.Print();
+
+  const bool diverge = !entries.empty() && utility_rank[0] != 1;
+  std::printf(
+      "\nShape check (paper: top-frequent is NOT top-useful; their champion "
+      "ranked 21st by utility): %s — most frequent (len>=3) substring has "
+      "utility rank %zu.\n",
+      diverge ? "REPRODUCED" : "NOT reproduced (seed-dependent)",
+      entries.empty() ? 0 : utility_rank[0]);
+}
+
+}  // namespace
+}  // namespace usi
+
+int main() {
+  usi::bench::PrintBanner("table1_case_study", "Table I (Section II)");
+  usi::Run();
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "usi/core/baselines.hpp"
+
+namespace usi {
+
+std::unique_ptr<UsiBaseline> MakeBaseline(BaselineKind kind,
+                                          const BaselineContext& context) {
+  switch (kind) {
+    case BaselineKind::kBsl1:
+      return std::make_unique<Bsl1NoCache>(context);
+    case BaselineKind::kBsl2:
+      return std::make_unique<Bsl2Lru>(context);
+    case BaselineKind::kBsl3:
+      return std::make_unique<Bsl3TopSeen>(context);
+    case BaselineKind::kBsl4:
+      return std::make_unique<Bsl4SketchTopSeen>(context);
+  }
+  return nullptr;
+}
+
+Bsl1NoCache::Bsl1NoCache(const BaselineContext& context)
+    : context_(context),
+      engine_(context.ws->text(), *context.sa, *context.psw, context.kind),
+      hasher_(context.hash_seed) {
+  USI_CHECK(context.ws != nullptr && context.sa != nullptr &&
+            context.psw != nullptr);
+}
+
+QueryResult Bsl1NoCache::Query(std::span<const Symbol> pattern) {
+  return engine_.Compute(pattern);
+}
+
+std::size_t Bsl1NoCache::SizeInBytes() const {
+  return context_.sa->capacity() * sizeof(index_t) + context_.psw->SizeInBytes();
+}
+
+Bsl2Lru::Bsl2Lru(const BaselineContext& context)
+    : Bsl1NoCache(context), cache_(context.cache_capacity) {}
+
+QueryResult Bsl2Lru::Query(std::span<const Symbol> pattern) {
+  const PatternKey key{hasher_.Hash(pattern),
+                       static_cast<u32>(pattern.size())};
+  QueryResult result;
+  if (cache_.Get(key, &result.utility)) {
+    result.from_hash_table = true;
+    return result;
+  }
+  result = engine_.Compute(pattern);
+  cache_.Put(key, result.utility);
+  return result;
+}
+
+std::size_t Bsl2Lru::SizeInBytes() const {
+  return Bsl1NoCache::SizeInBytes() + cache_.SizeInBytes();
+}
+
+Bsl3TopSeen::Bsl3TopSeen(const BaselineContext& context)
+    : Bsl1NoCache(context), cache_(context.cache_capacity) {
+  counts_.reserve(context.cache_capacity * 4);
+}
+
+QueryResult Bsl3TopSeen::Query(std::span<const Symbol> pattern) {
+  const PatternKey key{hasher_.Hash(pattern),
+                       static_cast<u32>(pattern.size())};
+  const u64 count = ++counts_[key];
+  QueryResult result;
+  if (cache_.Get(key, &result.utility)) {
+    cache_.Offer(key, count, result.utility);  // Heap fix for the new count.
+    result.from_hash_table = true;
+    return result;
+  }
+  result = engine_.Compute(pattern);
+  cache_.Offer(key, count, result.utility);
+  return result;
+}
+
+std::size_t Bsl3TopSeen::SizeInBytes() const {
+  return Bsl1NoCache::SizeInBytes() + cache_.SizeInBytes() +
+         counts_.size() * (sizeof(PatternKey) + sizeof(u64) + sizeof(void*));
+}
+
+Bsl4SketchTopSeen::Bsl4SketchTopSeen(const BaselineContext& context)
+    : Bsl1NoCache(context),
+      cache_(context.cache_capacity),
+      counts_(/*width=*/std::max<std::size_t>(64, 2 * context.cache_capacity),
+              /*depth=*/4, context.hash_seed ^ 0xB514) {}
+
+QueryResult Bsl4SketchTopSeen::Query(std::span<const Symbol> pattern) {
+  const PatternKey key{hasher_.Hash(pattern),
+                       static_cast<u32>(pattern.size())};
+  const u64 sketch_key = HashPatternKey(key);
+  counts_.Add(sketch_key);
+  const u64 count = counts_.Estimate(sketch_key);
+  QueryResult result;
+  if (cache_.Get(key, &result.utility)) {
+    cache_.Offer(key, count, result.utility);
+    result.from_hash_table = true;
+    return result;
+  }
+  result = engine_.Compute(pattern);
+  cache_.Offer(key, count, result.utility);
+  return result;
+}
+
+std::size_t Bsl4SketchTopSeen::SizeInBytes() const {
+  return Bsl1NoCache::SizeInBytes() + cache_.SizeInBytes() +
+         counts_.SizeInBytes();
+}
+
+}  // namespace usi

@@ -1,0 +1,119 @@
+#ifndef USI_CORE_BASELINES_HPP_
+#define USI_CORE_BASELINES_HPP_
+
+/// \file baselines.hpp
+/// The four nontrivial baselines of Section IX-C. All share the suffix array
+/// and PSW with our index — the comparison isolates what is cached:
+///
+///  * BSL1 — no query caching; every query runs SA + PSW.
+///  * BSL2 — LRU: caches the global utilities of the K most recently queried
+///    patterns.
+///  * BSL3 — "top-K seen so far": caches the K most frequently queried
+///    patterns; exact query counts via a hash map, eviction via a min-heap.
+///  * BSL4 — BSL3 with the query counts in a count-min sketch (space-
+///    efficient, as in [24]).
+///
+/// None has a query-time guarantee; USI_TOP-K's O(m + tau_K) bound is the
+/// contribution they are compared against.
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "usi/core/utility.hpp"
+#include "usi/hash/caches.hpp"
+#include "usi/hash/count_min_sketch.hpp"
+#include "usi/hash/karp_rabin.hpp"
+#include "usi/text/weighted_string.hpp"
+
+namespace usi {
+
+/// Common interface so the benches can sweep engines uniformly.
+class UsiBaseline {
+ public:
+  virtual ~UsiBaseline() = default;
+
+  /// Answers U(P). Non-const: caching baselines mutate internal state.
+  virtual QueryResult Query(std::span<const Symbol> pattern) = 0;
+
+  /// Short display name ("BSL1"...).
+  virtual const char* Name() const = 0;
+
+  /// Index size: SA + PSW + caching structures.
+  virtual std::size_t SizeInBytes() const = 0;
+};
+
+/// Identifier for the factory.
+enum class BaselineKind : u8 { kBsl1, kBsl2, kBsl3, kBsl4 };
+
+/// Shared construction inputs. The referenced objects must outlive the
+/// baseline; building them once and sharing matches the paper's setup where
+/// all baselines use the same SA(S) and PSW.
+struct BaselineContext {
+  const WeightedString* ws = nullptr;
+  const std::vector<index_t>* sa = nullptr;
+  const PrefixSumWeights* psw = nullptr;
+  GlobalUtilityKind kind = GlobalUtilityKind::kSum;
+  u64 hash_seed = 0x05111;
+  std::size_t cache_capacity = 1024;  ///< The baselines' K.
+};
+
+/// Builds a baseline of the requested kind.
+std::unique_ptr<UsiBaseline> MakeBaseline(BaselineKind kind,
+                                          const BaselineContext& context);
+
+/// BSL1: no caching.
+class Bsl1NoCache : public UsiBaseline {
+ public:
+  explicit Bsl1NoCache(const BaselineContext& context);
+  QueryResult Query(std::span<const Symbol> pattern) override;
+  const char* Name() const override { return "BSL1"; }
+  std::size_t SizeInBytes() const override;
+
+ protected:
+  BaselineContext context_;
+  ExhaustiveQueryEngine engine_;
+  KarpRabinHasher hasher_;
+};
+
+/// BSL2: LRU cache of recently queried patterns.
+class Bsl2Lru : public Bsl1NoCache {
+ public:
+  explicit Bsl2Lru(const BaselineContext& context);
+  QueryResult Query(std::span<const Symbol> pattern) override;
+  const char* Name() const override { return "BSL2"; }
+  std::size_t SizeInBytes() const override;
+
+ private:
+  LruCache cache_;
+};
+
+/// BSL3: top-K most frequently queried patterns, exact counts.
+class Bsl3TopSeen : public Bsl1NoCache {
+ public:
+  explicit Bsl3TopSeen(const BaselineContext& context);
+  QueryResult Query(std::span<const Symbol> pattern) override;
+  const char* Name() const override { return "BSL3"; }
+  std::size_t SizeInBytes() const override;
+
+ private:
+  LfuCache cache_;
+  std::unordered_map<PatternKey, u64, PatternKeyHash> counts_;
+};
+
+/// BSL4: top-K most frequently queried patterns, sketched counts.
+class Bsl4SketchTopSeen : public Bsl1NoCache {
+ public:
+  explicit Bsl4SketchTopSeen(const BaselineContext& context);
+  QueryResult Query(std::span<const Symbol> pattern) override;
+  const char* Name() const override { return "BSL4"; }
+  std::size_t SizeInBytes() const override;
+
+ private:
+  LfuCache cache_;
+  CountMinSketch counts_;
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_BASELINES_HPP_

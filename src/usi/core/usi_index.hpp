@@ -1,0 +1,126 @@
+#ifndef USI_CORE_USI_INDEX_HPP_
+#define USI_CORE_USI_INDEX_HPP_
+
+/// \file usi_index.hpp
+/// USI_TOP-K (Section IV, Theorem 1): the paper's data structure for Useful
+/// String Indexing.
+///
+/// Components: a hash table H of precomputed global utilities of the top-K
+/// frequent substrings (keyed by Karp-Rabin fingerprint + length), the text
+/// index (suffix array as the suffix-tree leaf order), and the prefix-sums
+/// array PSW. Queries: O(m) fingerprint + O(1) probe on a hit; O(m log n +
+/// occ) <= O(m log n + tau_K) via SA + PSW on a miss.
+///
+/// The top-K set comes from either miner:
+///  * UET — Exact-Top-K (Section V): exact frequencies, SA intervals, and the
+///    O(m + tau_K) query guarantee.
+///  * UAT — Approximate-Top-K (Section VI): smaller construction space; the
+///    guarantee is forfeited (Section VI discusses why) but practice is
+///    competitive, as Fig. 6 shows.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "usi/core/utility.hpp"
+#include "usi/hash/fingerprint_table.hpp"
+#include "usi/hash/karp_rabin.hpp"
+#include "usi/text/weighted_string.hpp"
+#include "usi/topk/approximate_topk.hpp"
+#include "usi/topk/topk_types.hpp"
+
+namespace usi {
+
+/// Which mining algorithm feeds construction phase (i).
+enum class UsiMiner : u8 {
+  kExact,        ///< UET.
+  kApproximate,  ///< UAT.
+};
+
+/// Construction options for UsiIndex.
+struct UsiOptions {
+  /// Number of top-K frequent substrings to precompute; 0 means n/100, the
+  /// K = Theta(n) regime Section IV recommends.
+  u64 k = 0;
+  GlobalUtilityKind utility = GlobalUtilityKind::kSum;
+  UsiMiner miner = UsiMiner::kExact;
+  ApproximateTopKOptions approx = {};  ///< Used when miner == kApproximate.
+  u64 hash_seed = 0x05111;             ///< Karp-Rabin base seed.
+};
+
+/// Construction telemetry (used by the Fig. 6 benches and by tuning).
+struct UsiBuildInfo {
+  u64 k = 0;                ///< Effective K.
+  index_t tau_k = 0;        ///< Min frequency among mined substrings.
+  index_t num_lengths = 0;  ///< L_K: distinct lengths among them.
+  double mining_seconds = 0;
+  double table_seconds = 0;  ///< Phase (ii): sliding-window aggregation.
+  double total_seconds = 0;
+};
+
+/// The USI_TOP-K index over a weighted string.
+class UsiIndex {
+ public:
+  /// Builds the index. \p ws is borrowed and must outlive the index.
+  UsiIndex(const WeightedString& ws, const UsiOptions& options = {});
+
+  /// Persists the index (suffix array + hash table + parameters; PSW is
+  /// recomputed on load, it is a single O(n) scan). Returns false on I/O
+  /// failure.
+  bool SaveToFile(const std::string& path) const;
+
+  /// Restores an index previously saved over the same weighted string.
+  /// Returns nullptr on I/O failure, format mismatch, or if \p ws has a
+  /// different length than the saved index.
+  static std::unique_ptr<UsiIndex> LoadFromFile(const WeightedString& ws,
+                                                const std::string& path);
+
+  /// Answers U(P): hash-table hit in O(m), otherwise SA + PSW fallback.
+  QueryResult Query(std::span<const Symbol> pattern) const;
+
+  /// Convenience: just the utility value.
+  double Utility(std::span<const Symbol> pattern) const {
+    return Query(pattern).utility;
+  }
+
+  /// Construction telemetry.
+  const UsiBuildInfo& build_info() const { return build_info_; }
+
+  /// Number of precomputed entries in H.
+  std::size_t HashTableEntries() const { return table_.size(); }
+
+  /// Index size: SA + PSW + H (+ nothing else; the text is borrowed, as in
+  /// the paper's accounting, which reports the index on top of S).
+  std::size_t SizeInBytes() const;
+
+  /// The suffix array (exposed for examples and tests).
+  const std::vector<index_t>& sa() const { return sa_; }
+
+ private:
+  /// Value stored in H: a utility accumulator (value + occurrence count).
+  using TableValue = UtilityAccumulator;
+
+  /// Deserialization constructor: members are filled by LoadFromFile. The
+  /// tag comes first so the public (ws, options = {}) constructor never
+  /// competes with it in overload resolution.
+  struct LoadTag {};
+  UsiIndex(LoadTag, const WeightedString& ws);
+
+  /// Phase (ii): per distinct length, mark occurrence starts (exact miner)
+  /// or pre-insert candidate keys (approximate miner), then slide a window
+  /// over S aggregating local utilities into H. O(n * L_K).
+  void PopulateTable(const TopKList& mined);
+
+  const WeightedString* ws_;
+  GlobalUtilityKind kind_;
+  KarpRabinHasher hasher_;
+  std::vector<index_t> sa_;
+  PrefixSumWeights psw_;
+  FingerprintTable<TableValue> table_;
+  ExhaustiveQueryEngine fallback_;
+  UsiBuildInfo build_info_;
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_USI_INDEX_HPP_

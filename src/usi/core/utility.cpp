@@ -1,0 +1,70 @@
+#include "usi/core/utility.hpp"
+
+#include <algorithm>
+
+namespace usi {
+
+const char* GlobalUtilityKindName(GlobalUtilityKind kind) {
+  switch (kind) {
+    case GlobalUtilityKind::kSum:
+      return "sum";
+    case GlobalUtilityKind::kMin:
+      return "min";
+    case GlobalUtilityKind::kMax:
+      return "max";
+    case GlobalUtilityKind::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+PrefixSumWeights::PrefixSumWeights(const WeightedString& ws) {
+  psw_.resize(ws.size());
+  double running = 0;
+  for (index_t i = 0; i < ws.size(); ++i) {
+    running += ws.weight(i);
+    psw_[i] = running;
+  }
+}
+
+void UtilityAccumulator::Add(double local, GlobalUtilityKind kind) {
+  switch (kind) {
+    case GlobalUtilityKind::kSum:
+    case GlobalUtilityKind::kAvg:
+      value += local;
+      break;
+    case GlobalUtilityKind::kMin:
+      value = (count == 0) ? local : std::min(value, local);
+      break;
+    case GlobalUtilityKind::kMax:
+      value = (count == 0) ? local : std::max(value, local);
+      break;
+  }
+  ++count;
+}
+
+double UtilityAccumulator::Finalize(GlobalUtilityKind kind) const {
+  if (count == 0) return 0;
+  if (kind == GlobalUtilityKind::kAvg) {
+    return value / static_cast<double>(count);
+  }
+  return value;
+}
+
+QueryResult ExhaustiveQueryEngine::Compute(
+    std::span<const Symbol> pattern) const {
+  QueryResult result;
+  if (pattern.empty()) return result;
+  const SaInterval interval = FindSaInterval(*text_, *sa_, pattern);
+  if (interval.IsEmpty()) return result;
+  UtilityAccumulator acc;
+  const index_t m = static_cast<index_t>(pattern.size());
+  for (index_t k = interval.lb; k <= interval.rb; ++k) {
+    acc.Add(psw_->LocalUtility((*sa_)[k], m), kind_);
+  }
+  result.utility = acc.Finalize(kind_);
+  result.occurrences = interval.Count();
+  return result;
+}
+
+}  // namespace usi

@@ -1,0 +1,104 @@
+#ifndef USI_CORE_UTILITY_HPP_
+#define USI_CORE_UTILITY_HPP_
+
+/// \file utility.hpp
+/// The utility-function framework of Section III.
+///
+/// Local utility: u(i, l) aggregates w[i..i+l-1]; the class U of the paper
+/// requires the sliding-window property, whose canonical instance is the
+/// sum — implemented by PrefixSumWeights in O(1) per fragment after an O(n)
+/// scan. Global utility: U(P) aggregates the local utilities of all
+/// occurrences; any linear-time-computable aggregator qualifies, and the four
+/// the paper names (sum, min, max, avg) are provided. The default everywhere
+/// is the commonly-used "sum of sums" [1], as in Section IX.
+
+#include <span>
+#include <vector>
+
+#include "usi/suffix/sa_search.hpp"
+#include "usi/text/weighted_string.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Global aggregator over occurrence-local utilities (the paper's U).
+enum class GlobalUtilityKind : u8 { kSum, kMin, kMax, kAvg };
+
+/// Human-readable aggregator name.
+const char* GlobalUtilityKindName(GlobalUtilityKind kind);
+
+/// The PSW array of Section IV: PSW[i] = u(0, i+1), so any local utility is
+/// u(i, l) = PSW[i+l-1] - PSW[i-1] in O(1) (sliding-window property).
+class PrefixSumWeights {
+ public:
+  PrefixSumWeights() = default;
+
+  /// Builds PSW from \p ws in one scan.
+  explicit PrefixSumWeights(const WeightedString& ws);
+
+  /// Local utility of the fragment starting at \p i with length \p len.
+  double LocalUtility(index_t i, index_t len) const {
+    USI_DCHECK(len > 0 && i + len <= psw_.size());
+    const double before = (i == 0) ? 0.0 : psw_[i - 1];
+    return psw_[i + len - 1] - before;
+  }
+
+  /// Extends PSW by one position of weight \p w (DynamicUsi appends).
+  void Append(double w) {
+    psw_.push_back((psw_.empty() ? 0.0 : psw_.back()) + w);
+  }
+
+  /// Number of covered positions.
+  index_t size() const { return static_cast<index_t>(psw_.size()); }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const { return psw_.capacity() * sizeof(double); }
+
+ private:
+  std::vector<double> psw_;
+};
+
+/// Running aggregate of one global utility; Add() folds in one occurrence's
+/// local utility, Finalize() produces U(P).
+struct UtilityAccumulator {
+  double value = 0;
+  index_t count = 0;
+
+  void Add(double local, GlobalUtilityKind kind);
+  double Finalize(GlobalUtilityKind kind) const;
+};
+
+/// Result of a USI query.
+struct QueryResult {
+  double utility = 0;        ///< U(P); 0 when the pattern does not occur.
+  index_t occurrences = 0;   ///< |occ_S(P)|.
+  bool from_hash_table = false;  ///< Answered from the precomputed table.
+};
+
+/// The prefix-sums query path shared by USI's fallback and all baselines:
+/// locate the pattern in the suffix array (O(m log n)), then aggregate the
+/// local utility of every occurrence through PSW (O(occ)).
+class ExhaustiveQueryEngine {
+ public:
+  ExhaustiveQueryEngine() = default;
+
+  /// \p text, \p sa and \p psw are borrowed and must outlive the engine.
+  ExhaustiveQueryEngine(const Text& text, const std::vector<index_t>& sa,
+                        const PrefixSumWeights& psw, GlobalUtilityKind kind)
+      : text_(&text), sa_(&sa), psw_(&psw), kind_(kind) {}
+
+  /// Computes U(pattern) by full occurrence aggregation.
+  QueryResult Compute(std::span<const Symbol> pattern) const;
+
+  GlobalUtilityKind kind() const { return kind_; }
+
+ private:
+  const Text* text_ = nullptr;
+  const std::vector<index_t>* sa_ = nullptr;
+  const PrefixSumWeights* psw_ = nullptr;
+  GlobalUtilityKind kind_ = GlobalUtilityKind::kSum;
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_UTILITY_HPP_

@@ -1,0 +1,85 @@
+#include "usi/core/workload.hpp"
+
+#include <algorithm>
+
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+Text MaterializePattern(const Text& text, const TopKSubstring& item) {
+  return Text(text.begin() + item.witness,
+              text.begin() + item.witness + item.length);
+}
+
+Text RandomSubstring(const Text& text, index_t min_len, index_t max_len,
+                     Rng* rng) {
+  const index_t n = static_cast<index_t>(text.size());
+  const index_t len = static_cast<index_t>(
+      rng->UniformInRange(min_len, std::min<index_t>(max_len, n)));
+  const index_t start = static_cast<index_t>(rng->UniformBelow(n - len + 1));
+  return Text(text.begin() + start, text.begin() + start + len);
+}
+
+}  // namespace
+
+Workload MakeWorkloadW1(const Text& text,
+                        const std::vector<TopKSubstring>& frequent_pool,
+                        const WorkloadOptions& options) {
+  Workload workload;
+  workload.patterns.reserve(options.num_queries);
+  Rng rng(options.seed);
+  USI_CHECK(!text.empty());
+  for (std::size_t q = 0; q < options.num_queries; ++q) {
+    const bool frequent = !frequent_pool.empty() &&
+                          rng.UniformDouble() < options.frequent_fraction;
+    if (frequent) {
+      const TopKSubstring& item =
+          frequent_pool[rng.UniformBelow(frequent_pool.size())];
+      workload.patterns.push_back(MaterializePattern(text, item));
+      ++workload.from_frequent;
+    } else if (!frequent_pool.empty() && rng.Bernoulli(0.5)) {
+      // Half of the tail re-queries previously selected frequent patterns —
+      // the paper's "queries appearing multiple times".
+      const TopKSubstring& item =
+          frequent_pool[rng.UniformBelow(frequent_pool.size())];
+      workload.patterns.push_back(MaterializePattern(text, item));
+      ++workload.from_frequent;
+    } else {
+      workload.patterns.push_back(RandomSubstring(
+          text, options.random_min_len, options.random_max_len, &rng));
+      ++workload.random_substrings;
+    }
+  }
+  return workload;
+}
+
+Workload MakeWorkloadW2(const Text& text,
+                        const std::vector<TopKSubstring>& frequent_pool_w2,
+                        const std::vector<TopKSubstring>& frequent_pool_w1,
+                        u32 p_percent, const WorkloadOptions& options) {
+  Workload workload;
+  workload.patterns.reserve(options.num_queries);
+  Rng rng(options.seed ^ (0x3200ULL + p_percent));
+  USI_CHECK(!text.empty());
+  WorkloadOptions w1_options = options;
+  w1_options.num_queries = 1;  // Generate the W1 tail one query at a time.
+  for (std::size_t q = 0; q < options.num_queries; ++q) {
+    if (!frequent_pool_w2.empty() &&
+        rng.UniformDouble() < static_cast<double>(p_percent) / 100.0) {
+      const TopKSubstring& item =
+          frequent_pool_w2[rng.UniformBelow(frequent_pool_w2.size())];
+      workload.patterns.push_back(MaterializePattern(text, item));
+      ++workload.from_frequent;
+    } else {
+      w1_options.seed = rng.Next();
+      Workload one = MakeWorkloadW1(text, frequent_pool_w1, w1_options);
+      workload.from_frequent += one.from_frequent;
+      workload.random_substrings += one.random_substrings;
+      workload.patterns.push_back(std::move(one.patterns.front()));
+    }
+  }
+  return workload;
+}
+
+}  // namespace usi

@@ -1,0 +1,56 @@
+#ifndef USI_CORE_WORKLOAD_HPP_
+#define USI_CORE_WORKLOAD_HPP_
+
+/// \file workload.hpp
+/// Query workload generators of Section IX-C ("Parameters").
+///
+/// W1: 90% of the query patterns are drawn from the top-(n/50) frequent
+/// substrings of the text (top-(n/60) for ECOLI in the paper); the remaining
+/// 10% are drawn either from the already-selected frequent patterns or as
+/// random substrings with length uniform in a dataset-specific range.
+///
+/// W2,p: p% of the queries are drawn from the top-(n/100) frequent
+/// substrings; the remaining (100-p)% follow the W1 recipe.
+
+#include <vector>
+
+#include "usi/text/alphabet.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Tuning for the workload generators.
+struct WorkloadOptions {
+  std::size_t num_queries = 10'000;
+  index_t top_divisor = 50;     ///< Frequent pool = top-(n/top_divisor).
+  double frequent_fraction = 0.9;  ///< W1's 90%; W2 sets p/100.
+  index_t random_min_len = 1;   ///< Random-substring length range.
+  index_t random_max_len = 5'000;
+  u64 seed = 0x30AD;
+};
+
+/// A generated workload: patterns plus bookkeeping for reporting.
+struct Workload {
+  std::vector<Text> patterns;
+  std::size_t from_frequent = 0;  ///< Queries drawn from the frequent pool.
+  std::size_t random_substrings = 0;
+};
+
+/// Builds a W1-style workload. \p frequent_pool should be the top-(n/d)
+/// frequent substrings of \p text (mined exactly); witnesses materialize the
+/// patterns.
+Workload MakeWorkloadW1(const Text& text,
+                        const std::vector<TopKSubstring>& frequent_pool,
+                        const WorkloadOptions& options);
+
+/// Builds a W2,p workload: \p p_percent of queries from \p frequent_pool_w2
+/// (top-(n/100)), the rest per W1 from \p frequent_pool_w1.
+Workload MakeWorkloadW2(const Text& text,
+                        const std::vector<TopKSubstring>& frequent_pool_w2,
+                        const std::vector<TopKSubstring>& frequent_pool_w1,
+                        u32 p_percent, const WorkloadOptions& options);
+
+}  // namespace usi
+
+#endif  // USI_CORE_WORKLOAD_HPP_

@@ -1,0 +1,151 @@
+#include "usi/hash/caches.hpp"
+
+namespace usi {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  USI_CHECK(capacity >= 1);
+  nodes_.reserve(capacity);
+  map_.reserve(capacity * 2);
+}
+
+bool LruCache::Get(const PatternKey& key, double* value) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  const u32 slot = it->second;
+  Detach(slot);
+  PushFront(slot);
+  *value = nodes_[slot].value;
+  return true;
+}
+
+void LruCache::Put(const PatternKey& key, double value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    const u32 slot = it->second;
+    nodes_[slot].value = value;
+    Detach(slot);
+    PushFront(slot);
+    return;
+  }
+  u32 slot;
+  if (map_.size() >= capacity_) {
+    // Evict the tail (least recently used).
+    slot = tail_;
+    Detach(slot);
+    map_.erase(nodes_[slot].key);
+  } else if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<u32>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[slot].key = key;
+  nodes_[slot].value = value;
+  PushFront(slot);
+  map_.emplace(key, slot);
+}
+
+void LruCache::Detach(u32 slot) {
+  Node& node = nodes_[slot];
+  if (node.prev != kNil) {
+    nodes_[node.prev].next = node.next;
+  } else if (head_ == slot) {
+    head_ = node.next;
+  }
+  if (node.next != kNil) {
+    nodes_[node.next].prev = node.prev;
+  } else if (tail_ == slot) {
+    tail_ = node.prev;
+  }
+  node.prev = node.next = kNil;
+}
+
+void LruCache::PushFront(u32 slot) {
+  Node& node = nodes_[slot];
+  node.prev = kNil;
+  node.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+std::size_t LruCache::SizeInBytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         map_.size() * (sizeof(PatternKey) + sizeof(u32) + sizeof(void*)) +
+         free_slots_.capacity() * sizeof(u32);
+}
+
+LfuCache::LfuCache(std::size_t capacity) : capacity_(capacity) {
+  USI_CHECK(capacity >= 1);
+  heap_.reserve(capacity);
+  map_.reserve(capacity * 2);
+}
+
+bool LfuCache::Get(const PatternKey& key, double* value) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *value = heap_[it->second].value;
+  return true;
+}
+
+void LfuCache::Offer(const PatternKey& key, u64 count, double value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Counts only grow, so a cached entry can only sift down in a min-heap.
+    heap_[it->second].count = count;
+    heap_[it->second].value = value;
+    SiftDown(it->second);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Entry{key, value, count});
+    map_.emplace(key, heap_.size() - 1);
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  if (count <= heap_[0].count) return;  // Not popular enough to displace.
+  map_.erase(heap_[0].key);
+  heap_[0] = Entry{key, value, count};
+  map_.emplace(key, 0);
+  SiftDown(0);
+}
+
+void LfuCache::SiftUp(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (heap_[parent].count <= heap_[pos].count) break;
+    HeapSwap(parent, pos);
+    pos = parent;
+  }
+}
+
+void LfuCache::SiftDown(std::size_t pos) {
+  while (true) {
+    const std::size_t left = 2 * pos + 1;
+    const std::size_t right = 2 * pos + 2;
+    std::size_t smallest = pos;
+    if (left < heap_.size() && heap_[left].count < heap_[smallest].count) {
+      smallest = left;
+    }
+    if (right < heap_.size() && heap_[right].count < heap_[smallest].count) {
+      smallest = right;
+    }
+    if (smallest == pos) break;
+    HeapSwap(smallest, pos);
+    pos = smallest;
+  }
+}
+
+void LfuCache::HeapSwap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  map_[heap_[a].key] = a;
+  map_[heap_[b].key] = b;
+}
+
+std::size_t LfuCache::SizeInBytes() const {
+  return heap_.capacity() * sizeof(Entry) +
+         map_.size() * (sizeof(PatternKey) + 2 * sizeof(std::size_t));
+}
+
+}  // namespace usi

@@ -1,0 +1,110 @@
+#ifndef USI_HASH_CACHES_HPP_
+#define USI_HASH_CACHES_HPP_
+
+/// \file caches.hpp
+/// Query-result caches used by the USI baselines (Section IX-C).
+///
+/// BSL2 caches the K most *recently* queried patterns (LruCache). BSL3
+/// caches the K most *frequently* queried patterns with exact counts
+/// (LfuCache with an exact count map). BSL4 is BSL3 with the counts held in
+/// a count-min sketch (the cache exposes a pluggable counter for this).
+/// All caches map PatternKey -> double (the cached global utility).
+
+#include <unordered_map>
+#include <vector>
+
+#include "usi/hash/fingerprint_table.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Hash functor so PatternKey can key std::unordered_map in cache internals.
+struct PatternKeyHash {
+  std::size_t operator()(const PatternKey& key) const {
+    return static_cast<std::size_t>(HashPatternKey(key));
+  }
+};
+
+/// Fixed-capacity least-recently-used cache (intrusive doubly-linked list
+/// over a slot vector + hash map; no per-operation allocation after warmup).
+class LruCache {
+ public:
+  /// \p capacity is the maximum number of cached patterns (the baseline's K).
+  explicit LruCache(std::size_t capacity);
+
+  /// Looks up \p key; on hit refreshes recency and writes the value.
+  bool Get(const PatternKey& key, double* value);
+
+  /// Inserts or refreshes \p key with \p value, evicting the LRU entry
+  /// when full.
+  void Put(const PatternKey& key, double value);
+
+  /// Number of cached entries.
+  std::size_t size() const { return map_.size(); }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  struct Node {
+    PatternKey key;
+    double value = 0;
+    u32 prev = kNil;
+    u32 next = kNil;
+  };
+  static constexpr u32 kNil = ~u32{0};
+
+  void Detach(u32 slot);
+  void PushFront(u32 slot);
+
+  std::size_t capacity_;
+  std::vector<Node> nodes_;
+  std::vector<u32> free_slots_;
+  u32 head_ = kNil;
+  u32 tail_ = kNil;
+  std::unordered_map<PatternKey, u32, PatternKeyHash> map_;
+};
+
+/// Fixed-capacity least-frequently-queried cache ("top-K seen so far",
+/// BSL3/BSL4). Eviction follows the paper: a pattern enters the cache only
+/// when its query count exceeds the smallest count among cached patterns;
+/// the displaced pattern is the one with that smallest count. Counting is
+/// pluggable: exact (BSL3) or sketch-estimated (BSL4), supplied by the
+/// caller via RecordQuery's count argument.
+class LfuCache {
+ public:
+  explicit LfuCache(std::size_t capacity);
+
+  /// Looks up \p key; writes the cached value on hit.
+  bool Get(const PatternKey& key, double* value) const;
+
+  /// Updates the cached count of \p key to \p count if cached (heap fix), or
+  /// considers admitting (key,value) given its current query \p count.
+  void Offer(const PatternKey& key, u64 count, double value);
+
+  /// Number of cached entries.
+  std::size_t size() const { return map_.size(); }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  struct Entry {
+    PatternKey key;
+    double value = 0;
+    u64 count = 0;
+  };
+
+  // Indexed binary min-heap on Entry::count.
+  void SiftUp(std::size_t pos);
+  void SiftDown(std::size_t pos);
+  void HeapSwap(std::size_t a, std::size_t b);
+
+  std::size_t capacity_;
+  std::vector<Entry> heap_;
+  std::unordered_map<PatternKey, std::size_t, PatternKeyHash> map_;  // key -> heap pos.
+};
+
+}  // namespace usi
+
+#endif  // USI_HASH_CACHES_HPP_

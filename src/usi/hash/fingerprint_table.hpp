@@ -1,0 +1,148 @@
+#ifndef USI_HASH_FINGERPRINT_TABLE_HPP_
+#define USI_HASH_FINGERPRINT_TABLE_HPP_
+
+/// \file fingerprint_table.hpp
+/// Open-addressing hash table keyed by (Karp-Rabin fingerprint, length).
+///
+/// This is the hash table H of USI_TOP-K (Section IV): key = fingerprint of a
+/// top-K frequent substring, value = its precomputed global utility. The
+/// paper keys by fingerprint alone; we add the pattern length to the key,
+/// which eliminates collisions between substrings of different lengths for
+/// free (DESIGN.md Section 5.3). Linear probing with a power-of-two capacity
+/// and a 0.6 max load factor; no deletion (the index is rebuilt, never
+/// shrunk), which keeps probing tombstone-free.
+
+#include <vector>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Hash-table key: fingerprint plus pattern length.
+struct PatternKey {
+  u64 fp = 0;
+  u32 len = 0;
+
+  bool operator==(const PatternKey& other) const {
+    return fp == other.fp && len == other.len;
+  }
+};
+
+/// Mixes a PatternKey into a table slot hash (splitmix-style finalizer).
+inline u64 HashPatternKey(const PatternKey& key) {
+  u64 z = key.fp ^ (static_cast<u64>(key.len) * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Open-addressing map PatternKey -> V.
+template <typename V>
+class FingerprintTable {
+ public:
+  FingerprintTable() { Rehash(kMinCapacity); }
+
+  /// Pre-sizes for \p expected entries (avoids rehashing in construction).
+  explicit FingerprintTable(std::size_t expected) {
+    std::size_t capacity = kMinCapacity;
+    while (capacity * kMaxLoadNum < expected * kMaxLoadDen) capacity <<= 1;
+    Rehash(capacity);
+  }
+
+  /// Number of stored entries.
+  std::size_t size() const { return size_; }
+
+  /// Inserts \p key with \p value if absent; returns pointer to the stored
+  /// value either way.
+  V* FindOrInsert(const PatternKey& key, const V& value) {
+    if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
+      Rehash(capacity() * 2);
+    }
+    std::size_t slot = SlotFor(key);
+    while (slots_[slot].occupied) {
+      if (slots_[slot].key == key) return &slots_[slot].value;
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot].occupied = true;
+    slots_[slot].key = key;
+    slots_[slot].value = value;
+    ++size_;
+    return &slots_[slot].value;
+  }
+
+  /// Returns the value for \p key, or nullptr if absent.
+  V* Find(const PatternKey& key) {
+    std::size_t slot = SlotFor(key);
+    while (slots_[slot].occupied) {
+      if (slots_[slot].key == key) return &slots_[slot].value;
+      slot = (slot + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  const V* Find(const PatternKey& key) const {
+    return const_cast<FingerprintTable*>(this)->Find(key);
+  }
+
+  /// Whether \p key is present.
+  bool Contains(const PatternKey& key) const { return Find(key) != nullptr; }
+
+  /// Removes all entries, keeping the capacity.
+  void Clear() {
+    for (auto& slot : slots_) slot.occupied = false;
+    size_ = 0;
+  }
+
+  /// Applies \p fn(key, value&) to every entry (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (auto& slot : slots_) {
+      if (slot.occupied) fn(slot.key, slot.value);
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.occupied) fn(slot.key, slot.value);
+    }
+  }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    PatternKey key;
+    V value{};
+    bool occupied = false;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kMaxLoadNum = 3;  // load factor 3/5.
+  static constexpr std::size_t kMaxLoadDen = 5;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  std::size_t SlotFor(const PatternKey& key) const {
+    return static_cast<std::size_t>(HashPatternKey(key)) & mask_;
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (auto& slot : old) {
+      if (slot.occupied) FindOrInsert(slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace usi
+
+#endif  // USI_HASH_FINGERPRINT_TABLE_HPP_

@@ -1,0 +1,47 @@
+#include "usi/hash/karp_rabin.hpp"
+
+#include "usi/util/rng.hpp"
+
+namespace usi {
+
+KarpRabinHasher::KarpRabinHasher(u64 seed) {
+  Rng rng(seed);
+  // Base uniform in [257, p-2]; staying above the alphabet keeps short
+  // strings collision-free even against adversarial inputs.
+  base_ = 257 + rng.UniformBelow(Mersenne61::kPrime - 259);
+  powers_ = {1, base_};
+}
+
+KarpRabinHasher KarpRabinHasher::FromBase(u64 base) {
+  USI_CHECK(base >= 257 && base < Mersenne61::kPrime);
+  KarpRabinHasher hasher;
+  hasher.base_ = base;
+  hasher.powers_ = {1, base};
+  return hasher;
+}
+
+u64 KarpRabinHasher::PowerOfBase(std::size_t k) const {
+  while (powers_.size() <= k) {
+    powers_.push_back(Mersenne61::Mul(powers_.back(), base_));
+  }
+  return powers_[k];
+}
+
+u64 KarpRabinHasher::Hash(std::span<const Symbol> s) const {
+  u64 fp = 0;
+  for (Symbol c : s) fp = Append(fp, c);
+  return fp;
+}
+
+PrefixFingerprints::PrefixFingerprints(const Text& text,
+                                       const KarpRabinHasher& hasher)
+    : hasher_(&hasher) {
+  prefix_.resize(text.size() + 1);
+  prefix_[0] = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    prefix_[i + 1] = hasher.Append(prefix_[i], text[i]);
+  }
+  hasher.PowerOfBase(text.size());  // Pre-grow so Fragment() is O(1).
+}
+
+}  // namespace usi

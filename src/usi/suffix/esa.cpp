@@ -1,0 +1,21 @@
+#include "usi/suffix/esa.hpp"
+
+namespace usi {
+
+std::vector<SuffixTreeNode> CollectSuffixTreeNodes(
+    const std::vector<index_t>& lcp, const std::vector<index_t>& suffix_len) {
+  std::vector<SuffixTreeNode> nodes;
+  nodes.reserve(2 * suffix_len.size());
+  EnumerateSuffixTreeNodes(lcp, suffix_len,
+                           [&](const SuffixTreeNode& node) { nodes.push_back(node); });
+  return nodes;
+}
+
+std::vector<index_t> DenseSuffixLengths(const std::vector<index_t>& sa,
+                                        index_t n) {
+  std::vector<index_t> lengths(sa.size());
+  for (std::size_t k = 0; k < sa.size(); ++k) lengths[k] = n - sa[k];
+  return lengths;
+}
+
+}  // namespace usi

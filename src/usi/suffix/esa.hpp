@@ -1,0 +1,96 @@
+#ifndef USI_SUFFIX_ESA_HPP_
+#define USI_SUFFIX_ESA_HPP_
+
+/// \file esa.hpp
+/// Enhanced-suffix-array view of the suffix tree.
+///
+/// Abouelhoda, Kurtz & Ohlebusch show a bottom-up traversal of the LCP array
+/// visits exactly the lcp-intervals, which are the explicit internal nodes of
+/// the suffix tree; adding the singleton leaf intervals yields every explicit
+/// node with its frequency f(v) = rb - lb + 1, string depth sd(v), and parent
+/// string depth. Section V's data structure and Section VI's sampled rounds
+/// (Algorithm 4.4 of [37]) both consume this enumeration, so it is written
+/// once, generic over (lcp, suffix lengths) — the dense and sparse cases pass
+/// different arrays.
+
+#include <vector>
+
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// An explicit suffix-tree node: the substrings it represents are the
+/// prefixes of str(v) with lengths in (parent_depth, depth], each occurring
+/// exactly rb - lb + 1 times (q(v) = depth - parent_depth of them).
+struct SuffixTreeNode {
+  index_t depth;         ///< sd(v).
+  index_t parent_depth;  ///< sd(parent(v)); depth > parent_depth always.
+  index_t lb;            ///< Left end of the (sparse) SA interval.
+  index_t rb;            ///< Right end (inclusive).
+
+  /// Frequency f(v): number of (sampled) occurrences.
+  index_t frequency() const { return rb - lb + 1; }
+
+  /// q(v): number of distinct substrings this node represents.
+  index_t edge_length() const { return depth - parent_depth; }
+
+  bool operator==(const SuffixTreeNode&) const = default;
+};
+
+/// Enumerates every explicit node of the (possibly sparse) suffix tree in
+/// one bottom-up pass over \p lcp. \p suffix_len[k] is the length of the
+/// k-th lexicographically smallest (sampled) suffix. Nodes with
+/// depth == parent_depth (possible for leaves whose suffix is a prefix of
+/// the next one, and for the root) are not emitted. Order of emission is the
+/// bottom-up lcp-interval order; leaves are emitted before the internal
+/// nodes that close over them.
+template <typename EmitFn>
+void EnumerateSuffixTreeNodes(const std::vector<index_t>& lcp,
+                              const std::vector<index_t>& suffix_len,
+                              EmitFn emit) {
+  const index_t m = static_cast<index_t>(suffix_len.size());
+  if (m == 0) return;
+  USI_DCHECK(lcp.size() == suffix_len.size());
+  struct StackEntry {
+    index_t lcp;
+    index_t lb;
+  };
+  std::vector<StackEntry> stack;
+  stack.push_back({0, 0});
+  for (index_t i = 1; i <= m; ++i) {
+    const index_t current_lcp = (i < m) ? lcp[i] : 0;
+    // Leaf for SA position i-1.
+    {
+      const index_t left_lcp = lcp[i - 1];  // lcp[0] == 0 by convention.
+      const index_t parent_depth =
+          std::max(i > 1 ? left_lcp : index_t{0}, current_lcp);
+      const index_t depth = suffix_len[i - 1];
+      if (depth > parent_depth) {
+        emit(SuffixTreeNode{depth, parent_depth, i - 1, i - 1});
+      }
+    }
+    index_t lb = i - 1;
+    while (stack.back().lcp > current_lcp) {
+      const StackEntry top = stack.back();
+      stack.pop_back();
+      const index_t parent_depth = std::max(stack.back().lcp, current_lcp);
+      emit(SuffixTreeNode{top.lcp, parent_depth, top.lb, i - 1});
+      lb = top.lb;
+    }
+    if (stack.back().lcp < current_lcp) stack.push_back({current_lcp, lb});
+  }
+}
+
+/// Convenience: collects the enumeration into a vector.
+std::vector<SuffixTreeNode> CollectSuffixTreeNodes(
+    const std::vector<index_t>& lcp, const std::vector<index_t>& suffix_len);
+
+/// Builds the suffix-length array for the dense suffix array of a length-n
+/// text: suffix_len[k] = n - sa[k].
+std::vector<index_t> DenseSuffixLengths(const std::vector<index_t>& sa,
+                                        index_t n);
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_ESA_HPP_

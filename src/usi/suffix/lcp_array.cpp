@@ -1,0 +1,27 @@
+#include "usi/suffix/lcp_array.hpp"
+
+#include "usi/suffix/suffix_array.hpp"
+
+namespace usi {
+
+std::vector<index_t> BuildLcpArray(const Text& text,
+                                   const std::vector<index_t>& sa) {
+  const std::size_t n = text.size();
+  std::vector<index_t> lcp(n, 0);
+  if (n == 0) return lcp;
+  const std::vector<index_t> rank = InverseSuffixArray(sa);
+  index_t h = 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (rank[i] == 0) {
+      h = 0;
+      continue;
+    }
+    const index_t j = sa[rank[i] - 1];
+    if (h > 0) --h;  // Kasai's invariant: lcp drops by at most one.
+    while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
+    lcp[rank[i]] = h;
+  }
+  return lcp;
+}
+
+}  // namespace usi

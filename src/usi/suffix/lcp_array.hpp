@@ -1,0 +1,23 @@
+#ifndef USI_SUFFIX_LCP_ARRAY_HPP_
+#define USI_SUFFIX_LCP_ARRAY_HPP_
+
+/// \file lcp_array.hpp
+/// LCP-array construction (Kasai et al. [30], as cited in Section III).
+///
+/// LCP[0] = 0 and LCP[j] = |longest common prefix of suffixes SA[j-1] and
+/// SA[j]| for j > 0 — the exact convention of the paper.
+
+#include <vector>
+
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Builds the LCP array from \p text and its suffix array in O(n).
+std::vector<index_t> BuildLcpArray(const Text& text,
+                                   const std::vector<index_t>& sa);
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_LCP_ARRAY_HPP_

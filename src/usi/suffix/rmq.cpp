@@ -1,0 +1,61 @@
+#include "usi/suffix/rmq.hpp"
+
+#include <algorithm>
+
+namespace usi {
+
+RangeMin::RangeMin(const std::vector<index_t>& values) : values_(&values) {
+  const std::size_t num_blocks = (values.size() + kBlock - 1) / kBlock;
+  if (num_blocks == 0) return;
+  table_.emplace_back(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    index_t m = kInvalidIndex;
+    const std::size_t end = std::min(values.size(), (b + 1) * kBlock);
+    for (std::size_t i = b * kBlock; i < end; ++i) m = std::min(m, values[i]);
+    table_[0][b] = m;
+  }
+  for (std::size_t k = 1; (std::size_t{1} << k) <= num_blocks; ++k) {
+    const std::size_t span = std::size_t{1} << k;
+    table_.emplace_back(num_blocks - span + 1);
+    for (std::size_t b = 0; b + span <= num_blocks; ++b) {
+      table_[k][b] = std::min(table_[k - 1][b], table_[k - 1][b + span / 2]);
+    }
+  }
+}
+
+index_t RangeMin::Min(std::size_t l, std::size_t r) const {
+  USI_DCHECK(values_ != nullptr && l <= r && r < values_->size());
+  const std::vector<index_t>& values = *values_;
+  const std::size_t lb = l / kBlock;
+  const std::size_t rb = r / kBlock;
+  index_t result = kInvalidIndex;
+  if (lb == rb) {
+    for (std::size_t i = l; i <= r; ++i) result = std::min(result, values[i]);
+    return result;
+  }
+  // Head and tail partial blocks.
+  for (std::size_t i = l; i < (lb + 1) * kBlock; ++i) {
+    result = std::min(result, values[i]);
+  }
+  for (std::size_t i = rb * kBlock; i <= r; ++i) {
+    result = std::min(result, values[i]);
+  }
+  // Full blocks in between via the sparse table.
+  if (lb + 1 <= rb - 1) {
+    const std::size_t from = lb + 1;
+    const std::size_t to = rb - 1;
+    std::size_t k = 0;
+    while ((std::size_t{1} << (k + 1)) <= to - from + 1) ++k;
+    result = std::min(result, table_[k][from]);
+    result = std::min(result, table_[k][to - (std::size_t{1} << k) + 1]);
+  }
+  return result;
+}
+
+std::size_t RangeMin::SizeInBytes() const {
+  std::size_t total = 0;
+  for (const auto& level : table_) total += level.capacity() * sizeof(index_t);
+  return total;
+}
+
+}  // namespace usi

@@ -1,0 +1,43 @@
+#ifndef USI_SUFFIX_RMQ_HPP_
+#define USI_SUFFIX_RMQ_HPP_
+
+/// \file rmq.hpp
+/// Range-minimum queries over an index_t array.
+///
+/// Used by the RMQ-based LCE backend: lce(i, j) = min LCP[rank_i+1 .. rank_j].
+/// Hybrid layout: a sparse table over fixed-size block minima plus in-block
+/// scans. Space is O(n/B log(n/B)) words instead of O(n log n); queries scan
+/// at most 2B elements, which at B = 32 stays cache-resident and beats the
+/// pure sparse table on construction time for big inputs.
+
+#include <vector>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Immutable RMQ structure; copies block minima, references nothing.
+class RangeMin {
+ public:
+  RangeMin() = default;
+
+  /// Builds over \p values (copied into the structure's block summaries; the
+  /// original vector must stay alive for queries).
+  explicit RangeMin(const std::vector<index_t>& values);
+
+  /// Minimum of values[l..r], inclusive; requires l <= r.
+  index_t Min(std::size_t l, std::size_t r) const;
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  static constexpr std::size_t kBlock = 32;
+
+  const std::vector<index_t>* values_ = nullptr;
+  std::vector<std::vector<index_t>> table_;  // table_[k][b]: min of 2^k blocks.
+};
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_RMQ_HPP_

@@ -1,0 +1,69 @@
+#include "usi/suffix/sa_search.hpp"
+
+#include <algorithm>
+
+namespace usi {
+namespace {
+
+/// Compares suffix text[pos..) against \p pattern, but only on the first
+/// |pattern| characters: returns 0 if the pattern is a prefix of the suffix.
+int ComparePrefix(const Text& text, index_t pos,
+                  std::span<const Symbol> pattern) {
+  const std::size_t n = text.size();
+  for (std::size_t k = 0; k < pattern.size(); ++k) {
+    if (pos + k >= n) return -1;  // Suffix exhausted: suffix < pattern.
+    if (text[pos + k] != pattern[k]) {
+      return text[pos + k] < pattern[k] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+SaInterval FindSaInterval(const Text& text, const std::vector<index_t>& sa,
+                          std::span<const Symbol> pattern) {
+  if (pattern.empty()) {
+    return SaInterval{0, static_cast<index_t>(sa.size()) - 1};
+  }
+  if (sa.empty() || pattern.size() > text.size()) return SaInterval{};
+  // First suffix with prefix-compare >= 0.
+  std::size_t lo = 0;
+  std::size_t hi = sa.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ComparePrefix(text, sa[mid], pattern) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const std::size_t first = lo;
+  // First suffix with prefix-compare > 0.
+  hi = sa.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (ComparePrefix(text, sa[mid], pattern) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (first >= lo) return SaInterval{};
+  return SaInterval{static_cast<index_t>(first), static_cast<index_t>(lo - 1)};
+}
+
+std::vector<index_t> CollectOccurrences(const Text& text,
+                                        const std::vector<index_t>& sa,
+                                        std::span<const Symbol> pattern) {
+  const SaInterval interval = FindSaInterval(text, sa, pattern);
+  std::vector<index_t> occurrences;
+  if (interval.IsEmpty()) return occurrences;
+  occurrences.reserve(interval.Count());
+  for (index_t k = interval.lb; k <= interval.rb; ++k) {
+    occurrences.push_back(sa[k]);
+  }
+  return occurrences;
+}
+
+}  // namespace usi

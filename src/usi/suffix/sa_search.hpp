@@ -1,0 +1,42 @@
+#ifndef USI_SUFFIX_SA_SEARCH_HPP_
+#define USI_SUFFIX_SA_SEARCH_HPP_
+
+/// \file sa_search.hpp
+/// Pattern search in a suffix array.
+///
+/// This is the "classic text index" half of USI_TOP-K: patterns missing from
+/// the hash table are located as an SA interval in O(m log n), then their
+/// occurrences SA[lb..rb] are aggregated through the PSW array.
+
+#include <span>
+#include <vector>
+
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Half-open result of a pattern search: occurrences are SA[lb..rb]
+/// inclusive; empty when rb < lb.
+struct SaInterval {
+  index_t lb = 1;
+  index_t rb = 0;
+
+  bool IsEmpty() const { return rb < lb || lb == kInvalidIndex; }
+  index_t Count() const { return IsEmpty() ? 0 : rb - lb + 1; }
+};
+
+/// Finds the SA interval of all suffixes having \p pattern as a prefix.
+/// O(m log n) character comparisons.
+SaInterval FindSaInterval(const Text& text, const std::vector<index_t>& sa,
+                          std::span<const Symbol> pattern);
+
+/// Collects the occurrence start positions of \p pattern (unsorted, SA
+/// order). Convenience for tests and examples.
+std::vector<index_t> CollectOccurrences(const Text& text,
+                                        const std::vector<index_t>& sa,
+                                        std::span<const Symbol> pattern);
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_SA_SEARCH_HPP_

@@ -1,0 +1,20 @@
+#include "usi/suffix/sparse_suffix_array.hpp"
+
+#include <algorithm>
+
+namespace usi {
+
+SparseSuffixIndex BuildSparseSuffixIndex(std::vector<index_t> sample_positions,
+                                         const LceOracle& lce) {
+  SparseSuffixIndex index;
+  index.positions = std::move(sample_positions);
+  std::sort(index.positions.begin(), index.positions.end(),
+            [&](index_t a, index_t b) { return lce.CompareSuffixes(a, b) < 0; });
+  index.lcp.assign(index.positions.size(), 0);
+  for (std::size_t k = 1; k < index.positions.size(); ++k) {
+    index.lcp[k] = lce.Lce(index.positions[k - 1], index.positions[k]);
+  }
+  return index;
+}
+
+}  // namespace usi

@@ -1,0 +1,40 @@
+#ifndef USI_SUFFIX_SPARSE_SUFFIX_ARRAY_HPP_
+#define USI_SUFFIX_SPARSE_SUFFIX_ARRAY_HPP_
+
+/// \file sparse_suffix_array.hpp
+/// Sparse suffix array + sparse LCP (Kärkkäinen & Ukkonen [35]).
+///
+/// Approximate-Top-K (Section VI, Step 2) builds, per sampling round, the
+/// lexicographic order of the ~n/s suffixes starting at the sampled
+/// positions, with the adjacent-LCP array; both via LCE queries. The paper
+/// sorts with in-place mergesort to bound extra space; we sort with
+/// std::sort (introsort) whose O(log n) stack is equally immaterial — the
+/// LCE oracle dominates the space budget either way.
+
+#include <vector>
+
+#include "usi/suffix/lce.hpp"
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Suffix order and adjacent LCPs for an arbitrary subset of text positions.
+struct SparseSuffixIndex {
+  std::vector<index_t> positions;  ///< Sampled positions, lex-sorted by suffix.
+  std::vector<index_t> lcp;        ///< lcp[0] = 0; lcp[k] = LCE of k-1 and k.
+
+  std::size_t SizeInBytes() const {
+    return positions.capacity() * sizeof(index_t) +
+           lcp.capacity() * sizeof(index_t);
+  }
+};
+
+/// Sorts \p sample_positions by their suffixes and computes the sparse LCP
+/// array. ~O((n/s) log(n/s)) suffix comparisons, each one LCE query.
+SparseSuffixIndex BuildSparseSuffixIndex(std::vector<index_t> sample_positions,
+                                         const LceOracle& lce);
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_SPARSE_SUFFIX_ARRAY_HPP_

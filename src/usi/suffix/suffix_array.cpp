@@ -1,0 +1,175 @@
+#include "usi/suffix/suffix_array.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace usi {
+namespace {
+
+constexpr u32 kEmpty = ~u32{0};
+
+/// Core SA-IS over an integer sequence \p s whose last element is a unique
+/// smallest sentinel (value 0). Writes the full suffix array (including the
+/// sentinel suffix at position 0) into \p sa.
+void SaIs(const std::vector<u32>& s, u32 sigma, std::vector<u32>* sa) {
+  const std::size_t n = s.size();
+  sa->assign(n, kEmpty);
+  if (n == 1) {
+    (*sa)[0] = 0;
+    return;
+  }
+
+  // Classify suffixes: S-type (true) iff s[i..] < s[i+1..].
+  std::vector<bool> is_s(n);
+  is_s[n - 1] = true;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    is_s[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && is_s[i + 1]);
+  }
+  auto is_lms = [&](std::size_t i) { return i > 0 && is_s[i] && !is_s[i - 1]; };
+
+  // Bucket boundaries by symbol.
+  std::vector<u32> bucket_sizes(sigma, 0);
+  for (u32 c : s) ++bucket_sizes[c];
+  std::vector<u32> bucket_heads(sigma), bucket_tails(sigma);
+  auto reset_buckets = [&]() {
+    u32 offset = 0;
+    for (u32 c = 0; c < sigma; ++c) {
+      bucket_heads[c] = offset;
+      offset += bucket_sizes[c];
+      bucket_tails[c] = offset;  // one past the end
+    }
+  };
+
+  // Induced sort: seed positions (LMS or sorted LMS), then induce L from the
+  // left and S from the right.
+  auto induce = [&](const std::vector<u32>& seeds) {
+    std::fill(sa->begin(), sa->end(), kEmpty);
+    reset_buckets();
+    for (std::size_t k = seeds.size(); k-- > 0;) {
+      const u32 pos = seeds[k];
+      (*sa)[--bucket_tails[s[pos]]] = pos;
+    }
+    reset_buckets();
+    for (std::size_t k = 0; k < n; ++k) {
+      const u32 pos = (*sa)[k];
+      if (pos != kEmpty && pos > 0 && !is_s[pos - 1]) {
+        (*sa)[bucket_heads[s[pos - 1]]++] = pos - 1;
+      }
+    }
+    reset_buckets();
+    for (std::size_t k = n; k-- > 0;) {
+      const u32 pos = (*sa)[k];
+      if (pos != kEmpty && pos > 0 && is_s[pos - 1]) {
+        (*sa)[--bucket_tails[s[pos - 1]]] = pos - 1;
+      }
+    }
+  };
+
+  // First pass: induce from unsorted LMS positions.
+  std::vector<u32> lms_positions;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (is_lms(i)) lms_positions.push_back(static_cast<u32>(i));
+  }
+  induce(lms_positions);
+
+  // Name LMS substrings in the order they appear in the induced SA.
+  std::vector<u32> lms_order;
+  lms_order.reserve(lms_positions.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    const u32 pos = (*sa)[k];
+    if (pos != kEmpty && is_lms(pos)) lms_order.push_back(pos);
+  }
+  std::vector<u32> names(n, kEmpty);
+  u32 next_name = 0;
+  u32 prev = kEmpty;
+  for (u32 pos : lms_order) {
+    if (prev != kEmpty) {
+      // Compare LMS substrings at prev and pos.
+      bool equal = true;
+      for (std::size_t d = 0;; ++d) {
+        const bool prev_lms = d > 0 && is_lms(prev + d);
+        const bool pos_lms = d > 0 && is_lms(pos + d);
+        if (s[prev + d] != s[pos + d] || prev_lms != pos_lms) {
+          equal = false;
+          break;
+        }
+        if (prev_lms && pos_lms) break;
+      }
+      if (!equal) ++next_name;
+    }
+    names[pos] = next_name;
+    prev = pos;
+  }
+  const u32 num_names = lms_order.empty() ? 0 : next_name + 1;
+
+  // Order LMS suffixes, recursing when names repeat.
+  std::vector<u32> sorted_lms;
+  if (num_names < lms_positions.size()) {
+    std::vector<u32> reduced;
+    reduced.reserve(lms_positions.size());
+    for (u32 pos : lms_positions) reduced.push_back(names[pos]);
+    std::vector<u32> reduced_sa;
+    SaIs(reduced, num_names, &reduced_sa);
+    sorted_lms.reserve(lms_positions.size());
+    for (u32 r : reduced_sa) sorted_lms.push_back(lms_positions[r]);
+  } else {
+    sorted_lms = lms_order;
+  }
+  induce(sorted_lms);
+}
+
+}  // namespace
+
+std::vector<index_t> BuildSuffixArray(const Text& text) {
+  const std::size_t n = text.size();
+  std::vector<index_t> sa(n);
+  if (n == 0) return sa;
+  // Shift symbols by one and append the unique smallest sentinel 0.
+  std::vector<u32> s(n + 1);
+  u32 max_symbol = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<u32>(text[i]) + 1;
+    max_symbol = std::max(max_symbol, s[i]);
+  }
+  s[n] = 0;
+  std::vector<u32> full_sa;
+  SaIs(s, max_symbol + 1, &full_sa);
+  // full_sa[0] is the sentinel suffix; drop it.
+  USI_DCHECK(full_sa[0] == n);
+  for (std::size_t i = 0; i < n; ++i) sa[i] = full_sa[i + 1];
+  return sa;
+}
+
+std::vector<index_t> BuildSuffixArrayDoubling(const Text& text) {
+  const std::size_t n = text.size();
+  std::vector<index_t> sa(n);
+  std::iota(sa.begin(), sa.end(), 0);
+  if (n == 0) return sa;
+  std::vector<i64> rank(n), next_rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = text[i];
+  for (std::size_t k = 1;; k <<= 1) {
+    auto pair_of = [&](index_t i) {
+      const i64 second = (i + k < n) ? rank[i + k] : -1;
+      return std::pair<i64, i64>(rank[i], second);
+    };
+    std::sort(sa.begin(), sa.end(), [&](index_t a, index_t b) {
+      return pair_of(a) < pair_of(b);
+    });
+    next_rank[sa[0]] = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      next_rank[sa[i]] =
+          next_rank[sa[i - 1]] + (pair_of(sa[i - 1]) < pair_of(sa[i]) ? 1 : 0);
+    }
+    rank.swap(next_rank);
+    if (rank[sa[n - 1]] == static_cast<i64>(n - 1)) break;
+  }
+  return sa;
+}
+
+std::vector<index_t> InverseSuffixArray(const std::vector<index_t>& sa) {
+  std::vector<index_t> inverse(sa.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) inverse[sa[i]] = static_cast<index_t>(i);
+  return inverse;
+}
+
+}  // namespace usi

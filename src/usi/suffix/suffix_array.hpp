@@ -1,0 +1,33 @@
+#ifndef USI_SUFFIX_SUFFIX_ARRAY_HPP_
+#define USI_SUFFIX_SUFFIX_ARRAY_HPP_
+
+/// \file suffix_array.hpp
+/// Suffix-array construction.
+///
+/// BuildSuffixArray is SA-IS (Nong, Zhang & Chan): O(n) time over integer
+/// alphabets, the role the paper assigns to Farach's algorithm [16].
+/// BuildSuffixArrayDoubling is the O(n log^2 n) prefix-doubling algorithm of
+/// Manber & Myers [17]; it is kept as an independently-derived oracle for the
+/// property tests and as an ablation subject.
+
+#include <vector>
+
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Builds the suffix array of \p text in O(n) (SA-IS). SA[i] is the starting
+/// position of the i-th lexicographically smallest suffix; the empty suffix
+/// is not included, so the result has exactly text.size() entries.
+std::vector<index_t> BuildSuffixArray(const Text& text);
+
+/// Prefix-doubling construction (O(n log^2 n)); test oracle / ablation.
+std::vector<index_t> BuildSuffixArrayDoubling(const Text& text);
+
+/// Inverse permutation: rank[SA[i]] = i.
+std::vector<index_t> InverseSuffixArray(const std::vector<index_t>& sa);
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_SUFFIX_ARRAY_HPP_

@@ -1,0 +1,264 @@
+#include "usi/suffix/suffix_tree.hpp"
+
+#include <algorithm>
+
+namespace usi {
+
+SuffixTree::SuffixTree() {
+  nodes_.reserve(16);
+  root_ = NewNode(0, 0, kNoNode);
+  active_node_ = root_;
+}
+
+SuffixTree::SuffixTree(const Text& text) : SuffixTree() {
+  text_.reserve(text.size());
+  for (Symbol c : text) Extend(c);
+}
+
+index_t SuffixTree::ChildOf(index_t node, Symbol c) const {
+  const auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), c,
+      [](const std::pair<Symbol, index_t>& e, Symbol key) { return e.first < key; });
+  if (it != children.end() && it->first == c) return it->second;
+  return kNoNode;
+}
+
+void SuffixTree::SetChild(index_t node, Symbol c, index_t child) {
+  auto& children = nodes_[node].children;
+  auto it = std::lower_bound(
+      children.begin(), children.end(), c,
+      [](const std::pair<Symbol, index_t>& e, Symbol key) { return e.first < key; });
+  if (it != children.end() && it->first == c) {
+    it->second = child;
+  } else {
+    children.insert(it, {c, child});
+  }
+  nodes_[child].parent = node;
+}
+
+index_t SuffixTree::NewNode(index_t start, index_t end, index_t parent) {
+  Node node;
+  node.start = start;
+  node.end = end;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  return static_cast<index_t>(nodes_.size() - 1);
+}
+
+void SuffixTree::AddLeafCountUpwards(index_t node) {
+  while (node != kNoNode) {
+    ++nodes_[node].leaves;
+    node = nodes_[node].parent;
+  }
+}
+
+void SuffixTree::Extend(Symbol c) {
+  text_.push_back(c);
+  const index_t pos = static_cast<index_t>(text_.size()) - 1;
+  ++remaining_;
+  index_t last_internal = kNoNode;  // Awaiting a suffix link this phase.
+
+  while (remaining_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    const Symbol edge_symbol = text_[active_edge_];
+    const index_t next = ChildOf(active_node_, edge_symbol);
+    if (next == kNoNode) {
+      // Rule 2 at a node: new leaf hanging off active_node_. The suffix
+      // being inserted is the longest pending one: |S| - remaining_.
+      const index_t leaf = NewNode(pos, kOpenEnd, active_node_);
+      nodes_[leaf].suffix_start = pos + 1 - remaining_;
+      SetChild(active_node_, text_[pos], leaf);
+      AddLeafCountUpwards(leaf);
+      if (last_internal != kNoNode) {
+        nodes_[last_internal].link = active_node_;
+        last_internal = kNoNode;
+      }
+    } else {
+      // Walk down if the active point passed the edge end.
+      const index_t edge_len = EdgeLength(nodes_[next]);
+      if (active_length_ >= edge_len) {
+        active_node_ = next;
+        active_edge_ += edge_len;
+        active_length_ -= edge_len;
+        continue;
+      }
+      if (text_[nodes_[next].start + active_length_] == c) {
+        // Rule 3: the suffix is already present implicitly; phase ends.
+        if (last_internal != kNoNode) {
+          nodes_[last_internal].link = active_node_;
+          last_internal = kNoNode;
+        }
+        ++active_length_;
+        break;
+      }
+      // Rule 2 mid-edge: split, then hang the new leaf off the split node.
+      const index_t split =
+          NewNode(nodes_[next].start, nodes_[next].start + active_length_,
+                  active_node_);
+      nodes_[split].leaves = nodes_[next].leaves;
+      SetChild(active_node_, edge_symbol, split);
+      nodes_[next].start += active_length_;
+      SetChild(split, text_[nodes_[next].start], next);
+      const index_t leaf = NewNode(pos, kOpenEnd, split);
+      nodes_[leaf].suffix_start = pos + 1 - remaining_;
+      SetChild(split, c, leaf);
+      AddLeafCountUpwards(leaf);
+      if (last_internal != kNoNode) nodes_[last_internal].link = split;
+      last_internal = split;
+    }
+    --remaining_;
+    if (active_node_ == root_ && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remaining_ + 1;
+    } else if (active_node_ != root_) {
+      active_node_ = nodes_[active_node_].link != kNoNode
+                         ? nodes_[active_node_].link
+                         : root_;
+    }
+  }
+}
+
+index_t SuffixTree::FindLocus(std::span<const Symbol> pattern) const {
+  index_t node = root_;
+  std::size_t matched = 0;
+  while (matched < pattern.size()) {
+    const index_t child = ChildOf(node, pattern[matched]);
+    if (child == kNoNode) return kNoNode;
+    const index_t edge_len = EdgeLength(nodes_[child]);
+    for (index_t k = 0; k < edge_len && matched < pattern.size(); ++k) {
+      if (text_[nodes_[child].start + k] != pattern[matched]) return kNoNode;
+      ++matched;
+    }
+    node = child;
+  }
+  return node;
+}
+
+index_t SuffixTree::CountOccurrences(std::span<const Symbol> pattern) const {
+  if (pattern.empty()) return static_cast<index_t>(text_.size());
+  index_t count = 0;
+  const index_t locus = FindLocus(pattern);
+  if (locus != kNoNode) count = nodes_[locus].leaves;
+  // Pending (implicit) suffixes are the `remaining_` shortest ones; each that
+  // starts with the pattern is one more occurrence not counted by any leaf.
+  const index_t n = static_cast<index_t>(text_.size());
+  for (index_t j = n - remaining_; j < n; ++j) {
+    if (n - j < pattern.size()) break;  // Shorter suffixes can only shrink.
+    bool match = true;
+    for (std::size_t k = 0; k < pattern.size(); ++k) {
+      if (text_[j + k] != pattern[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) ++count;
+  }
+  return count;
+}
+
+std::vector<index_t> SuffixTree::CollectOccurrences(
+    std::span<const Symbol> pattern) const {
+  std::vector<index_t> occurrences;
+  const index_t n = static_cast<index_t>(text_.size());
+  if (pattern.empty()) {
+    occurrences.resize(n);
+    for (index_t j = 0; j < n; ++j) occurrences[j] = j;
+    return occurrences;
+  }
+  const index_t locus = FindLocus(pattern);
+  if (locus != kNoNode) {
+    occurrences.reserve(nodes_[locus].leaves);
+    std::vector<index_t> stack = {locus};
+    while (!stack.empty()) {
+      const index_t node = stack.back();
+      stack.pop_back();
+      if (nodes_[node].suffix_start != kInvalidIndex) {
+        occurrences.push_back(nodes_[node].suffix_start);
+      }
+      for (const auto& [symbol, child] : nodes_[node].children) {
+        (void)symbol;
+        stack.push_back(child);
+      }
+    }
+  }
+  // Pending (implicit) suffixes that start with the pattern.
+  for (index_t j = n - remaining_; j < n; ++j) {
+    if (n - j < pattern.size()) break;
+    bool match = true;
+    for (std::size_t k = 0; k < pattern.size(); ++k) {
+      if (text_[j + k] != pattern[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) occurrences.push_back(j);
+  }
+  return occurrences;
+}
+
+std::vector<SuffixTree::NodeSummary> SuffixTree::CollectNodeSummaries() const {
+  // Pending pass-through corrections: +1 for every node whose string is a
+  // prefix of a pending suffix.
+  std::vector<index_t> extra(nodes_.size(), 0);
+  const index_t n = static_cast<index_t>(text_.size());
+  for (index_t j = n - remaining_; j < n; ++j) {
+    index_t node = root_;
+    index_t matched = 0;
+    while (true) {
+      const index_t child = (j + matched < n) ? ChildOf(node, text_[j + matched])
+                                              : kNoNode;
+      if (child == kNoNode) break;
+      const index_t edge_len = EdgeLength(nodes_[child]);
+      bool full = true;
+      for (index_t k = 0; k < edge_len; ++k) {
+        if (j + matched + k >= n ||
+            text_[nodes_[child].start + k] != text_[j + matched + k]) {
+          full = false;
+          break;
+        }
+      }
+      if (!full) break;
+      matched += edge_len;
+      ++extra[child];
+      node = child;
+    }
+  }
+
+  // Iterative DFS computing string depths.
+  std::vector<NodeSummary> summaries;
+  summaries.reserve(nodes_.size());
+  struct Frame {
+    index_t node;
+    index_t depth;         // Depth of this node.
+    index_t parent_depth;  // Depth of its parent.
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_, 0, 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.node != root_) {
+      summaries.push_back(
+          {frame.depth, frame.parent_depth,
+           nodes_[frame.node].leaves + extra[frame.node]});
+    }
+    for (const auto& [symbol, child] : nodes_[frame.node].children) {
+      (void)symbol;
+      stack.push_back(
+          {child, frame.depth + EdgeLength(nodes_[child]), frame.depth});
+    }
+  }
+  return summaries;
+}
+
+std::size_t SuffixTree::SizeInBytes() const {
+  std::size_t total =
+      text_.capacity() * sizeof(Symbol) + nodes_.capacity() * sizeof(Node);
+  for (const Node& node : nodes_) {
+    total += node.children.capacity() * sizeof(std::pair<Symbol, index_t>);
+  }
+  return total;
+}
+
+}  // namespace usi

@@ -1,0 +1,128 @@
+#ifndef USI_SUFFIX_SUFFIX_TREE_HPP_
+#define USI_SUFFIX_SUFFIX_TREE_HPP_
+
+/// \file suffix_tree.hpp
+/// Online (Ukkonen [39]) suffix tree.
+///
+/// The static pipeline uses the enhanced suffix array as its suffix-tree
+/// view; this pointer-based tree exists for the two places that genuinely
+/// need a tree: the append-only DynamicUsi extension of Section X (Ukkonen
+/// is the update mechanism the paper proposes) and cross-validation of the
+/// ESA node enumeration in the property tests.
+///
+/// The tree is built without a terminating sentinel, so some suffixes may end
+/// implicitly mid-edge ("pending" suffixes). Occurrence counting accounts for
+/// them explicitly: every leaf is one occurrence, and each pending suffix
+/// that starts with the pattern adds one more. Subtree leaf counts are
+/// maintained incrementally on each leaf insertion by walking parent links —
+/// the O(depth) cost Section X acknowledges.
+
+#include <span>
+#include <vector>
+
+#include "usi/suffix/esa.hpp"
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Growable suffix tree over an internally stored text.
+class SuffixTree {
+ public:
+  SuffixTree();
+
+  /// Builds the tree of \p text by streaming it through Extend().
+  explicit SuffixTree(const Text& text);
+
+  /// Appends one letter and restores the suffix-tree invariant.
+  void Extend(Symbol c);
+
+  /// Length of the indexed text.
+  index_t size() const { return static_cast<index_t>(text_.size()); }
+
+  /// The indexed text.
+  const Text& text() const { return text_; }
+
+  /// Number of occurrences of \p pattern in the indexed text (exact,
+  /// including occurrences that currently end implicitly).
+  index_t CountOccurrences(std::span<const Symbol> pattern) const;
+
+  /// Start positions of all occurrences of \p pattern (exact, unsorted).
+  /// O(m + occ) once the locus is found.
+  std::vector<index_t> CollectOccurrences(std::span<const Symbol> pattern) const;
+
+  /// Whether \p pattern occurs at least once.
+  bool Contains(std::span<const Symbol> pattern) const {
+    return CountOccurrences(pattern) > 0;
+  }
+
+  /// Start positions of the suffixes that still end implicitly (the last
+  /// `remaining` positions of the text). DynamicUsi needs these to correct
+  /// frequencies during appends.
+  index_t PendingSuffixCount() const { return remaining_; }
+
+  /// Summary of an explicit node for cross-checks against the ESA view.
+  struct NodeSummary {
+    index_t depth;         ///< sd(v).
+    index_t parent_depth;  ///< sd(parent(v)).
+    index_t frequency;     ///< Occurrences of str(v) in the text.
+
+    auto operator<=>(const NodeSummary&) const = default;
+  };
+
+  /// Collects (depth, parent depth, frequency) for every explicit node with
+  /// depth > 0, counting pending suffixes into the frequencies. On a text
+  /// whose last letter is unique this matches the ESA enumeration exactly.
+  std::vector<NodeSummary> CollectNodeSummaries() const;
+
+  /// Number of explicit tree nodes (diagnostics).
+  std::size_t NodeCount() const { return nodes_.size(); }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  static constexpr index_t kNoNode = kInvalidIndex;
+  static constexpr index_t kOpenEnd = kInvalidIndex;
+
+  struct Node {
+    index_t start = 0;          ///< Edge label = text[start .. EndOf(node)).
+    index_t end = kOpenEnd;     ///< Exclusive end; kOpenEnd tracks text size.
+    index_t link = kNoNode;     ///< Suffix link.
+    index_t parent = kNoNode;   ///< Parent node (maintained across splits).
+    index_t leaves = 0;         ///< Leaves in this subtree.
+    index_t suffix_start = kInvalidIndex;  ///< Leaf's suffix position.
+    std::vector<std::pair<Symbol, index_t>> children;  ///< Sorted by symbol.
+  };
+
+  index_t EdgeEnd(const Node& node) const {
+    return node.end == kOpenEnd ? static_cast<index_t>(text_.size()) : node.end;
+  }
+
+  index_t EdgeLength(const Node& node) const {
+    return EdgeEnd(node) - node.start;
+  }
+
+  index_t ChildOf(index_t node, Symbol c) const;
+  void SetChild(index_t node, Symbol c, index_t child);
+  index_t NewNode(index_t start, index_t end, index_t parent);
+  void AddLeafCountUpwards(index_t node);
+
+  /// Walks down from the root along \p pattern. Returns the node whose
+  /// subtree holds all occurrences, or kNoNode if the pattern is absent.
+  index_t FindLocus(std::span<const Symbol> pattern) const;
+
+  Text text_;
+  std::vector<Node> nodes_;
+  index_t root_;
+
+  // Ukkonen's active point.
+  index_t active_node_;
+  index_t active_edge_ = 0;  // Index into text_ of the edge's first symbol.
+  index_t active_length_ = 0;
+  index_t remaining_ = 0;
+};
+
+}  // namespace usi
+
+#endif  // USI_SUFFIX_SUFFIX_TREE_HPP_

@@ -1,0 +1,52 @@
+#include "usi/text/alphabet.hpp"
+
+#include <algorithm>
+
+namespace usi {
+
+Alphabet Alphabet::FromRaw(const std::string& raw) {
+  bool present[256] = {};
+  for (char c : raw) present[static_cast<u8>(c)] = true;
+  Alphabet alphabet;
+  for (int b = 0; b < 256; ++b) {
+    if (present[b]) {
+      alphabet.to_compact_[b] = static_cast<u8>(alphabet.to_raw_.size());
+      alphabet.to_raw_.push_back(static_cast<u8>(b));
+    }
+  }
+  return alphabet;
+}
+
+Alphabet Alphabet::Identity(u32 sigma) {
+  USI_CHECK(sigma <= 256);
+  Alphabet alphabet;
+  for (u32 b = 0; b < sigma; ++b) {
+    alphabet.to_compact_[b] = static_cast<u8>(b);
+    alphabet.to_raw_.push_back(static_cast<u8>(b));
+  }
+  return alphabet;
+}
+
+Text Alphabet::EncodeString(const std::string& raw) const {
+  Text text;
+  text.reserve(raw.size());
+  for (char c : raw) text.push_back(Encode(static_cast<u8>(c)));
+  return text;
+}
+
+std::string Alphabet::DecodeText(const Text& text) const {
+  std::string raw;
+  raw.reserve(text.size());
+  for (Symbol s : text) raw.push_back(static_cast<char>(Decode(s)));
+  return raw;
+}
+
+u32 EffectiveSigma(const Text& text) {
+  bool present[256] = {};
+  for (Symbol s : text) present[s] = true;
+  u32 sigma = 0;
+  for (bool p : present) sigma += p ? 1 : 0;
+  return sigma;
+}
+
+}  // namespace usi

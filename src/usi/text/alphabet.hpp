@@ -1,0 +1,74 @@
+#ifndef USI_TEXT_ALPHABET_HPP_
+#define USI_TEXT_ALPHABET_HPP_
+
+/// \file alphabet.hpp
+/// Symbol representation and alphabet remapping.
+///
+/// The paper assumes an integer alphabet [0, sigma). All five evaluation
+/// datasets have sigma <= 95, so the library stores texts as byte sequences;
+/// Alphabet remaps arbitrary byte data to the compact effective alphabet and
+/// back (e.g. 'A','C','G','T' -> 0..3).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// A letter of the text. Effective alphabets in this library fit in a byte.
+using Symbol = u8;
+
+/// A text: sequence of symbols over [0, sigma).
+using Text = std::vector<Symbol>;
+
+/// Bidirectional mapping between raw byte values and the compact effective
+/// alphabet [0, sigma).
+class Alphabet {
+ public:
+  Alphabet() { to_compact_.fill(kUnmapped); }
+
+  /// Builds the effective alphabet of \p raw (symbols sorted by byte value).
+  static Alphabet FromRaw(const std::string& raw);
+
+  /// Identity alphabet over [0, sigma).
+  static Alphabet Identity(u32 sigma);
+
+  /// Number of distinct symbols.
+  u32 sigma() const { return static_cast<u32>(to_raw_.size()); }
+
+  /// Maps a raw byte to its compact symbol; byte must belong to the alphabet.
+  Symbol Encode(u8 raw) const {
+    USI_DCHECK(to_compact_[raw] != kUnmapped);
+    return to_compact_[raw];
+  }
+
+  /// Maps a compact symbol back to its raw byte.
+  u8 Decode(Symbol symbol) const {
+    USI_DCHECK(symbol < to_raw_.size());
+    return to_raw_[symbol];
+  }
+
+  /// Whether the raw byte belongs to the alphabet.
+  bool Contains(u8 raw) const { return to_compact_[raw] != kUnmapped; }
+
+  /// Encodes a whole string.
+  Text EncodeString(const std::string& raw) const;
+
+  /// Decodes a whole text.
+  std::string DecodeText(const Text& text) const;
+
+ private:
+  static constexpr u8 kUnmapped = 0xFF;
+
+  std::array<u8, 256> to_compact_;
+  std::vector<u8> to_raw_;
+};
+
+/// Returns the number of distinct symbols actually used in \p text.
+u32 EffectiveSigma(const Text& text);
+
+}  // namespace usi
+
+#endif  // USI_TEXT_ALPHABET_HPP_

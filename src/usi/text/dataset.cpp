@@ -1,0 +1,67 @@
+#include "usi/text/dataset.hpp"
+
+#include <cstdio>
+
+#include "usi/text/generators.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  // Sizes are the paper's scaled down ~100-2000x so every figure regenerates
+  // in minutes on a laptop; K and s sweeps keep the paper's *ratios* (K
+  // roughly n/100 .. n/10, s in O(log n)).
+  static const std::vector<DatasetSpec> kSpecs = {
+      {"ADV", 218'987, 14, {2'000, 3'000, 4'000, 5'000, 6'000}, 6'000,
+       {2, 4, 6, 8}, 6, 0xADF001},
+      {"IOT", 400'000, 63, {500, 1'000, 2'000, 4'000, 8'000}, 4'000,
+       {5, 10, 20, 40, 80}, 20, 0x107002},
+      {"XML", 600'000, 95, {600, 1'500, 3'000, 6'000, 12'000}, 6'000,
+       {4, 6, 20, 40, 80}, 6, 0x3A1003},
+      {"HUM", 1'000'000, 4, {1'250, 2'500, 5'000, 10'000, 20'000}, 10'000,
+       {4, 6, 20, 40, 80}, 6, 0x404004},
+      {"ECOLI", 1'200'000, 4, {4'000, 8'000, 12'000, 16'000, 20'000}, 12'000,
+       {6, 8, 20, 40, 80}, 8, 0xEC0005},
+  };
+  return kSpecs;
+}
+
+const DatasetSpec& DatasetSpecByName(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  std::fprintf(stderr, "unknown dataset: %s\n", name.c_str());
+  std::abort();
+}
+
+WeightedString MakeDataset(const DatasetSpec& spec, index_t n) {
+  if (n == 0) n = spec.default_n;
+  if (spec.name == "ADV") return MakeAdvLike(n, spec.seed);
+  if (spec.name == "IOT") return MakeIotLike(n, spec.seed);
+  if (spec.name == "XML") return MakeXmlLike(n, spec.seed);
+  if (spec.name == "HUM") return MakeDnaLike(n, spec.seed);
+  if (spec.name == "ECOLI") return MakeEcoliLike(n, spec.seed);
+  std::fprintf(stderr, "unknown dataset: %s\n", spec.name.c_str());
+  std::abort();
+}
+
+bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::string raw;
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    raw.append(buffer, got);
+  }
+  std::fclose(file);
+  const Alphabet alphabet = Alphabet::FromRaw(raw);
+  Text text = alphabet.EncodeString(raw);
+  Rng rng(seed);
+  std::vector<double> weights(text.size());
+  for (auto& w : weights) w = 0.7 + 0.05 * static_cast<double>(rng.UniformBelow(7));
+  *out = WeightedString(std::move(text), std::move(weights));
+  return true;
+}
+
+}  // namespace usi

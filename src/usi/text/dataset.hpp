@@ -1,0 +1,47 @@
+#ifndef USI_TEXT_DATASET_HPP_
+#define USI_TEXT_DATASET_HPP_
+
+/// \file dataset.hpp
+/// Named dataset registry and default experiment parameters.
+///
+/// Mirrors Table II of the paper: every dataset has a canonical size, a K
+/// sweep, a default K, and an s sweep with a default s. The benches iterate
+/// this registry so each figure's rows match the paper's panels.
+
+#include <string>
+#include <vector>
+
+#include "usi/text/weighted_string.hpp"
+
+namespace usi {
+
+/// One Table II row, scaled to laptop size.
+struct DatasetSpec {
+  std::string name;          ///< ADV / IOT / XML / HUM / ECOLI.
+  index_t default_n;         ///< Canonical length of the synthetic stand-in.
+  u32 sigma;                 ///< Alphabet size (matches the paper).
+  std::vector<index_t> k_sweep;   ///< Top-K values to test (Fig. 3a-e, 6a-e).
+  index_t default_k;         ///< Bold value in Table II, scaled.
+  std::vector<u32> s_sweep;  ///< Sampling rounds to test (Fig. 3j, 4, 5).
+  u32 default_s;             ///< Bold value in Table II.
+  u64 seed;                  ///< Generator seed (printed by the benches).
+};
+
+/// All five dataset specs, in the paper's order.
+const std::vector<DatasetSpec>& AllDatasetSpecs();
+
+/// Looks up a spec by name; aborts on unknown name.
+const DatasetSpec& DatasetSpecByName(const std::string& name);
+
+/// Materializes the synthetic stand-in for \p spec at length \p n
+/// (n = 0 means spec.default_n).
+WeightedString MakeDataset(const DatasetSpec& spec, index_t n = 0);
+
+/// Loads a raw byte file as a weighted string with utilities drawn uniformly
+/// from {0.7, 0.75, ..., 1.0} (the paper's recipe for corpora without real
+/// utilities). Returns false if the file cannot be read.
+bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out);
+
+}  // namespace usi
+
+#endif  // USI_TEXT_DATASET_HPP_

@@ -1,0 +1,286 @@
+#include "usi/text/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+/// Phred-style confidence in [0,1]: most bases are called with high
+/// confidence, a minority with low confidence (read ends, homopolymers).
+double PhredLikeWeight(Rng* rng) {
+  const double x = rng->UniformDouble();
+  if (x < 0.80) return 0.90 + 0.10 * rng->UniformDouble();   // high confidence
+  if (x < 0.95) return 0.60 + 0.30 * rng->UniformDouble();   // medium
+  return 0.05 + 0.55 * rng->UniformDouble();                 // low (error-prone)
+}
+
+/// Copies text[src .. src+len) onto the end of text, mutating each copied
+/// letter with probability mutation_rate.
+void AppendRepeat(Text* text, index_t src, index_t len, u32 sigma,
+                  double mutation_rate, Rng* rng) {
+  for (index_t k = 0; k < len; ++k) {
+    Symbol s = (*text)[src + k];
+    if (rng->Bernoulli(mutation_rate)) {
+      s = static_cast<Symbol>(rng->UniformBelow(sigma));
+    }
+    text->push_back(s);
+  }
+}
+
+}  // namespace
+
+WeightedString MakeDnaLike(index_t n, u64 seed) {
+  Rng rng(seed);
+  Text text;
+  text.reserve(n);
+  // Order-2 Markov chain with a random but fixed transition structure: each
+  // context prefers two of the four nucleotides, which creates the skewed
+  // k-mer spectrum real genomes have.
+  u8 preferred[16][2];
+  for (auto& row : preferred) {
+    row[0] = static_cast<u8>(rng.UniformBelow(4));
+    row[1] = static_cast<u8>(rng.UniformBelow(4));
+  }
+  u32 context = 0;
+  while (text.size() < n) {
+    // Occasionally copy an earlier segment (tandem/interspersed repeats).
+    if (text.size() > 1000 && rng.Bernoulli(0.002)) {
+      const index_t max_len = std::min<index_t>(
+          500, static_cast<index_t>(n - text.size()));
+      if (max_len >= 20) {
+        const index_t len = static_cast<index_t>(rng.UniformInRange(20, max_len));
+        const index_t src =
+            static_cast<index_t>(rng.UniformBelow(text.size() - len));
+        AppendRepeat(&text, src, len, 4, 0.01, &rng);
+        continue;
+      }
+    }
+    Symbol next;
+    const double x = rng.UniformDouble();
+    if (x < 0.42) {
+      next = preferred[context][0];
+    } else if (x < 0.76) {
+      next = preferred[context][1];
+    } else {
+      next = static_cast<Symbol>(rng.UniformBelow(4));
+    }
+    text.push_back(next);
+    context = ((context << 2) | next) & 15;
+  }
+  text.resize(n);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = PhredLikeWeight(&rng);
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+WeightedString MakeEcoliLike(index_t n, u64 seed) {
+  Rng rng(seed ^ 0xEC011ULL);
+  Text text;
+  text.reserve(n);
+  // Seed segment, then heavy segmental duplication: bacterial assemblies from
+  // long reads contain many near-identical operon-scale copies.
+  const index_t kSeedLen = std::min<index_t>(n, std::max<index_t>(n / 20, 64));
+  for (index_t i = 0; i < kSeedLen; ++i) {
+    text.push_back(static_cast<Symbol>(rng.UniformBelow(4)));
+  }
+  while (text.size() < n) {
+    if (rng.Bernoulli(0.85)) {
+      const index_t remaining = static_cast<index_t>(n - text.size());
+      const index_t want = static_cast<index_t>(
+          rng.UniformInRange(50, 2000));
+      const index_t len =
+          std::min<index_t>(want, std::min<index_t>(
+                                      remaining, static_cast<index_t>(text.size())));
+      if (len > 0) {
+        const index_t src =
+            static_cast<index_t>(rng.UniformBelow(text.size() - len + 1));
+        AppendRepeat(&text, src, len, 4, 0.005, &rng);
+        continue;
+      }
+    }
+    text.push_back(static_cast<Symbol>(rng.UniformBelow(4)));
+  }
+  text.resize(n);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = PhredLikeWeight(&rng);
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+WeightedString MakeIotLike(index_t n, u64 seed) {
+  Rng rng(seed ^ 0x107ULL);
+  constexpr u32 kSigma = 63;
+  Text text;
+  text.reserve(n);
+  // Sensor traces repeat long stable-state blocks nearly verbatim (the paper
+  // finds top frequent substrings of length ~10^4 in IOT). Build a small pool
+  // of long "state blocks" and emit them with occasional noise letters.
+  const index_t block_len = std::max<index_t>(64, n / 200);
+  std::vector<Text> blocks;
+  for (int b = 0; b < 6; ++b) {
+    Text block(block_len);
+    // Each block is a slowly-varying reading: random walk over the alphabet.
+    int level = static_cast<int>(rng.UniformBelow(kSigma));
+    for (auto& s : block) {
+      level += static_cast<int>(rng.UniformBelow(3)) - 1;
+      level = std::clamp(level, 0, static_cast<int>(kSigma) - 1);
+      s = static_cast<Symbol>(level);
+    }
+    blocks.push_back(std::move(block));
+  }
+  while (text.size() < n) {
+    if (rng.Bernoulli(0.9)) {
+      const Text& block = blocks[rng.UniformBelow(blocks.size())];
+      for (Symbol s : block) {
+        if (text.size() >= n) break;
+        text.push_back(s);
+      }
+    } else {
+      const index_t burst = static_cast<index_t>(rng.UniformInRange(1, 40));
+      for (index_t k = 0; k < burst && text.size() < n; ++k) {
+        text.push_back(static_cast<Symbol>(rng.UniformBelow(kSigma)));
+      }
+    }
+  }
+  std::vector<double> weights(n);
+  // RSSI in dBm ~ [-100, -30] normalized to [0, 1]; correlated in time.
+  double rssi = rng.UniformDouble();
+  for (auto& w : weights) {
+    rssi += 0.05 * (rng.UniformDouble() - 0.5);
+    rssi = std::clamp(rssi, 0.0, 1.0);
+    w = rssi;
+  }
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+WeightedString MakeXmlLike(index_t n, u64 seed) {
+  Rng rng(seed ^ 0x3A11ULL);
+  static const char* kTags[] = {"article", "author", "title",  "year",
+                                "journal", "volume", "cite",   "editor",
+                                "booktitle", "pages"};
+  constexpr int kNumTags = 10;
+  static const char kWordChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string raw;
+  raw.reserve(n + 64);
+  std::vector<int> stack;
+  while (raw.size() < n) {
+    const double x = rng.UniformDouble();
+    if ((x < 0.35 && stack.size() < 6) || stack.empty()) {
+      const int tag = static_cast<int>(rng.UniformBelow(kNumTags));
+      raw += '<';
+      raw += kTags[tag];
+      raw += '>';
+      stack.push_back(tag);
+    } else if (x < 0.55) {
+      raw += "</";
+      raw += kTags[stack.back()];
+      raw += '>';
+      stack.pop_back();
+    } else {
+      const int words = static_cast<int>(rng.UniformInRange(1, 4));
+      for (int w = 0; w < words; ++w) {
+        const int len = static_cast<int>(rng.UniformInRange(2, 9));
+        for (int k = 0; k < len; ++k) {
+          raw += kWordChars[rng.UniformBelow(sizeof(kWordChars) - 1)];
+        }
+        raw += ' ';
+      }
+    }
+  }
+  raw.resize(n);
+  const Alphabet alphabet = Alphabet::FromRaw(raw);
+  Text text = alphabet.EncodeString(raw);
+  // Paper: "we selected each utility uniformly at random from
+  // {0.7, 0.75, ..., 1}" for XML and HUM.
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = 0.7 + 0.05 * static_cast<double>(rng.UniformBelow(7));
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+WeightedString MakeAdvLike(index_t n, u64 seed) {
+  Rng rng(seed ^ 0xADFULL);
+  constexpr u32 kSigma = 14;
+  // Zipfian category popularity.
+  double zipf[kSigma];
+  double total = 0;
+  for (u32 c = 0; c < kSigma; ++c) {
+    zipf[c] = 1.0 / static_cast<double>(c + 1);
+    total += zipf[c];
+  }
+  for (auto& z : zipf) z /= total;
+  Text text;
+  text.reserve(n);
+  // Campaign flights: a chosen category (or short category motif) repeats in
+  // a burst, then the stream drifts — this plants frequent length-3+ motifs.
+  while (text.size() < n) {
+    const double x = rng.UniformDouble();
+    if (x < 0.30) {
+      // Motif burst: 2-4 categories cycled several times.
+      const int motif_len = static_cast<int>(rng.UniformInRange(2, 4));
+      Symbol motif[4];
+      for (int k = 0; k < motif_len; ++k) {
+        motif[k] = static_cast<Symbol>(rng.UniformBelow(kSigma));
+      }
+      const int reps = static_cast<int>(rng.UniformInRange(2, 10));
+      for (int r = 0; r < reps && text.size() < n; ++r) {
+        for (int k = 0; k < motif_len && text.size() < n; ++k) {
+          text.push_back(motif[k]);
+        }
+      }
+    } else {
+      double pick = rng.UniformDouble();
+      Symbol s = kSigma - 1;
+      for (u32 c = 0; c < kSigma; ++c) {
+        if (pick < zipf[c]) {
+          s = static_cast<Symbol>(c);
+          break;
+        }
+        pick -= zipf[c];
+      }
+      text.push_back(s);
+    }
+  }
+  text.resize(n);
+  // CTR is category-dependent: popular categories (low index under the Zipf
+  // marginal) are cheap commodity placements, niche categories convert far
+  // better — this is what makes the paper's Table I case study interesting
+  // (top-by-utility differs from top-by-frequency).
+  std::vector<double> weights(n);
+  for (index_t i = 0; i < n; ++i) {
+    const double niche =
+        static_cast<double>(text[i]) / static_cast<double>(kSigma - 1);
+    const double spike_probability = 0.01 + 0.35 * niche * niche;
+    weights[i] = rng.Bernoulli(spike_probability)
+                     ? static_cast<double>(rng.UniformInRange(
+                           10, 40 + static_cast<u64>(100 * niche)))
+                     : 0.1;
+  }
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+WeightedString MakeRandom(index_t n, u32 sigma, u64 seed) {
+  USI_CHECK(sigma >= 1 && sigma <= 256);
+  Rng rng(seed ^ 0x5EEDULL);
+  Text text(n);
+  for (auto& s : text) s = static_cast<Symbol>(rng.UniformBelow(sigma));
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.UniformDouble();
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+WeightedString MakePeriodic(index_t n, u32 period, u64 seed) {
+  USI_CHECK(period >= 1 && period <= 256);
+  Rng rng(seed);
+  Text text(n);
+  for (index_t i = 0; i < n; ++i) {
+    text[i] = static_cast<Symbol>(i % period);
+  }
+  std::vector<double> weights(n, 1.0);
+  (void)rng;
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+}  // namespace usi

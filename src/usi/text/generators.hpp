@@ -1,0 +1,52 @@
+#ifndef USI_TEXT_GENERATORS_HPP_
+#define USI_TEXT_GENERATORS_HPP_
+
+/// \file generators.hpp
+/// Deterministic synthetic weighted-string generators.
+///
+/// The paper evaluates on five real corpora (Table II) that are not
+/// redistributable offline; each generator below reproduces the *structural*
+/// properties the algorithms are sensitive to — alphabet size, repeat
+/// structure, and utility distribution — at laptop scale. See DESIGN.md
+/// Section 3 for the substitution argument.
+
+#include "usi/text/weighted_string.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// DNA-like text (HUM stand-in): sigma = 4, order-2 Markov chain with planted
+/// mid-length repeats; utilities are Phred-style confidence scores in [0, 1],
+/// skewed towards 1 (Ewing et al., as cited in Section I).
+WeightedString MakeDnaLike(index_t n, u64 seed);
+
+/// Genome-like text with heavier repeat content (ECOLI stand-in): sigma = 4,
+/// long duplicated segments with point mutations; confidence-score utilities.
+WeightedString MakeEcoliLike(index_t n, u64 seed);
+
+/// Sensor-reading text (IOT stand-in): sigma = 63, dominated by very long
+/// repeated blocks (the paper reports frequent substrings of length > 10^4);
+/// utilities are RSSI values normalized to [0, 1].
+WeightedString MakeIotLike(index_t n, u64 seed);
+
+/// Markup text (XML stand-in): sigma ~ 90 printable characters arranged as
+/// nested tags with repeated element names; utilities drawn uniformly from
+/// {0.7, 0.75, ..., 1.0} exactly as the paper assigns to XML.
+WeightedString MakeXmlLike(index_t n, u64 seed);
+
+/// Advertisement-category text (ADV stand-in): sigma = 14 categories with a
+/// Zipfian marginal and bursty runs (campaign flights); utilities are
+/// CTR-like: a base rate of 0.1 with heavy-tailed spikes, mirroring Fig. 1.
+WeightedString MakeAdvLike(index_t n, u64 seed);
+
+/// Uniform random text over [0, sigma); utilities uniform in [0, 1]. Used by
+/// property tests and the random-string remarks of Section IV (footnote 1).
+WeightedString MakeRandom(index_t n, u32 sigma, u64 seed);
+
+/// The adversarial periodic string (AB)^{n/2} from Section VII on which
+/// SubstringHK and Top-K Trie provably fail; unit utilities.
+WeightedString MakePeriodic(index_t n, u32 period, u64 seed);
+
+}  // namespace usi
+
+#endif  // USI_TEXT_GENERATORS_HPP_

@@ -1,0 +1,51 @@
+#ifndef USI_TOPK_APPROXIMATE_TOPK_HPP_
+#define USI_TOPK_APPROXIMATE_TOPK_HPP_
+
+/// \file approximate_topk.hpp
+/// Approximate-Top-K (Section VI, Theorem 3).
+///
+/// s sampling rounds; round i builds a sparse suffix index over positions
+/// {i, i+s, i+2s, ...}, mines the round's top-K via the same bottom-up
+/// traversal as the exact algorithm, and lexicographically merges the result
+/// into the running list, summing the per-round frequencies. Reported
+/// frequencies never exceed the truth (one-sided error). Extra space is
+/// O(n/s + K) on top of the text; time is ~O(n log + sK log).
+
+#include "usi/text/alphabet.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// LCE backend selection for the sampled rounds (ablation; DESIGN.md Sec. 3).
+enum class LceBackendKind {
+  kSampledKr,  ///< O(n/s) words, O(s + log n) query — the paper-faithful one.
+  kFullKr,     ///< O(n) words, O(log n) query.
+  kRmq,        ///< O(n) words, O(1) query (fastest; defeats the space goal).
+  kNaive,      ///< O(1) words, O(lce) query.
+};
+
+/// Tuning knobs for Approximate-Top-K.
+struct ApproximateTopKOptions {
+  u32 rounds = 8;  ///< The paper's s; O(log n) is the recommended regime.
+  LceBackendKind lce_backend = LceBackendKind::kSampledKr;
+  /// Prefix-sample spacing of the sampled-KR LCE; 0 means "use rounds", which
+  /// keeps LCE space at O(n/s) in step with the index space.
+  index_t lce_sample_rate = 0;
+  /// Candidate-list oversampling factor: each round mines oversample*k
+  /// candidates and the running merge keeps oversample*k, trimming to k only
+  /// at the end. Borderline substrings whose per-round rank fluctuates around
+  /// k would otherwise be dropped from some rounds and under-counted; the
+  /// extra space is a constant factor of O(K) and the one-sided-error
+  /// guarantee is unaffected (counts are still sums of true sample counts).
+  u32 oversample = 4;
+  u64 seed = 0xA77C;  ///< Seeds the Karp-Rabin base.
+};
+
+/// Estimates the top-\p k frequent substrings of \p text.
+TopKList ApproximateTopK(const Text& text, u64 k,
+                         const ApproximateTopKOptions& options = {});
+
+}  // namespace usi
+
+#endif  // USI_TOPK_APPROXIMATE_TOPK_HPP_

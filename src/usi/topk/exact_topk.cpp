@@ -1,0 +1,11 @@
+#include "usi/topk/exact_topk.hpp"
+
+#include "usi/topk/substring_stats.hpp"
+
+namespace usi {
+
+TopKList ExactTopK(const Text& text, u64 k) {
+  return SubstringStats(text).TopK(k);
+}
+
+}  // namespace usi

@@ -1,0 +1,20 @@
+#ifndef USI_TOPK_EXACT_TOPK_HPP_
+#define USI_TOPK_EXACT_TOPK_HPP_
+
+/// \file exact_topk.hpp
+/// Exact-Top-K (Section V, Theorem 2): TOP-K-SUB in O(n + K) time and O(n)
+/// space via the SubstringStats structure. Thin convenience wrapper for
+/// callers that do not need to keep the stats around.
+
+#include "usi/text/alphabet.hpp"
+#include "usi/topk/topk_types.hpp"
+
+namespace usi {
+
+/// Returns the exact top-\p k frequent substrings of \p text (ties broken
+/// shorter-first, matching the Section V ordering).
+TopKList ExactTopK(const Text& text, u64 k);
+
+}  // namespace usi
+
+#endif  // USI_TOPK_EXACT_TOPK_HPP_

@@ -1,0 +1,91 @@
+#include "usi/topk/frequency_summary.hpp"
+
+#include <algorithm>
+
+namespace usi {
+
+FrequencySummary::FrequencySummary(std::size_t capacity)
+    : capacity_(capacity) {
+  USI_CHECK(capacity >= 1);
+  heap_.reserve(capacity);
+  map_.reserve(capacity * 2);
+}
+
+void FrequencySummary::Offer(const PatternKey& key, u32 count, index_t witness,
+                             index_t length) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Entry& entry = heap_[it->second];
+    if (count > entry.count) {
+      entry.count = count;
+      SiftDown(it->second);  // Counts grow, so the entry can only sink.
+    }
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Entry{key, count, witness, length});
+    map_.emplace(key, heap_.size() - 1);
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  if (count <= heap_[0].count) return;
+  map_.erase(heap_[0].key);
+  heap_[0] = Entry{key, count, witness, length};
+  map_.emplace(key, 0);
+  SiftDown(0);
+}
+
+std::vector<TopKSubstring> FrequencySummary::Report(u64 k) const {
+  std::vector<Entry> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.length < b.length;
+  });
+  if (sorted.size() > k) sorted.resize(k);
+  std::vector<TopKSubstring> report;
+  report.reserve(sorted.size());
+  for (const Entry& entry : sorted) {
+    report.push_back(TopKSubstring{entry.length, entry.count, entry.witness,
+                                   kInvalidIndex, kInvalidIndex});
+  }
+  return report;
+}
+
+std::size_t FrequencySummary::SizeInBytes() const {
+  return heap_.capacity() * sizeof(Entry) +
+         map_.size() * (sizeof(PatternKey) + 2 * sizeof(std::size_t));
+}
+
+void FrequencySummary::SiftUp(std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (heap_[parent].count <= heap_[pos].count) break;
+    HeapSwap(parent, pos);
+    pos = parent;
+  }
+}
+
+void FrequencySummary::SiftDown(std::size_t pos) {
+  while (true) {
+    const std::size_t left = 2 * pos + 1;
+    const std::size_t right = 2 * pos + 2;
+    std::size_t smallest = pos;
+    if (left < heap_.size() && heap_[left].count < heap_[smallest].count) {
+      smallest = left;
+    }
+    if (right < heap_.size() && heap_[right].count < heap_[smallest].count) {
+      smallest = right;
+    }
+    if (smallest == pos) break;
+    HeapSwap(smallest, pos);
+    pos = smallest;
+  }
+}
+
+void FrequencySummary::HeapSwap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  map_[heap_[a].key] = a;
+  map_[heap_[b].key] = b;
+}
+
+}  // namespace usi

@@ -1,0 +1,70 @@
+#ifndef USI_TOPK_FREQUENCY_SUMMARY_HPP_
+#define USI_TOPK_FREQUENCY_SUMMARY_HPP_
+
+/// \file frequency_summary.hpp
+/// The ssummary structure of HeavyKeeper [24], adapted to substrings: a
+/// capacity-K set of (fingerprint, length) keys with estimated counts and a
+/// witness occurrence, supporting O(1) membership, O(log K) count updates,
+/// and min-count eviction. Backed by an indexed binary min-heap.
+
+#include <unordered_map>
+#include <vector>
+
+#include "usi/hash/caches.hpp"
+#include "usi/hash/fingerprint_table.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Min-heap summary of the K highest-count strings seen so far.
+class FrequencySummary {
+ public:
+  explicit FrequencySummary(std::size_t capacity);
+
+  /// Whether \p key is currently tracked.
+  bool Contains(const PatternKey& key) const {
+    return map_.find(key) != map_.end();
+  }
+
+  /// Smallest tracked count (0 when empty).
+  u32 MinCount() const { return heap_.empty() ? 0 : heap_[0].count; }
+
+  /// Whether the summary holds `capacity` strings.
+  bool Full() const { return heap_.size() >= capacity_; }
+
+  /// Number of tracked strings.
+  std::size_t size() const { return heap_.size(); }
+
+  /// HeavyKeeper admission: if \p key is tracked, raise its count to
+  /// max(current, count); otherwise insert it, evicting the min-count string
+  /// when full — but only if count exceeds that minimum. \p witness and
+  /// \p length describe the substring S[witness .. witness+length).
+  void Offer(const PatternKey& key, u32 count, index_t witness, index_t length);
+
+  /// Dumps tracked strings, highest count first, at most \p k items.
+  std::vector<TopKSubstring> Report(u64 k) const;
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  struct Entry {
+    PatternKey key;
+    u32 count = 0;
+    index_t witness = 0;
+    index_t length = 0;
+  };
+
+  void SiftUp(std::size_t pos);
+  void SiftDown(std::size_t pos);
+  void HeapSwap(std::size_t a, std::size_t b);
+
+  std::size_t capacity_;
+  std::vector<Entry> heap_;
+  std::unordered_map<PatternKey, std::size_t, PatternKeyHash> map_;
+};
+
+}  // namespace usi
+
+#endif  // USI_TOPK_FREQUENCY_SUMMARY_HPP_

@@ -1,0 +1,60 @@
+#ifndef USI_TOPK_HEAVY_KEEPER_HPP_
+#define USI_TOPK_HEAVY_KEEPER_HPP_
+
+/// \file heavy_keeper.hpp
+/// SubstringHK (Section VII): HeavyKeeper [24] adapted from items to the
+/// substrings of a single string.
+///
+/// Scan rule, per the paper: at every position i, try to insert S[i] into
+/// ssummary, then try S[i..i+l] only while S[i..i+l-1] made it into
+/// ssummary; each candidate is counted through the exponential-decay sketch,
+/// and admitted to ssummary when its estimate beats the current minimum.
+/// Fingerprints extend in O(1) per added letter, so a candidate costs O(1).
+///
+/// The paper throttles extension with probability 1/c^l; taken literally
+/// that makes substrings beyond ~30 letters unreachable, while the paper's
+/// own experiments show SubstringHK finding length-1577 substrings. We treat
+/// the membership rule as the primary gate (it already bounds work:
+/// extensions happen only through prefixes resident in ssummary) and expose
+/// the geometric coin as an option for the strict variant. Either way the
+/// algorithm exhibits the Section VII failure mode — it misses long frequent
+/// substrings and loses half the output on (AB)^{n/2} — which is what the
+/// reproduction must show.
+
+#include "usi/text/alphabet.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Tuning knobs for SubstringHK.
+struct SubstringHkOptions {
+  std::size_t sketch_width = 0;   ///< 0: derive from k (2k buckets per row).
+  std::size_t sketch_depth = 2;   ///< HeavyKeeper uses small depth.
+  double decay_base = 1.08;       ///< b of the decay sketch.
+  bool strict_extension_coin = false;  ///< Extend with prob 1/c^l (paper text).
+  double extension_base = 1.08;        ///< c of the extension coin.
+  index_t max_length = 0;  ///< Safety cap on candidate length; 0 = text size.
+  /// Work budget in hashed substrings (the paper's z); 0 = unlimited. When
+  /// exhausted the scan stops early and stats->timed_out is set — the bench
+  /// analogue of the paper's "did not terminate within 5 days" rows.
+  u64 max_hashed_substrings = 0;
+  u64 seed = 0x5EED5;
+};
+
+/// Statistics the paper reports about SubstringHK's cost.
+struct SubstringHkStats {
+  u64 hashed_substrings = 0;  ///< The paper's z (drives SH's runtime).
+  std::size_t space_bytes = 0;  ///< Sketch + summary footprint.
+  bool timed_out = false;       ///< Work budget exhausted before the end.
+};
+
+/// Estimates the top-\p k frequent substrings of \p text with SubstringHK.
+/// \p stats (optional) receives cost counters.
+TopKList SubstringHeavyKeeper(const Text& text, u64 k,
+                              const SubstringHkOptions& options = {},
+                              SubstringHkStats* stats = nullptr);
+
+}  // namespace usi
+
+#endif  // USI_TOPK_HEAVY_KEEPER_HPP_

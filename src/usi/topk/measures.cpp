@@ -1,0 +1,76 @@
+#include "usi/topk/measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace usi {
+namespace {
+
+std::vector<index_t> SortedFrequencies(const std::vector<TopKSubstring>& list) {
+  std::vector<index_t> freqs;
+  freqs.reserve(list.size());
+  for (const TopKSubstring& item : list) freqs.push_back(item.frequency);
+  std::sort(freqs.begin(), freqs.end());
+  return freqs;
+}
+
+}  // namespace
+
+double TopKAccuracyPercent(const std::vector<TopKSubstring>& exact,
+                           const std::vector<TopKSubstring>& estimated) {
+  if (exact.empty()) return 100.0;
+  const std::vector<index_t> a = SortedFrequencies(exact);
+  const std::vector<index_t> b = SortedFrequencies(estimated);
+  // Multiset intersection size via a two-pointer sweep.
+  std::size_t matches = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++matches;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return 100.0 * static_cast<double>(matches) / static_cast<double>(a.size());
+}
+
+double TopKRelativeError(const std::vector<TopKSubstring>& exact,
+                         const std::vector<TopKSubstring>& estimated) {
+  double exact_mass = 0;
+  for (const TopKSubstring& item : exact) exact_mass += item.frequency;
+  if (exact_mass == 0) return 0;
+  double estimated_mass = 0;
+  for (const TopKSubstring& item : estimated) estimated_mass += item.frequency;
+  return (exact_mass - estimated_mass) / exact_mass;
+}
+
+double TopKNdcg(const std::vector<TopKSubstring>& exact,
+                const std::vector<TopKSubstring>& estimated) {
+  if (exact.empty()) return 1.0;
+  auto dcg = [](const std::vector<TopKSubstring>& list, std::size_t limit) {
+    double sum = 0;
+    for (std::size_t rank = 0; rank < std::min(limit, list.size()); ++rank) {
+      sum += static_cast<double>(list[rank].frequency) /
+             std::log2(static_cast<double>(rank) + 2.0);
+    }
+    return sum;
+  };
+  const double ideal = dcg(exact, exact.size());
+  if (ideal == 0) return 1.0;
+  return dcg(estimated, exact.size()) / ideal;
+}
+
+index_t LongestReportedLength(const std::vector<TopKSubstring>& list) {
+  index_t longest = 0;
+  for (const TopKSubstring& item : list) {
+    longest = std::max(longest, item.length);
+  }
+  return longest;
+}
+
+}  // namespace usi

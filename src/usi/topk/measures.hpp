@@ -1,0 +1,40 @@
+#ifndef USI_TOPK_MEASURES_HPP_
+#define USI_TOPK_MEASURES_HPP_
+
+/// \file measures.hpp
+/// Quality measures of Section IX-B: Accuracy, Relative Error, NDCG.
+///
+/// Accuracy follows the paper's definition — "the percentage of substrings in
+/// T'_K with the same frequency as those in T_K" — evaluated as the multiset
+/// overlap between the two frequency lists, so an estimator earns credit for
+/// each reported substring whose (estimated) frequency is matched one-to-one
+/// against an exact top-K frequency. Relative Error and NDCG use the reported
+/// frequencies as-is; Approximate-Top-K under-estimates one-sidedly, so RE is
+/// non-negative for it.
+
+#include <vector>
+
+#include "usi/topk/topk_types.hpp"
+
+namespace usi {
+
+/// Accuracy in percent (0..100).
+double TopKAccuracyPercent(const std::vector<TopKSubstring>& exact,
+                           const std::vector<TopKSubstring>& estimated);
+
+/// Relative error of the total reported frequency mass.
+double TopKRelativeError(const std::vector<TopKSubstring>& exact,
+                         const std::vector<TopKSubstring>& estimated);
+
+/// Normalized discounted cumulative gain, with the exact frequencies as the
+/// ideal gains (Jarvelin & Kekalainen [54]).
+double TopKNdcg(const std::vector<TopKSubstring>& exact,
+                const std::vector<TopKSubstring>& estimated);
+
+/// Longest reported substring length (the Section IX diagnostic for why TT
+/// and SH fail on IOT-like data).
+index_t LongestReportedLength(const std::vector<TopKSubstring>& list);
+
+}  // namespace usi
+
+#endif  // USI_TOPK_MEASURES_HPP_

@@ -1,0 +1,114 @@
+#ifndef USI_TOPK_SUBSTRING_STATS_HPP_
+#define USI_TOPK_SUBSTRING_STATS_HPP_
+
+/// \file substring_stats.hpp
+/// The linear-space data structure of Section V.
+///
+/// Holds the suffix-tree node table T (sorted by frequency desc, string
+/// depth asc) and the parallel prefix arrays Q (cumulative number of distinct
+/// substrings) and L (cumulative number of distinct lengths). It serves the
+/// three tasks of Section V:
+///   (i)  Exact-Top-K: list the top-K frequent substrings as <length, lb, rb>
+///        triplets in O(n + K) (Theorem 2);
+///   (ii) given K, report tau_K and L_K (query/construction-time tuning) in
+///        O(log n);
+///   (iii) given tau, report K_tau and L_tau (size tuning) in O(log n).
+///
+/// The structure also owns SA and LCP so the USI index can share them instead
+/// of rebuilding (the paper's construction reuses the same index of S).
+
+#include <vector>
+
+#include "usi/suffix/esa.hpp"
+#include "usi/text/alphabet.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Section V data structure (T, Q, L + the suffix array view).
+class SubstringStats {
+ public:
+  /// Builds SA, LCP, enumerates suffix-tree nodes and radix sorts them.
+  /// O(n) time, O(n) space.
+  explicit SubstringStats(const Text& text);
+
+  /// Task (ii): tuning parameters implied by a choice of K.
+  struct KTuning {
+    index_t tau;          ///< tau_K: min frequency among the top-K substrings.
+    index_t num_lengths;  ///< L_K: distinct lengths among them.
+  };
+  KTuning EstimateForK(u64 k) const;
+
+  /// Task (iii): tuning parameters implied by a choice of tau.
+  struct TauTuning {
+    u64 num_substrings;   ///< K_tau: number of tau-frequent substrings.
+    index_t num_lengths;  ///< L_tau.
+  };
+  TauTuning EstimateForTau(index_t tau) const;
+
+  /// Task (i): the top-K frequent substrings with exact frequencies and SA
+  /// intervals, most frequent first, ties broken shorter-first.
+  TopKList TopK(u64 k) const;
+
+  /// One point of the (tau, K, L) trade-off curve. Section X proposes
+  /// enumerating these to choose the USI operating point (cf. the skyline
+  /// operator [58]): tau drives the query-time bound O(m + tau), K the table
+  /// size O(n + K), and L the construction time O(n * L).
+  struct TradeOffPoint {
+    index_t tau = 0;
+    u64 k = 0;
+    index_t num_lengths = 0;
+  };
+
+  /// The full trade-off curve: one point per distinct substring frequency,
+  /// in decreasing tau order. O(n) time, at most n points.
+  std::vector<TradeOffPoint> TradeOffCurve() const;
+
+  /// The point with the largest K not exceeding \p max_table_entries — the
+  /// best query-time bound achievable within a hash-table budget. Returns a
+  /// zero point when even the smallest K overshoots.
+  TradeOffPoint RecommendForBudget(u64 max_table_entries) const;
+
+  /// Total number of distinct substrings of the text.
+  u64 TotalDistinctSubstrings() const { return q_.empty() ? 0 : q_.back(); }
+
+  /// Shared suffix array of the text.
+  const std::vector<index_t>& sa() const { return sa_; }
+
+  /// Releases the suffix array so the USI index can adopt it instead of
+  /// rebuilding (the stats object must not serve further TopK calls after
+  /// this). The paper's construction reuses the same index of S this way.
+  std::vector<index_t> TakeSa() { return std::move(sa_); }
+
+  /// Shared LCP array.
+  const std::vector<index_t>& lcp() const { return lcp_; }
+
+  /// Number of triplets in T (explicit suffix-tree nodes).
+  std::size_t NodeCount() const { return t_.size(); }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  /// One row of T: a suffix-tree node with its frequency and edge interval
+  /// of string depths (parent_depth, depth].
+  struct Triplet {
+    index_t frequency;
+    index_t depth;
+    index_t parent_depth;
+    index_t lb;
+    index_t rb;
+  };
+
+  index_t n_ = 0;
+  std::vector<index_t> sa_;
+  std::vector<index_t> lcp_;
+  std::vector<Triplet> t_;
+  std::vector<u64> q_;      ///< q_[i] = distinct substrings in t_[0..i].
+  std::vector<index_t> l_;  ///< l_[i] = distinct lengths in t_[0..i].
+};
+
+}  // namespace usi
+
+#endif  // USI_TOPK_SUBSTRING_STATS_HPP_

@@ -1,0 +1,45 @@
+#ifndef USI_TOPK_TOPK_TRIE_HPP_
+#define USI_TOPK_TOPK_TRIE_HPP_
+
+/// \file topk_trie.hpp
+/// Top-K Trie (Section VII): the Misra-Gries-on-a-trie scheme of Dinklage,
+/// Fischer & Prezza [25], adapted to the substrings of one string.
+///
+/// A trie of at most K nodes is maintained while scanning S left to right.
+/// At each position the scan walks down the trie along the text, incrementing
+/// the counter of every matched node; when the walk falls off the trie, one
+/// extension node is admitted if the budget allows, otherwise a global
+/// Misra-Gries decrement is charged (implemented as a lazily-applied debt,
+/// with periodic pruning of nodes whose counter fell to the debt level).
+/// Reported counts are count - debt: one-sided lower bounds, exactly the
+/// Misra-Gries guarantee. As Section VII proves, the scheme fails on long
+/// periodic inputs — the trie cannot retain deep paths under eviction
+/// pressure — which the adversarial tests and benches demonstrate.
+
+#include "usi/text/alphabet.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Tuning knobs for Top-K Trie.
+struct TopKTrieOptions {
+  std::size_t node_budget = 0;  ///< Max trie nodes; 0 = 4k (a small multiple
+                                ///< of k keeps recall reasonable, as in [25]).
+  index_t max_depth = 4096;     ///< Cap on per-position walk depth.
+};
+
+/// Cost/shape counters for the benches.
+struct TopKTrieStats {
+  u64 total_walk_steps = 0;   ///< Trie edges traversed over the whole scan.
+  u64 evictions = 0;          ///< Misra-Gries decrement events (debt).
+  std::size_t space_bytes = 0;
+};
+
+/// Estimates the top-\p k frequent substrings of \p text.
+TopKList TopKTrie(const Text& text, u64 k, const TopKTrieOptions& options = {},
+                  TopKTrieStats* stats = nullptr);
+
+}  // namespace usi
+
+#endif  // USI_TOPK_TOPK_TRIE_HPP_

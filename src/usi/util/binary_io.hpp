@@ -1,0 +1,107 @@
+#ifndef USI_UTIL_BINARY_IO_HPP_
+#define USI_UTIL_BINARY_IO_HPP_
+
+/// \file binary_io.hpp
+/// Minimal binary (de)serialization over stdio, used to persist indexes.
+/// Little-endian host assumed (checked via a magic word on load); values are
+/// written raw, vectors as a u64 length followed by the elements.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Buffered binary writer. All writes abort the stream on failure; check
+/// ok() once at the end.
+class BinaryWriter {
+ public:
+  /// Opens \p path for writing (truncates).
+  explicit BinaryWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {}
+
+  ~BinaryWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Whether every write so far succeeded.
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  /// Writes one trivially-copyable value.
+  template <typename T>
+  void Write(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok()) return;
+    failed_ |= std::fwrite(&value, sizeof(T), 1, file_) != 1;
+  }
+
+  /// Writes a vector as length + raw elements.
+  template <typename T>
+  void WriteVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<u64>(values.size());
+    if (!ok() || values.empty()) return;
+    failed_ |=
+        std::fwrite(values.data(), sizeof(T), values.size(), file_) !=
+        values.size();
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+/// Buffered binary reader mirroring BinaryWriter.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")) {}
+
+  ~BinaryReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  /// Whether every read so far succeeded.
+  bool ok() const { return file_ != nullptr && !failed_; }
+
+  /// Reads one trivially-copyable value.
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!ok()) return false;
+    failed_ |= std::fread(value, sizeof(T), 1, file_) != 1;
+    return ok();
+  }
+
+  /// Reads a vector written by WriteVector. Lengths above \p max_elements
+  /// are treated as corruption (guards against unbounded allocation).
+  template <typename T>
+  bool ReadVector(std::vector<T>* values, u64 max_elements = u64{1} << 40) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64 size = 0;
+    if (!Read(&size) || size > max_elements) {
+      failed_ = true;
+      return false;
+    }
+    values->resize(size);
+    if (size == 0) return true;
+    failed_ |= std::fread(values->data(), sizeof(T), size, file_) != size;
+    return ok();
+  }
+
+ private:
+  std::FILE* file_;
+  bool failed_ = false;
+};
+
+}  // namespace usi
+
+#endif  // USI_UTIL_BINARY_IO_HPP_

@@ -1,0 +1,42 @@
+#include "usi/util/bit_vector.hpp"
+
+namespace usi {
+
+RankBitVector::RankBitVector(const BitVector& bits, std::size_t num_bits)
+    : num_bits_(num_bits) {
+  const std::size_t num_words = (num_bits + 63) / 64;
+  words_.assign(num_words, 0);
+  for (std::size_t i = 0; i < num_bits; ++i) {
+    if (bits.Test(i)) words_[i >> 6] |= (u64{1} << (i & 63));
+  }
+  const std::size_t num_blocks = (num_words + kWordsPerBlock - 1) / kWordsPerBlock;
+  block_rank_.assign(num_blocks + 1, 0);
+  u64 running = 0;
+  for (std::size_t block = 0; block < num_blocks; ++block) {
+    block_rank_[block] = running;
+    const std::size_t end = std::min(num_words, (block + 1) * kWordsPerBlock);
+    for (std::size_t word = block * kWordsPerBlock; word < end; ++word) {
+      running += static_cast<u64>(__builtin_popcountll(words_[word]));
+    }
+  }
+  block_rank_[num_blocks] = running;
+  ones_ = static_cast<std::size_t>(running);
+}
+
+std::size_t RankBitVector::Rank1(std::size_t i) const {
+  USI_DCHECK(i <= num_bits_);
+  const std::size_t word_index = i >> 6;
+  const std::size_t block = word_index / kWordsPerBlock;
+  u64 rank = block_rank_[block];
+  for (std::size_t w = block * kWordsPerBlock; w < word_index; ++w) {
+    rank += static_cast<u64>(__builtin_popcountll(words_[w]));
+  }
+  const std::size_t tail_bits = i & 63;
+  if (tail_bits != 0) {
+    const u64 mask = (u64{1} << tail_bits) - 1;
+    rank += static_cast<u64>(__builtin_popcountll(words_[word_index] & mask));
+  }
+  return static_cast<std::size_t>(rank);
+}
+
+}  // namespace usi

@@ -1,0 +1,113 @@
+#ifndef USI_UTIL_BIT_VECTOR_HPP_
+#define USI_UTIL_BIT_VECTOR_HPP_
+
+/// \file bit_vector.hpp
+/// Plain and rank-enabled bit vectors.
+///
+/// USI_TOP-K construction (Section IV, phase (ii)) marks the occurrence start
+/// positions of all top-K substrings of one length in an n-bit vector B_l and
+/// then streams a window over the text. BitVector is that vector; it supports
+/// O(1) set/test/clear and a fast "clear only what was set" reset so one
+/// buffer is reused across the L_K distinct lengths. RankBitVector adds
+/// popcount-based rank for the succinct-structure tests and ablations.
+
+#include <cstddef>
+#include <vector>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Fixed-capacity bit vector backed by 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a vector of \p num_bits zero bits.
+  explicit BitVector(std::size_t num_bits) { Resize(num_bits); }
+
+  /// Resizes to \p num_bits, zeroing all content.
+  void Resize(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  /// Number of addressable bits.
+  std::size_t size() const { return num_bits_; }
+
+  /// Sets bit \p i.
+  void Set(std::size_t i) {
+    USI_DCHECK(i < num_bits_);
+    words_[i >> 6] |= (u64{1} << (i & 63));
+  }
+
+  /// Clears bit \p i.
+  void Clear(std::size_t i) {
+    USI_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(u64{1} << (i & 63));
+  }
+
+  /// Tests bit \p i.
+  bool Test(std::size_t i) const {
+    USI_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Zeroes every word (O(n/64)).
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t total = 0;
+    for (u64 word : words_) total += static_cast<std::size_t>(__builtin_popcountll(word));
+    return total;
+  }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const { return words_.capacity() * sizeof(u64); }
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<u64> words_;
+};
+
+/// Bit vector with O(1) rank support (one superblock count per 512 bits plus
+/// per-word popcounts at query time). Build once, then query.
+class RankBitVector {
+ public:
+  RankBitVector() = default;
+
+  /// Takes ownership of the bits of \p bits and builds the rank directory.
+  explicit RankBitVector(const BitVector& bits, std::size_t num_bits);
+
+  /// rank1(i): number of set bits strictly before position \p i.
+  std::size_t Rank1(std::size_t i) const;
+
+  /// Total set bits.
+  std::size_t Ones() const { return ones_; }
+
+  /// Tests bit \p i.
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of addressable bits.
+  std::size_t size() const { return num_bits_; }
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const {
+    return words_.capacity() * sizeof(u64) + block_rank_.capacity() * sizeof(u64);
+  }
+
+ private:
+  static constexpr std::size_t kWordsPerBlock = 8;  // 512-bit superblocks.
+
+  std::size_t num_bits_ = 0;
+  std::size_t ones_ = 0;
+  std::vector<u64> words_;
+  std::vector<u64> block_rank_;  // Set bits before each superblock.
+};
+
+}  // namespace usi
+
+#endif  // USI_UTIL_BIT_VECTOR_HPP_

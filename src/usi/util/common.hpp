@@ -1,0 +1,49 @@
+#ifndef USI_UTIL_COMMON_HPP_
+#define USI_UTIL_COMMON_HPP_
+
+/// \file common.hpp
+/// Project-wide primitive aliases and assertion macros.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace usi {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Index type used for text positions and suffix-array entries. Laptop-scale
+/// texts fit in 32 bits; using a fixed-width type keeps the suffix structures
+/// compact (half the footprint of size_t-based arrays).
+using index_t = std::uint32_t;
+
+/// Sentinel for "no position".
+inline constexpr index_t kInvalidIndex = static_cast<index_t>(-1);
+
+/// Always-on invariant check. Used for cheap structural invariants whose
+/// violation means a bug, not bad user input; benches rely on correctness, so
+/// these stay enabled in release builds.
+#define USI_CHECK(cond)                                                        \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "USI_CHECK failed at %s:%d: %s\n", __FILE__,        \
+                   __LINE__, #cond);                                           \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifndef NDEBUG
+#define USI_DCHECK(cond) USI_CHECK(cond)
+#else
+#define USI_DCHECK(cond) ((void)0)
+#endif
+
+}  // namespace usi
+
+#endif  // USI_UTIL_COMMON_HPP_

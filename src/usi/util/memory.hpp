@@ -1,0 +1,36 @@
+#ifndef USI_UTIL_MEMORY_HPP_
+#define USI_UTIL_MEMORY_HPP_
+
+/// \file memory.hpp
+/// Memory accounting for the space experiments (Fig. 5a-d, Fig. 6k-p).
+///
+/// The paper reports peak resident set size (/usr/bin/time -v) and index size
+/// (mallinfo2). At laptop scale we report (a) the process peak RSS read from
+/// /proc/self/status and (b) exact structure footprints via the per-structure
+/// SizeInBytes() methods every index in this repository implements.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace usi {
+
+/// Reads VmHWM (peak resident set size) in bytes from /proc/self/status.
+/// Returns 0 if unavailable (non-Linux).
+std::size_t ReadPeakRssBytes();
+
+/// Reads VmRSS (current resident set size) in bytes.
+std::size_t ReadCurrentRssBytes();
+
+/// Formats a byte count as a human-readable string ("1.25 GB").
+std::string FormatBytes(std::size_t bytes);
+
+/// Heap footprint of a vector (capacity, not size).
+template <typename T>
+std::size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace usi
+
+#endif  // USI_UTIL_MEMORY_HPP_

@@ -1,0 +1,72 @@
+#ifndef USI_UTIL_RADIX_SORT_HPP_
+#define USI_UTIL_RADIX_SORT_HPP_
+
+/// \file radix_sort.hpp
+/// LSD radix sort for integer-keyed records.
+///
+/// The Section V structure sorts up to 2n-1 suffix-tree node triplets by
+/// (frequency desc, string-depth asc); both key components are bounded by n,
+/// so two counting-sort passes beat comparison sorting. The sorter is generic
+/// over the key extractor so the same code sorts lcp-interval tuples in the
+/// sparse rounds of Approximate-Top-K (Section VI, Step 3).
+
+#include <cstddef>
+#include <vector>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Stable LSD radix sort of \p items by a u64 key in [0, key_bound), using
+/// 16-bit digits. Only as many passes as \p key_bound requires are run.
+///
+/// \tparam T item type.
+/// \tparam KeyFn callable T const& -> u64.
+template <typename T, typename KeyFn>
+void RadixSortByKey(std::vector<T>* items, u64 key_bound, KeyFn key_fn) {
+  if (items->size() <= 1) return;
+  constexpr int kDigitBits = 16;
+  constexpr std::size_t kBuckets = std::size_t{1} << kDigitBits;
+  int passes = 0;
+  for (u64 bound = (key_bound == 0 ? 1 : key_bound - 1); bound > 0;
+       bound >>= kDigitBits) {
+    ++passes;
+  }
+  if (passes == 0) passes = 1;
+
+  std::vector<T> scratch(items->size());
+  std::vector<std::size_t> count(kBuckets);
+  std::vector<T>* src = items;
+  std::vector<T>* dst = &scratch;
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * kDigitBits;
+    std::fill(count.begin(), count.end(), 0);
+    for (const T& item : *src) {
+      ++count[(key_fn(item) >> shift) & (kBuckets - 1)];
+    }
+    std::size_t offset = 0;
+    for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+      const std::size_t c = count[bucket];
+      count[bucket] = offset;
+      offset += c;
+    }
+    for (const T& item : *src) {
+      (*dst)[count[(key_fn(item) >> shift) & (kBuckets - 1)]++] = item;
+    }
+    std::swap(src, dst);
+  }
+  if (src != items) *items = std::move(*src);
+}
+
+/// Descending variant: sorts by (key_bound - 1 - key).
+template <typename T, typename KeyFn>
+void RadixSortByKeyDescending(std::vector<T>* items, u64 key_bound,
+                              KeyFn key_fn) {
+  RadixSortByKey(items, key_bound, [&](const T& item) {
+    return key_bound - 1 - key_fn(item);
+  });
+}
+
+}  // namespace usi
+
+#endif  // USI_UTIL_RADIX_SORT_HPP_

@@ -1,0 +1,99 @@
+#ifndef USI_UTIL_RNG_HPP_
+#define USI_UTIL_RNG_HPP_
+
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation (xoshiro256**).
+///
+/// Everything in the repository that uses randomness (dataset generators,
+/// workload builders, fingerprint bases, HeavyKeeper decay coin flips) goes
+/// through this generator so runs are reproducible from a printed seed.
+
+#include <cstdint>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the four state words from a single 64-bit seed via splitmix64.
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ULL) { Reseed(seed); }
+
+  /// Re-initializes the state from \p seed.
+  void Reseed(u64 seed) {
+    for (auto& word : state_) {
+      word = SplitMix64(&seed);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  u64 Next() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). \p bound must be positive.
+  u64 UniformBelow(u64 bound) {
+    USI_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless method with rejection.
+    const auto mul = [&](u64 x) {
+      return static_cast<unsigned __int128>(x) *
+             static_cast<unsigned __int128>(bound);
+    };
+    unsigned __int128 m = mul(Next());
+    auto low = static_cast<u64>(m);
+    if (low < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = mul(Next());
+        low = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  u64 UniformInRange(u64 lo, u64 hi) {
+    USI_DCHECK(lo <= hi);
+    return lo + UniformBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability \p p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Stateless 64-bit mixer, also used to derive independent sub-seeds.
+  static u64 SplitMix64(u64* state) {
+    u64 z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Mixes a value with a salt; handy for deterministic per-item coins.
+  static u64 Mix(u64 value, u64 salt) {
+    u64 state = value ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return SplitMix64(&state);
+  }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  u64 state_[4];
+};
+
+}  // namespace usi
+
+#endif  // USI_UTIL_RNG_HPP_

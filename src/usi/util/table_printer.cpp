@@ -1,0 +1,56 @@
+#include "usi/util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace usi {
+
+void TablePrinter::Print() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s", static_cast<int>(widths[i] + 3), row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::printf("%s\n", std::string(total, '-').c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::Int(long long value) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%lld", value);
+  std::string raw = digits;
+  std::string out;
+  const bool negative = !raw.empty() && raw[0] == '-';
+  const std::size_t start = negative ? 1 : 0;
+  const std::size_t len = raw.size() - start;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i > 0 && (len - i) % 3 == 0) out.push_back(',');
+    out.push_back(raw[start + i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+}  // namespace usi

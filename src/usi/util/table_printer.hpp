@@ -1,0 +1,43 @@
+#ifndef USI_UTIL_TABLE_PRINTER_HPP_
+#define USI_UTIL_TABLE_PRINTER_HPP_
+
+/// \file table_printer.hpp
+/// Fixed-width ASCII table output for the figure/table benches. Each bench
+/// binary prints the same rows/series the paper's plot reports, so the
+/// "shape" claims (who wins, by what factor) can be read straight off stdout.
+
+#include <string>
+#include <vector>
+
+namespace usi {
+
+/// Accumulates rows of stringified cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// \p title is printed as a banner above the table.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row (cells already formatted).
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+  /// Formats a double with \p precision fraction digits.
+  static std::string Num(double value, int precision = 2);
+
+  /// Formats an integer with thousands separators.
+  static std::string Int(long long value);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace usi
+
+#endif  // USI_UTIL_TABLE_PRINTER_HPP_

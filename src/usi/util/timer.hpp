@@ -1,0 +1,35 @@
+#ifndef USI_UTIL_TIMER_HPP_
+#define USI_UTIL_TIMER_HPP_
+
+/// \file timer.hpp
+/// Wall-clock timing helpers used by the benchmark harness (the paper times
+/// queries and construction with std::chrono; so do we).
+
+#include <chrono>
+
+namespace usi {
+
+/// Monotonic stopwatch. Starts on construction; Restart() re-arms it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Re-arms the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace usi
+
+#endif  // USI_UTIL_TIMER_HPP_

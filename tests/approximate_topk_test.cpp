@@ -1,0 +1,142 @@
+// Tests for Approximate-Top-K (Section VI): exactness at s=1, one-sided
+// frequency error, accuracy across backends and datasets.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/topk/approximate_topk.hpp"
+#include "usi/topk/exact_topk.hpp"
+#include "usi/topk/measures.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+TEST(ApproximateTopK, SingleRoundIsExact) {
+  // With s = 1 every position is sampled, so frequencies are exact and the
+  // result must match Exact-Top-K's frequency profile.
+  for (u64 seed : {1ULL, 2ULL}) {
+    const Text text = testing::RandomText(400, 3, seed);
+    ApproximateTopKOptions options;
+    options.rounds = 1;
+    options.lce_backend = LceBackendKind::kRmq;
+    const TopKList approx = ApproximateTopK(text, 30, options);
+    const TopKList exact = ExactTopK(text, 30);
+    EXPECT_DOUBLE_EQ(TopKAccuracyPercent(exact.items, approx.items), 100.0);
+    // Reported frequencies must be the true ones.
+    for (const TopKSubstring& item : approx.items) {
+      const Text pattern(text.begin() + item.witness,
+                         text.begin() + item.witness + item.length);
+      EXPECT_EQ(item.frequency,
+                testing::BruteOccurrences(text, pattern).size());
+    }
+  }
+}
+
+TEST(ApproximateTopK, FrequenciesNeverOverestimate) {
+  // Section VI: the error is one-sided; reported frequencies lower-bound the
+  // truth.
+  for (u32 rounds : {2u, 4u, 8u}) {
+    const Text text = MakeAdvLike(3000, rounds).text();
+    ApproximateTopKOptions options;
+    options.rounds = rounds;
+    const TopKList approx = ApproximateTopK(text, 100, options);
+    ASSERT_FALSE(approx.items.empty());
+    for (const TopKSubstring& item : approx.items) {
+      const Text pattern(text.begin() + item.witness,
+                         text.begin() + item.witness + item.length);
+      EXPECT_LE(item.frequency,
+                testing::BruteOccurrences(text, pattern).size())
+          << "rounds=" << rounds;
+    }
+  }
+}
+
+TEST(ApproximateTopK, NoDuplicateSubstringsInReport) {
+  const Text text = MakeDnaLike(2000, 3).text();
+  ApproximateTopKOptions options;
+  options.rounds = 4;
+  const TopKList approx = ApproximateTopK(text, 150, options);
+  std::map<std::string, int> seen;
+  for (const TopKSubstring& item : approx.items) {
+    ++seen[testing::MaterializeString(text, item)];
+  }
+  for (const auto& [s, count] : seen) {
+    EXPECT_EQ(count, 1) << s;
+  }
+}
+
+struct BackendCase {
+  const char* name;
+  LceBackendKind backend;
+};
+
+class ApproxBackendTest : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(ApproxBackendTest, AccurateOnSmallRoundCounts) {
+  const Text text = MakeXmlLike(4000, 11).text();
+  ApproximateTopKOptions options;
+  options.rounds = 4;
+  options.lce_backend = GetParam().backend;
+  const TopKList approx = ApproximateTopK(text, 200, options);
+  const TopKList exact = ExactTopK(text, 200);
+  // The paper reports >= 76.5% accuracy across all settings; with s = 4 on
+  // this size the sampling estimate should be well above that.
+  EXPECT_GE(TopKAccuracyPercent(exact.items, approx.items), 70.0);
+  EXPECT_GE(TopKNdcg(exact.items, approx.items), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ApproxBackendTest,
+    ::testing::Values(BackendCase{"sampled_kr", LceBackendKind::kSampledKr},
+                      BackendCase{"full_kr", LceBackendKind::kFullKr},
+                      BackendCase{"rmq", LceBackendKind::kRmq},
+                      BackendCase{"naive", LceBackendKind::kNaive}),
+    [](const ::testing::TestParamInfo<BackendCase>& info) {
+      return info.param.name;
+    });
+
+class ApproxRoundsSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(ApproxRoundsSweep, AccuracyDegradesGracefullyWithS) {
+  const u32 s = GetParam();
+  const Text text = MakeEcoliLike(3000, 21).text();
+  ApproximateTopKOptions options;
+  options.rounds = s;
+  const TopKList approx = ApproximateTopK(text, 100, options);
+  const TopKList exact = ExactTopK(text, 100);
+  const double accuracy = TopKAccuracyPercent(exact.items, approx.items);
+  // Even at large s the estimate should keep a meaningful fraction; at small
+  // s it should be near-exact (Fig. 3j / 4a-c trend).
+  if (s <= 4) {
+    EXPECT_GE(accuracy, 80.0) << "s=" << s;
+  } else {
+    EXPECT_GE(accuracy, 30.0) << "s=" << s;
+  }
+  EXPECT_EQ(approx.items.size(), exact.items.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, ApproxRoundsSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(ApproximateTopK, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(ApproximateTopK({}, 10).items.empty());
+  EXPECT_TRUE(ApproximateTopK(testing::T("abc"), 0).items.empty());
+  const TopKList tiny = ApproximateTopK(testing::T("a"), 5);
+  ASSERT_EQ(tiny.items.size(), 1u);
+  EXPECT_EQ(tiny.items[0].frequency, 1u);
+}
+
+TEST(ApproximateTopK, MoreRoundsThanTextLength) {
+  const Text text = testing::T("abcab");
+  ApproximateTopKOptions options;
+  options.rounds = 100;  // Rounds beyond n are skipped.
+  const TopKList approx = ApproximateTopK(text, 5, options);
+  EXPECT_FALSE(approx.items.empty());
+}
+
+}  // namespace
+}  // namespace usi

@@ -1,0 +1,159 @@
+// Tests for BSL1-BSL4: answer correctness, cache semantics, and size
+// ordering.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/baselines.hpp"
+#include "usi/suffix/suffix_array.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+struct BaselineFixture {
+  WeightedString ws;
+  std::vector<index_t> sa;
+  PrefixSumWeights psw;
+  BaselineContext context;
+
+  explicit BaselineFixture(index_t n = 300, u64 seed = 7)
+      : ws(testing::RandomWeighted(n, 3, seed)),
+        sa(BuildSuffixArray(ws.text())),
+        psw(ws) {
+    context.ws = &ws;
+    context.sa = &sa;
+    context.psw = &psw;
+    context.cache_capacity = 16;
+  }
+};
+
+class BaselineTest : public ::testing::TestWithParam<BaselineKind> {};
+
+TEST_P(BaselineTest, AnswersMatchBruteForce) {
+  BaselineFixture fx;
+  auto baseline = MakeBaseline(GetParam(), fx.context);
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const index_t len = static_cast<index_t>(rng.UniformInRange(1, 6));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(fx.ws.size() - len));
+    const Text pattern = fx.ws.Fragment(start, len);
+    const QueryResult got = baseline->Query(pattern);
+    const QueryResult want =
+        testing::BruteUtility(fx.ws, pattern, GlobalUtilityKind::kSum);
+    ASSERT_NEAR(got.utility, want.utility, 1e-9) << baseline->Name();
+  }
+}
+
+TEST_P(BaselineTest, RepeatedQueriesStayCorrect) {
+  BaselineFixture fx;
+  auto baseline = MakeBaseline(GetParam(), fx.context);
+  const Text pattern = fx.ws.Fragment(5, 3);
+  const double expected =
+      testing::BruteUtility(fx.ws, pattern, GlobalUtilityKind::kSum).utility;
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_NEAR(baseline->Query(pattern).utility, expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BaselineTest,
+                         ::testing::Values(BaselineKind::kBsl1,
+                                           BaselineKind::kBsl2,
+                                           BaselineKind::kBsl3,
+                                           BaselineKind::kBsl4),
+                         [](const ::testing::TestParamInfo<BaselineKind>& info) {
+                           switch (info.param) {
+                             case BaselineKind::kBsl1: return "BSL1";
+                             case BaselineKind::kBsl2: return "BSL2";
+                             case BaselineKind::kBsl3: return "BSL3";
+                             case BaselineKind::kBsl4: return "BSL4";
+                           }
+                           return "?";
+                         });
+
+TEST(Baselines, Bsl1NeverCaches) {
+  BaselineFixture fx;
+  auto baseline = MakeBaseline(BaselineKind::kBsl1, fx.context);
+  const Text pattern = fx.ws.Fragment(0, 3);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_FALSE(baseline->Query(pattern).from_hash_table);
+  }
+}
+
+TEST(Baselines, Bsl2CachesRecentQueries) {
+  BaselineFixture fx;
+  auto baseline = MakeBaseline(BaselineKind::kBsl2, fx.context);
+  const Text pattern = fx.ws.Fragment(0, 3);
+  EXPECT_FALSE(baseline->Query(pattern).from_hash_table);  // Miss, computed.
+  EXPECT_TRUE(baseline->Query(pattern).from_hash_table);   // Now cached.
+}
+
+TEST(Baselines, Bsl2EvictsWhenCapacityExceeded) {
+  BaselineFixture fx;
+  fx.context.cache_capacity = 2;
+  auto baseline = MakeBaseline(BaselineKind::kBsl2, fx.context);
+  const Text a = fx.ws.Fragment(0, 4);
+  const Text b = fx.ws.Fragment(10, 4);
+  const Text c = fx.ws.Fragment(20, 4);
+  baseline->Query(a);
+  baseline->Query(b);
+  baseline->Query(c);  // Evicts a (least recently used).
+  EXPECT_FALSE(baseline->Query(a).from_hash_table);
+}
+
+TEST(Baselines, Bsl3CachesFrequentQueries) {
+  BaselineFixture fx;
+  fx.context.cache_capacity = 2;
+  auto baseline = MakeBaseline(BaselineKind::kBsl3, fx.context);
+  const Text hot = fx.ws.Fragment(0, 4);
+  const Text cold1 = fx.ws.Fragment(10, 4);
+  const Text cold2 = fx.ws.Fragment(20, 4);
+  // Make `hot` popular.
+  for (int rep = 0; rep < 5; ++rep) baseline->Query(hot);
+  // A parade of one-off queries must not evict it.
+  baseline->Query(cold1);
+  baseline->Query(cold2);
+  EXPECT_TRUE(baseline->Query(hot).from_hash_table);
+}
+
+TEST(Baselines, SizesAreOrderedSensibly) {
+  BaselineFixture fx(2000, 9);
+  fx.context.cache_capacity = 64;
+  auto b1 = MakeBaseline(BaselineKind::kBsl1, fx.context);
+  auto b2 = MakeBaseline(BaselineKind::kBsl2, fx.context);
+  auto b3 = MakeBaseline(BaselineKind::kBsl3, fx.context);
+  // BSL1 has no cache: smallest. Caching baselines add strictly more.
+  EXPECT_LT(b1->SizeInBytes(), b2->SizeInBytes());
+  EXPECT_LT(b1->SizeInBytes(), b3->SizeInBytes());
+  // All are dominated by SA + PSW (within ~25% of each other), as in
+  // Fig. 6k-m where the baselines' index sizes nearly coincide.
+  EXPECT_LT(static_cast<double>(b3->SizeInBytes()),
+            1.25 * static_cast<double>(b1->SizeInBytes()));
+}
+
+TEST(Baselines, AllFourAgreeOnAWorkload) {
+  BaselineFixture fx(1000, 11);
+  std::vector<std::unique_ptr<UsiBaseline>> engines;
+  for (auto kind : {BaselineKind::kBsl1, BaselineKind::kBsl2,
+                    BaselineKind::kBsl3, BaselineKind::kBsl4}) {
+    engines.push_back(MakeBaseline(kind, fx.context));
+  }
+  Rng rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    const index_t len = static_cast<index_t>(rng.UniformInRange(1, 5));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(fx.ws.size() - len));
+    const Text pattern = fx.ws.Fragment(start, len);
+    const double expected = engines[0]->Query(pattern).utility;
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      ASSERT_NEAR(engines[e]->Query(pattern).utility, expected, 1e-9)
+          << engines[e]->Name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usi

@@ -1,0 +1,150 @@
+// Cross-cutting property tests: algebraic relations between utility kinds,
+// determinism guarantees, and degenerate-input behavior across the stack.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/core/workload.hpp"
+#include "usi/hash/karp_rabin.hpp"
+#include "usi/topk/approximate_topk.hpp"
+#include "usi/topk/substring_stats.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+TEST(UtilityAlgebra, MinLeqAvgLeqMaxAndSumEqualsAvgTimesCount) {
+  const WeightedString ws = testing::RandomWeighted(400, 3, 3);
+  UsiOptions options;
+  options.k = 100;
+  options.utility = GlobalUtilityKind::kMin;
+  const UsiIndex min_index(ws, options);
+  options.utility = GlobalUtilityKind::kMax;
+  const UsiIndex max_index(ws, options);
+  options.utility = GlobalUtilityKind::kAvg;
+  const UsiIndex avg_index(ws, options);
+  options.utility = GlobalUtilityKind::kSum;
+  const UsiIndex sum_index(ws, options);
+
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const index_t len = static_cast<index_t>(rng.UniformInRange(1, 6));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+    const Text pattern = ws.Fragment(start, len);
+    const QueryResult min_r = min_index.Query(pattern);
+    const QueryResult max_r = max_index.Query(pattern);
+    const QueryResult avg_r = avg_index.Query(pattern);
+    const QueryResult sum_r = sum_index.Query(pattern);
+    ASSERT_EQ(min_r.occurrences, sum_r.occurrences);
+    if (sum_r.occurrences == 0) continue;
+    ASSERT_LE(min_r.utility, avg_r.utility + 1e-9);
+    ASSERT_LE(avg_r.utility, max_r.utility + 1e-9);
+    ASSERT_NEAR(sum_r.utility,
+                avg_r.utility * static_cast<double>(sum_r.occurrences), 1e-6);
+  }
+}
+
+TEST(Determinism, ApproximateTopKIsSeedDeterministic) {
+  const Text text = MakeXmlLike(5000, 9).text();
+  ApproximateTopKOptions options;
+  options.rounds = 4;
+  options.seed = 123;
+  const TopKList a = ApproximateTopK(text, 100, options);
+  const TopKList b = ApproximateTopK(text, 100, options);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].frequency, b.items[i].frequency);
+    EXPECT_EQ(a.items[i].length, b.items[i].length);
+    EXPECT_EQ(testing::MaterializeString(text, a.items[i]),
+              testing::MaterializeString(text, b.items[i]));
+  }
+}
+
+TEST(Determinism, HasherFromBaseReconstructsFingerprints) {
+  const KarpRabinHasher original(777);
+  const KarpRabinHasher restored = KarpRabinHasher::FromBase(original.base());
+  const Text text = testing::RandomText(200, 5, 6);
+  EXPECT_EQ(original.Hash(text), restored.Hash(text));
+  EXPECT_EQ(original.PowerOfBase(150), restored.PowerOfBase(150));
+}
+
+TEST(DegenerateTexts, AllDistinctLetters) {
+  // Every substring occurs exactly once: top-K is length-ordered ties.
+  Text text;
+  for (int c = 0; c < 50; ++c) text.push_back(static_cast<Symbol>(c));
+  SubstringStats stats(text);
+  EXPECT_EQ(stats.TotalDistinctSubstrings(), 50u * 51 / 2);
+  const TopKList top = stats.TopK(10);
+  for (const TopKSubstring& item : top.items) {
+    EXPECT_EQ(item.frequency, 1u);
+  }
+  const auto tuning = stats.EstimateForK(10);
+  EXPECT_EQ(tuning.tau, 1u);
+}
+
+TEST(DegenerateTexts, SingleLetterIndex) {
+  const WeightedString ws(Text{3}, {2.5});
+  const UsiIndex index(ws, {});
+  const Text pattern = {3};
+  const QueryResult result = index.Query(pattern);
+  EXPECT_EQ(result.occurrences, 1u);
+  EXPECT_DOUBLE_EQ(result.utility, 2.5);
+}
+
+TEST(DegenerateTexts, UnaryTextTopKAndQueries) {
+  const WeightedString ws = WeightedString::WithUniformWeights(Text(64, 0), 1.0);
+  UsiOptions options;
+  options.k = 20;
+  const UsiIndex index(ws, options);
+  for (index_t len = 1; len <= 64; ++len) {
+    const QueryResult result = index.Query(Text(len, 0));
+    ASSERT_EQ(result.occurrences, 64 - len + 1);
+    ASSERT_DOUBLE_EQ(result.utility,
+                     static_cast<double>(len) * (64 - len + 1));
+  }
+}
+
+TEST(Workloads, ZeroAndFullPBehaveLikeBounds) {
+  const Text text = MakeAdvLike(4000, 5).text();
+  SubstringStats stats(text);
+  const TopKList pool_w1 = stats.TopK(text.size() / 50);
+  const TopKList pool_w2 = stats.TopK(text.size() / 100);
+  WorkloadOptions options;
+  options.num_queries = 400;
+  options.random_max_len = 30;
+  const Workload p0 =
+      MakeWorkloadW2(text, pool_w2.items, pool_w1.items, 0, options);
+  const Workload p100 =
+      MakeWorkloadW2(text, pool_w2.items, pool_w1.items, 100, options);
+  EXPECT_EQ(p0.patterns.size(), 400u);
+  // p=100: every query is a frequent-pool pattern.
+  EXPECT_EQ(p100.from_frequent, 400u);
+}
+
+TEST(NegativeWeights, SupportedThroughout) {
+  // Risk scores can be negative; PSW and all aggregators must cope.
+  Rng rng(8);
+  Text text(300);
+  std::vector<double> weights(300);
+  for (auto& c : text) c = static_cast<Symbol>(rng.UniformBelow(3));
+  for (auto& w : weights) w = rng.UniformDouble() * 2.0 - 1.0;
+  const WeightedString ws(text, weights);
+  UsiOptions options;
+  options.k = 50;
+  const UsiIndex index(ws, options);
+  for (int trial = 0; trial < 200; ++trial) {
+    const index_t len = static_cast<index_t>(rng.UniformInRange(1, 5));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+    const Text pattern = ws.Fragment(start, len);
+    const QueryResult got = index.Query(pattern);
+    const QueryResult want =
+        testing::BruteUtility(ws, pattern, GlobalUtilityKind::kSum);
+    ASSERT_NEAR(got.utility, want.utility, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace usi

@@ -1,0 +1,146 @@
+// Tests for RangeMin and the four LCE backends (parameterized cross-check
+// against the naive oracle).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/hash/karp_rabin.hpp"
+#include "usi/suffix/lce.hpp"
+#include "usi/suffix/rmq.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+TEST(RangeMin, MatchesNaiveScan) {
+  Rng rng(3);
+  std::vector<index_t> values(777);
+  for (auto& v : values) v = static_cast<index_t>(rng.UniformBelow(1000));
+  const RangeMin rmq(values);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::size_t l = rng.UniformBelow(values.size());
+    std::size_t r = rng.UniformBelow(values.size());
+    if (l > r) std::swap(l, r);
+    index_t expected = kInvalidIndex;
+    for (std::size_t i = l; i <= r; ++i) expected = std::min(expected, values[i]);
+    ASSERT_EQ(rmq.Min(l, r), expected) << "[" << l << "," << r << "]";
+  }
+}
+
+TEST(RangeMin, SingleElementRanges) {
+  std::vector<index_t> values = {5, 3, 8, 1};
+  const RangeMin rmq(values);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(rmq.Min(i, i), values[i]);
+  }
+}
+
+TEST(RangeMin, TinyInputs) {
+  std::vector<index_t> one = {42};
+  const RangeMin rmq(one);
+  EXPECT_EQ(rmq.Min(0, 0), 42u);
+}
+
+enum class Backend { kNaive, kRmq, kKr, kSampledKr2, kSampledKr16 };
+
+struct LceCase {
+  const char* name;
+  Backend backend;
+};
+
+class LceTest : public ::testing::TestWithParam<LceCase> {
+ protected:
+  std::unique_ptr<LceOracle> Make(const Text& text) {
+    hasher_ = std::make_unique<KarpRabinHasher>(99);
+    switch (GetParam().backend) {
+      case Backend::kNaive:
+        return std::make_unique<NaiveLce>(text);
+      case Backend::kRmq:
+        return std::make_unique<RmqLce>(text);
+      case Backend::kKr:
+        return std::make_unique<KrLce>(text, *hasher_);
+      case Backend::kSampledKr2:
+        return std::make_unique<SampledKrLce>(text, *hasher_, 2);
+      case Backend::kSampledKr16:
+        return std::make_unique<SampledKrLce>(text, *hasher_, 16);
+    }
+    return nullptr;
+  }
+
+  std::unique_ptr<KarpRabinHasher> hasher_;
+};
+
+TEST_P(LceTest, MatchesNaiveOnRandomText) {
+  const Text text = testing::RandomText(600, 3, 5);
+  const NaiveLce naive(text);
+  const auto oracle = Make(text);
+  Rng rng(6);
+  for (int trial = 0; trial < 1500; ++trial) {
+    const index_t i = static_cast<index_t>(rng.UniformBelow(text.size()));
+    const index_t j = static_cast<index_t>(rng.UniformBelow(text.size()));
+    ASSERT_EQ(oracle->Lce(i, j), naive.Lce(i, j)) << i << "," << j;
+  }
+}
+
+TEST_P(LceTest, MatchesNaiveOnRepetitiveText) {
+  const Text text = MakePeriodic(512, 3, 0).text();
+  const NaiveLce naive(text);
+  const auto oracle = Make(text);
+  for (index_t i = 0; i < 64; ++i) {
+    for (index_t j = 0; j < 64; ++j) {
+      ASSERT_EQ(oracle->Lce(i, j), naive.Lce(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(LceTest, SelfLceIsSuffixLength) {
+  const Text text = testing::RandomText(100, 4, 8);
+  const auto oracle = Make(text);
+  for (index_t i = 0; i < text.size(); ++i) {
+    EXPECT_EQ(oracle->Lce(i, i), text.size() - i);
+  }
+}
+
+TEST_P(LceTest, CompareSuffixesTotalOrder) {
+  const Text text = MakeDnaLike(300, 4).text();
+  const auto oracle = Make(text);
+  const NaiveLce naive(text);
+  Rng rng(10);
+  for (int trial = 0; trial < 500; ++trial) {
+    const index_t i = static_cast<index_t>(rng.UniformBelow(text.size()));
+    const index_t j = static_cast<index_t>(rng.UniformBelow(text.size()));
+    const int got = oracle->CompareSuffixes(i, j);
+    const int want = naive.CompareSuffixes(i, j);
+    ASSERT_EQ(got < 0, want < 0);
+    ASSERT_EQ(got == 0, want == 0);
+  }
+}
+
+TEST_P(LceTest, CompareFragmentsHandlesPrefixRelations) {
+  const Text text = testing::T("abcabcabd");
+  const auto oracle = Make(text);
+  // "abc" vs "abc" at different positions.
+  EXPECT_EQ(oracle->CompareFragments(0, 3, 3, 3), 0);
+  // "abc" < "abca".
+  EXPECT_LT(oracle->CompareFragments(0, 3, 0, 4), 0);
+  // "abca" > "abc".
+  EXPECT_GT(oracle->CompareFragments(0, 4, 3, 3), 0);
+  // "abd" > "abc".
+  EXPECT_GT(oracle->CompareFragments(6, 3, 0, 3), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, LceTest,
+    ::testing::Values(LceCase{"naive", Backend::kNaive},
+                      LceCase{"rmq", Backend::kRmq},
+                      LceCase{"kr", Backend::kKr},
+                      LceCase{"sampled2", Backend::kSampledKr2},
+                      LceCase{"sampled16", Backend::kSampledKr16}),
+    [](const ::testing::TestParamInfo<LceCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace usi

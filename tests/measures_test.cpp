@@ -1,0 +1,77 @@
+// Tests for the Section IX quality measures.
+
+#include <gtest/gtest.h>
+
+#include "usi/topk/measures.hpp"
+
+namespace usi {
+namespace {
+
+TopKSubstring Item(index_t length, index_t frequency) {
+  return TopKSubstring{length, frequency, 0, kInvalidIndex, kInvalidIndex};
+}
+
+TEST(Accuracy, PerfectMatch) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10), Item(2, 5), Item(3, 2)};
+  EXPECT_DOUBLE_EQ(TopKAccuracyPercent(exact, exact), 100.0);
+}
+
+TEST(Accuracy, HalfMatch) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10), Item(2, 5)};
+  const std::vector<TopKSubstring> est = {Item(1, 10), Item(2, 4)};
+  EXPECT_DOUBLE_EQ(TopKAccuracyPercent(exact, est), 50.0);
+}
+
+TEST(Accuracy, MultisetSemantics) {
+  // Two items share a frequency; the estimator reports it once: one credit.
+  const std::vector<TopKSubstring> exact = {Item(1, 7), Item(2, 7), Item(3, 1)};
+  const std::vector<TopKSubstring> est = {Item(1, 7), Item(9, 2), Item(3, 3)};
+  EXPECT_NEAR(TopKAccuracyPercent(exact, est), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Accuracy, EmptyExactIsPerfect) {
+  EXPECT_DOUBLE_EQ(TopKAccuracyPercent({}, {}), 100.0);
+}
+
+TEST(Accuracy, EmptyEstimateIsZero) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10)};
+  EXPECT_DOUBLE_EQ(TopKAccuracyPercent(exact, {}), 0.0);
+}
+
+TEST(RelativeError, ZeroWhenMassesMatch) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10), Item(2, 5)};
+  const std::vector<TopKSubstring> est = {Item(5, 9), Item(6, 6)};
+  EXPECT_DOUBLE_EQ(TopKRelativeError(exact, est), 0.0);
+}
+
+TEST(RelativeError, PositiveWhenUnderestimating) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10)};
+  const std::vector<TopKSubstring> est = {Item(1, 6)};
+  EXPECT_DOUBLE_EQ(TopKRelativeError(exact, est), 0.4);
+}
+
+TEST(Ndcg, PerfectRankingIsOne) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10), Item(2, 5), Item(3, 2)};
+  EXPECT_DOUBLE_EQ(TopKNdcg(exact, exact), 1.0);
+}
+
+TEST(Ndcg, WorseRankingBelowOne) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10), Item(2, 5)};
+  const std::vector<TopKSubstring> est = {Item(2, 5), Item(1, 2)};
+  const double ndcg = TopKNdcg(exact, est);
+  EXPECT_LT(ndcg, 1.0);
+  EXPECT_GT(ndcg, 0.0);
+}
+
+TEST(Ndcg, EmptyEstimateIsZero) {
+  const std::vector<TopKSubstring> exact = {Item(1, 10)};
+  EXPECT_DOUBLE_EQ(TopKNdcg(exact, {}), 0.0);
+}
+
+TEST(LongestReported, PicksMaximum) {
+  EXPECT_EQ(LongestReportedLength({Item(3, 1), Item(7, 1), Item(5, 1)}), 7u);
+  EXPECT_EQ(LongestReportedLength({}), 0u);
+}
+
+}  // namespace
+}  // namespace usi

@@ -1,0 +1,112 @@
+// Tests for suffix-array pattern search and the sparse suffix index.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/suffix/sa_search.hpp"
+#include "usi/suffix/sparse_suffix_array.hpp"
+#include "usi/suffix/suffix_array.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+TEST(SaSearch, FindsAllOccurrences) {
+  const Text text = testing::T("abracadabra");
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  const Text pattern = testing::T("abra");
+  std::vector<index_t> occ = CollectOccurrences(text, sa, pattern);
+  std::sort(occ.begin(), occ.end());
+  EXPECT_EQ(occ, (std::vector<index_t>{0, 7}));
+}
+
+TEST(SaSearch, MissingPatternGivesEmptyInterval) {
+  const Text text = testing::T("abracadabra");
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  EXPECT_TRUE(FindSaInterval(text, sa, testing::T("zzz")).IsEmpty());
+  EXPECT_TRUE(FindSaInterval(text, sa, testing::T("abrax")).IsEmpty());
+  // Longer than the text.
+  EXPECT_TRUE(
+      FindSaInterval(text, sa, testing::T("abracadabraabracadabra")).IsEmpty());
+}
+
+TEST(SaSearch, EmptyPatternMatchesEverywhere) {
+  const Text text = testing::T("abc");
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  const SaInterval interval = FindSaInterval(text, sa, {});
+  EXPECT_EQ(interval.Count(), 3u);
+}
+
+TEST(SaSearch, RandomizedAgainstBruteForce) {
+  Rng rng(44);
+  for (int round = 0; round < 20; ++round) {
+    const Text text = testing::RandomText(300, 3, round);
+    const std::vector<index_t> sa = BuildSuffixArray(text);
+    for (int q = 0; q < 50; ++q) {
+      const index_t len = static_cast<index_t>(rng.UniformInRange(1, 8));
+      Text pattern(len);
+      // Half existing substrings, half random (possibly absent).
+      if (q % 2 == 0) {
+        const index_t start =
+            static_cast<index_t>(rng.UniformBelow(text.size() - len));
+        std::copy(text.begin() + start, text.begin() + start + len,
+                  pattern.begin());
+      } else {
+        for (auto& c : pattern) c = static_cast<Symbol>(rng.UniformBelow(3));
+      }
+      std::vector<index_t> got = CollectOccurrences(text, sa, pattern);
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, testing::BruteOccurrences(text, pattern));
+    }
+  }
+}
+
+TEST(SparseSuffixIndex, OrderAgreesWithFullSuffixArray) {
+  const Text text = MakeDnaLike(1000, 3).text();
+  const NaiveLce lce(text);
+  // Sample every 4th position starting at 1.
+  std::vector<index_t> positions;
+  for (index_t p = 1; p < text.size(); p += 4) positions.push_back(p);
+  const SparseSuffixIndex sparse = BuildSparseSuffixIndex(positions, lce);
+  // The sparse order must equal the full SA restricted to the sample.
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  std::vector<index_t> expected;
+  for (index_t pos : sa) {
+    if (pos >= 1 && (pos - 1) % 4 == 0) expected.push_back(pos);
+  }
+  EXPECT_EQ(sparse.positions, expected);
+}
+
+TEST(SparseSuffixIndex, LcpEntriesAreCorrect) {
+  const Text text = MakeEcoliLike(600, 9).text();
+  const NaiveLce lce(text);
+  std::vector<index_t> positions;
+  for (index_t p = 0; p < text.size(); p += 3) positions.push_back(p);
+  const SparseSuffixIndex sparse = BuildSparseSuffixIndex(positions, lce);
+  ASSERT_EQ(sparse.lcp.size(), sparse.positions.size());
+  EXPECT_EQ(sparse.lcp[0], 0u);
+  for (std::size_t k = 1; k < sparse.positions.size(); ++k) {
+    index_t direct = 0;
+    const index_t a = sparse.positions[k - 1];
+    const index_t b = sparse.positions[k];
+    while (a + direct < text.size() && b + direct < text.size() &&
+           text[a + direct] == text[b + direct]) {
+      ++direct;
+    }
+    ASSERT_EQ(sparse.lcp[k], direct);
+  }
+}
+
+TEST(SparseSuffixIndex, SingletonAndEmpty) {
+  const Text text = testing::T("abc");
+  const NaiveLce lce(text);
+  EXPECT_TRUE(BuildSparseSuffixIndex({}, lce).positions.empty());
+  const SparseSuffixIndex one = BuildSparseSuffixIndex({1}, lce);
+  EXPECT_EQ(one.positions, (std::vector<index_t>{1}));
+  EXPECT_EQ(one.lcp, (std::vector<index_t>{0}));
+}
+
+}  // namespace
+}  // namespace usi

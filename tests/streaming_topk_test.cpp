@@ -1,0 +1,165 @@
+// Tests for the Section VII streaming adaptations: SubstringHK (HeavyKeeper)
+// and Top-K Trie — including the adversarial periodic input on which the
+// paper proves both schemes fail.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/topk/exact_topk.hpp"
+#include "usi/topk/heavy_keeper.hpp"
+#include "usi/topk/measures.hpp"
+#include "usi/topk/topk_trie.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+TEST(SubstringHk, FindsDominantLetter) {
+  // Text dominated by one letter: it must surface in the summary.
+  Text text;
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    text.push_back(rng.Bernoulli(0.8) ? 0 : static_cast<Symbol>(
+                                                1 + rng.UniformBelow(9)));
+  }
+  const TopKList result = SubstringHeavyKeeper(text, 10);
+  ASSERT_FALSE(result.items.empty());
+  bool found = false;
+  for (const TopKSubstring& item : result.items) {
+    if (item.length == 1 && text[item.witness] == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SubstringHk, ReportsAtMostK) {
+  const Text text = MakeAdvLike(5000, 9).text();
+  for (u64 k : {1ULL, 10ULL, 100ULL}) {
+    EXPECT_LE(SubstringHeavyKeeper(text, k).items.size(), k);
+  }
+}
+
+TEST(SubstringHk, StatsTrackWork) {
+  const Text text = MakeAdvLike(3000, 9).text();
+  SubstringHkStats stats;
+  SubstringHeavyKeeper(text, 50, {}, &stats);
+  EXPECT_GE(stats.hashed_substrings, text.size());  // At least one per pos.
+  EXPECT_GT(stats.space_bytes, 0u);
+  EXPECT_FALSE(stats.timed_out);
+}
+
+TEST(SubstringHk, WorkBudgetTriggersTimeout) {
+  const Text text = MakeIotLike(20'000, 9).text();
+  SubstringHkOptions options;
+  options.max_hashed_substrings = 1000;
+  SubstringHkStats stats;
+  SubstringHeavyKeeper(text, 50, options, &stats);
+  EXPECT_TRUE(stats.timed_out);
+}
+
+TEST(SubstringHk, FailsOnPeriodicAdversary) {
+  // Section VII: on (AB)^{n/2} with n/2 >= K > 4, SubstringHK misses half
+  // the true top-K. Accuracy against the exact answer must be far below AT's.
+  const Text text = MakePeriodic(4000, 2, 0).text();
+  const u64 k = 64;
+  const TopKList exact = ExactTopK(text, k);
+  const TopKList hk = SubstringHeavyKeeper(text, k);
+  EXPECT_LT(TopKAccuracyPercent(exact.items, hk.items), 60.0);
+}
+
+TEST(SubstringHk, StrictCoinLimitsCandidateLengths) {
+  const Text text = MakeIotLike(5000, 3).text();
+  SubstringHkOptions strict;
+  strict.strict_extension_coin = true;
+  const TopKList result = SubstringHeavyKeeper(text, 50, strict);
+  // With the literal 1/c^l coin, deep extensions are (practically) never
+  // taken: nothing beyond a few hundred letters can be reported.
+  EXPECT_LT(LongestReportedLength(result.items), 500u);
+}
+
+TEST(TopKTrie, FindsDominantLetter) {
+  Text text;
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    text.push_back(rng.Bernoulli(0.7) ? 2 : static_cast<Symbol>(
+                                                rng.UniformBelow(5)));
+  }
+  const TopKList result = TopKTrie(text, 10);
+  ASSERT_FALSE(result.items.empty());
+  EXPECT_EQ(text[result.items[0].witness + 0], 2);  // Top item is letter 2...
+  EXPECT_EQ(result.items[0].length, 1u);            // ...as a single letter.
+}
+
+TEST(TopKTrie, CountsAreLowerBounds) {
+  // Misra-Gries guarantee: reported (count - debt) never exceeds the truth.
+  const Text text = MakeAdvLike(4000, 13).text();
+  const TopKList result = TopKTrie(text, 30);
+  ASSERT_FALSE(result.items.empty());
+  for (const TopKSubstring& item : result.items) {
+    const Text pattern(text.begin() + item.witness,
+                       text.begin() + item.witness + item.length);
+    EXPECT_LE(item.frequency, testing::BruteOccurrences(text, pattern).size());
+  }
+}
+
+TEST(TopKTrie, DepthOneCountsExactWithoutEvictions) {
+  // The trie admits one node per position, so a depth-d substring is only
+  // counted once its whole path exists — counts are lower bounds even with
+  // an unlimited budget. Depth-1 nodes, admitted at their first occurrence,
+  // are exact when no evictions happen.
+  const Text text = testing::T("abcabcabc");
+  TopKTrieOptions options;
+  options.node_budget = 1000;
+  const TopKList result = TopKTrie(text, 50, options);
+  bool saw_depth_one = false;
+  for (const TopKSubstring& item : result.items) {
+    const Text pattern(text.begin() + item.witness,
+                       text.begin() + item.witness + item.length);
+    const std::size_t truth = testing::BruteOccurrences(text, pattern).size();
+    EXPECT_LE(item.frequency, truth);
+    if (item.length == 1) {
+      saw_depth_one = true;
+      EXPECT_EQ(item.frequency, truth);
+    }
+  }
+  EXPECT_TRUE(saw_depth_one);
+}
+
+TEST(TopKTrie, FailsOnPeriodicAdversary) {
+  const Text text = MakePeriodic(4000, 2, 0).text();
+  const u64 k = 64;
+  const TopKList exact = ExactTopK(text, k);
+  const TopKList tt = TopKTrie(text, k);
+  EXPECT_LT(TopKAccuracyPercent(exact.items, tt.items), 60.0);
+}
+
+TEST(TopKTrie, MissesLongRepeatsUnderPressure) {
+  // The IOT failure mode: with K large enough that the exact top-K contains
+  // long repeated blocks, a K-bounded trie cannot retain deep paths — the
+  // longest reported string is much shorter than the longest truly frequent
+  // one (the paper: 546 vs 11,816 on IOT).
+  const Text text = MakeIotLike(30'000, 4).text();
+  const u64 k = 3000;
+  const TopKList exact = ExactTopK(text, k);
+  const TopKList tt = TopKTrie(text, k);
+  ASSERT_GT(LongestReportedLength(exact.items), 20u);
+  EXPECT_LT(LongestReportedLength(tt.items),
+            LongestReportedLength(exact.items));
+}
+
+TEST(TopKTrie, StatsPopulated) {
+  const Text text = MakeDnaLike(3000, 8).text();
+  TopKTrieStats stats;
+  TopKTrie(text, 20, {}, &stats);
+  EXPECT_GT(stats.total_walk_steps, 0u);
+  EXPECT_GT(stats.space_bytes, 0u);
+}
+
+TEST(StreamingTopK, DegenerateInputs) {
+  EXPECT_TRUE(SubstringHeavyKeeper({}, 5).items.empty());
+  EXPECT_TRUE(TopKTrie({}, 5).items.empty());
+  EXPECT_TRUE(SubstringHeavyKeeper(testing::T("ab"), 0).items.empty());
+  EXPECT_TRUE(TopKTrie(testing::T("ab"), 0).items.empty());
+}
+
+}  // namespace
+}  // namespace usi

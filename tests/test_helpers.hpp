@@ -1,0 +1,113 @@
+#ifndef USI_TESTS_TEST_HELPERS_HPP_
+#define USI_TESTS_TEST_HELPERS_HPP_
+
+/// \file test_helpers.hpp
+/// Brute-force oracles shared by the test suite. Everything here is the
+/// obviously-correct O(n^2)-ish implementation the real structures are
+/// checked against.
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "usi/core/utility.hpp"
+#include "usi/text/weighted_string.hpp"
+#include "usi/topk/topk_types.hpp"
+#include "usi/util/common.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi::testing {
+
+/// All occurrence start positions of \p pattern in \p text, by direct scan.
+inline std::vector<index_t> BruteOccurrences(const Text& text,
+                                             const Text& pattern) {
+  std::vector<index_t> occ;
+  if (pattern.empty() || pattern.size() > text.size()) return occ;
+  for (index_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (std::equal(pattern.begin(), pattern.end(), text.begin() + i)) {
+      occ.push_back(i);
+    }
+  }
+  return occ;
+}
+
+/// Frequency map of every distinct substring (as std::string over raw
+/// symbol bytes). O(n^2) substrings; use on small texts only.
+inline std::map<std::string, index_t> BruteSubstringFrequencies(
+    const Text& text) {
+  std::map<std::string, index_t> freq;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    std::string s;
+    for (std::size_t j = i; j < text.size(); ++j) {
+      s.push_back(static_cast<char>(text[j]));
+      ++freq[s];
+    }
+  }
+  return freq;
+}
+
+/// The exact multiset of top-k frequencies (descending), from brute force.
+inline std::vector<index_t> BruteTopKFrequencies(const Text& text, u64 k) {
+  std::vector<index_t> freqs;
+  for (const auto& [s, f] : BruteSubstringFrequencies(text)) freqs.push_back(f);
+  std::sort(freqs.rbegin(), freqs.rend());
+  if (freqs.size() > k) freqs.resize(k);
+  return freqs;
+}
+
+/// Brute-force global utility of \p pattern over (S, w).
+inline QueryResult BruteUtility(const WeightedString& ws, const Text& pattern,
+                                GlobalUtilityKind kind) {
+  QueryResult result;
+  const std::vector<index_t> occ = BruteOccurrences(ws.text(), pattern);
+  if (occ.empty()) return result;
+  UtilityAccumulator acc;
+  for (index_t i : occ) {
+    double local = 0;
+    for (index_t k = 0; k < pattern.size(); ++k) local += ws.weight(i + k);
+    acc.Add(local, kind);
+  }
+  result.utility = acc.Finalize(kind);
+  result.occurrences = static_cast<index_t>(occ.size());
+  return result;
+}
+
+/// Deterministic random text for property tests.
+inline Text RandomText(index_t n, u32 sigma, u64 seed) {
+  Rng rng(seed);
+  Text text(n);
+  for (auto& c : text) c = static_cast<Symbol>(rng.UniformBelow(sigma));
+  return text;
+}
+
+/// Random weighted string with weights in [0, 1].
+inline WeightedString RandomWeighted(index_t n, u32 sigma, u64 seed) {
+  Rng rng(seed ^ 0x77);
+  Text text(n);
+  for (auto& c : text) c = static_cast<Symbol>(rng.UniformBelow(sigma));
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng.UniformDouble();
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+/// Materializes a TopKSubstring as a std::string via its witness.
+inline std::string MaterializeString(const Text& text,
+                                     const TopKSubstring& item) {
+  std::string s;
+  for (index_t k = 0; k < item.length; ++k) {
+    s.push_back(static_cast<char>(text[item.witness + k]));
+  }
+  return s;
+}
+
+/// Text literal helper: "abc" -> {symbols 'a','b','c'}.
+inline Text T(const std::string& raw) {
+  Text text;
+  for (char c : raw) text.push_back(static_cast<Symbol>(c));
+  return text;
+}
+
+}  // namespace usi::testing
+
+#endif  // USI_TESTS_TEST_HELPERS_HPP_

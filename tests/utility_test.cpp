@@ -1,0 +1,131 @@
+// Tests for the utility framework: PSW, accumulators, the exhaustive query
+// engine — including the paper's worked Example 1.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/utility.hpp"
+#include "usi/suffix/suffix_array.hpp"
+
+namespace usi {
+namespace {
+
+TEST(PrefixSumWeights, LocalUtilityMatchesDirectSum) {
+  const WeightedString ws = testing::RandomWeighted(300, 4, 9);
+  const PrefixSumWeights psw(ws);
+  Rng rng(10);
+  for (int trial = 0; trial < 500; ++trial) {
+    const index_t i = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t len =
+        static_cast<index_t>(rng.UniformInRange(1, ws.size() - i));
+    double direct = 0;
+    for (index_t k = 0; k < len; ++k) direct += ws.weight(i + k);
+    EXPECT_NEAR(psw.LocalUtility(i, len), direct, 1e-9);
+  }
+}
+
+TEST(PrefixSumWeights, AppendExtends) {
+  PrefixSumWeights psw;
+  psw.Append(1.0);
+  psw.Append(2.0);
+  psw.Append(0.5);
+  EXPECT_DOUBLE_EQ(psw.LocalUtility(0, 3), 3.5);
+  EXPECT_DOUBLE_EQ(psw.LocalUtility(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(psw.LocalUtility(2, 1), 0.5);
+}
+
+TEST(UtilityAccumulator, SumMinMaxAvg) {
+  const double locals[] = {3.0, 1.0, 2.0};
+  for (auto kind : {GlobalUtilityKind::kSum, GlobalUtilityKind::kMin,
+                    GlobalUtilityKind::kMax, GlobalUtilityKind::kAvg}) {
+    UtilityAccumulator acc;
+    for (double v : locals) acc.Add(v, kind);
+    switch (kind) {
+      case GlobalUtilityKind::kSum:
+        EXPECT_DOUBLE_EQ(acc.Finalize(kind), 6.0);
+        break;
+      case GlobalUtilityKind::kMin:
+        EXPECT_DOUBLE_EQ(acc.Finalize(kind), 1.0);
+        break;
+      case GlobalUtilityKind::kMax:
+        EXPECT_DOUBLE_EQ(acc.Finalize(kind), 3.0);
+        break;
+      case GlobalUtilityKind::kAvg:
+        EXPECT_DOUBLE_EQ(acc.Finalize(kind), 2.0);
+        break;
+    }
+  }
+}
+
+TEST(UtilityAccumulator, EmptyFinalizesToZero) {
+  const UtilityAccumulator acc;
+  for (auto kind : {GlobalUtilityKind::kSum, GlobalUtilityKind::kMin,
+                    GlobalUtilityKind::kMax, GlobalUtilityKind::kAvg}) {
+    EXPECT_DOUBLE_EQ(acc.Finalize(kind), 0.0);
+  }
+}
+
+TEST(UtilityAccumulator, MinHandlesNegativeFirst) {
+  UtilityAccumulator acc;
+  acc.Add(-5.0, GlobalUtilityKind::kMin);
+  acc.Add(3.0, GlobalUtilityKind::kMin);
+  EXPECT_DOUBLE_EQ(acc.Finalize(GlobalUtilityKind::kMin), -5.0);
+}
+
+TEST(ExhaustiveEngine, PaperExampleOne) {
+  // Section I, Example 1: S, w, P = TACCCC, U(P) = 14.6.
+  const Text s = testing::T("ATACCCCGATAATACCCCAG");
+  const std::vector<double> w = {0.9, 1, 3,   2, 0.7, 1, 1, 0.6, 0.5, 0.5,
+                                 0.5, 0.8, 1, 1, 1,   0.9, 1, 1, 0.8, 1};
+  const WeightedString ws(s, w);
+  const PrefixSumWeights psw(ws);
+  const std::vector<index_t> sa = BuildSuffixArray(ws.text());
+  const ExhaustiveQueryEngine engine(ws.text(), sa, psw,
+                                     GlobalUtilityKind::kSum);
+  const QueryResult result = engine.Compute(testing::T("TACCCC"));
+  EXPECT_EQ(result.occurrences, 2u);
+  EXPECT_NEAR(result.utility, 14.6, 1e-9);
+}
+
+TEST(ExhaustiveEngine, MatchesBruteForceAllKinds) {
+  const WeightedString ws = testing::RandomWeighted(250, 3, 21);
+  const PrefixSumWeights psw(ws);
+  const std::vector<index_t> sa = BuildSuffixArray(ws.text());
+  Rng rng(22);
+  for (auto kind : {GlobalUtilityKind::kSum, GlobalUtilityKind::kMin,
+                    GlobalUtilityKind::kMax, GlobalUtilityKind::kAvg}) {
+    const ExhaustiveQueryEngine engine(ws.text(), sa, psw, kind);
+    for (int trial = 0; trial < 100; ++trial) {
+      const index_t len = static_cast<index_t>(rng.UniformInRange(1, 6));
+      const index_t start =
+          static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+      const Text pattern = ws.Fragment(start, len);
+      const QueryResult got = engine.Compute(pattern);
+      const QueryResult want = testing::BruteUtility(ws, pattern, kind);
+      ASSERT_EQ(got.occurrences, want.occurrences);
+      ASSERT_NEAR(got.utility, want.utility, 1e-9);
+    }
+  }
+}
+
+TEST(ExhaustiveEngine, AbsentPatternIsZero) {
+  const WeightedString ws = testing::RandomWeighted(100, 2, 5);
+  const PrefixSumWeights psw(ws);
+  const std::vector<index_t> sa = BuildSuffixArray(ws.text());
+  const ExhaustiveQueryEngine engine(ws.text(), sa, psw,
+                                     GlobalUtilityKind::kSum);
+  const Text absent(5, 200);  // Symbol 200 never occurs.
+  const QueryResult result = engine.Compute(absent);
+  EXPECT_EQ(result.occurrences, 0u);
+  EXPECT_DOUBLE_EQ(result.utility, 0.0);
+}
+
+TEST(GlobalUtilityKindName, AllNamed) {
+  EXPECT_STREQ(GlobalUtilityKindName(GlobalUtilityKind::kSum), "sum");
+  EXPECT_STREQ(GlobalUtilityKindName(GlobalUtilityKind::kMin), "min");
+  EXPECT_STREQ(GlobalUtilityKindName(GlobalUtilityKind::kMax), "max");
+  EXPECT_STREQ(GlobalUtilityKindName(GlobalUtilityKind::kAvg), "avg");
+}
+
+}  // namespace
+}  // namespace usi

@@ -1,0 +1,113 @@
+// Tests for the W1 / W2,p workload generators.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/workload.hpp"
+#include "usi/topk/substring_stats.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+struct WorkloadFixture {
+  Text text;
+  TopKList pool_w1;
+  TopKList pool_w2;
+
+  WorkloadFixture() {
+    text = MakeAdvLike(5000, 3).text();
+    SubstringStats stats(text);
+    pool_w1 = stats.TopK(text.size() / 50);
+    pool_w2 = stats.TopK(text.size() / 100);
+  }
+};
+
+TEST(Workload, W1HasRequestedSize) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 500;
+  options.random_max_len = 50;
+  const Workload w = MakeWorkloadW1(fx.text, fx.pool_w1.items, options);
+  EXPECT_EQ(w.patterns.size(), 500u);
+  EXPECT_EQ(w.from_frequent + w.random_substrings, 500u);
+}
+
+TEST(Workload, W1IsDeterministic) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.random_max_len = 30;
+  const Workload a = MakeWorkloadW1(fx.text, fx.pool_w1.items, options);
+  const Workload b = MakeWorkloadW1(fx.text, fx.pool_w1.items, options);
+  EXPECT_EQ(a.patterns, b.patterns);
+}
+
+TEST(Workload, W1FrequentFractionRoughlyHolds) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 2000;
+  options.frequent_fraction = 0.9;
+  options.random_max_len = 40;
+  const Workload w = MakeWorkloadW1(fx.text, fx.pool_w1.items, options);
+  // 90% direct + ~half of the remaining 10%: ~95% total from the pool.
+  const double fraction =
+      static_cast<double>(w.from_frequent) / w.patterns.size();
+  EXPECT_GT(fraction, 0.9);
+  EXPECT_LT(fraction, 0.99);
+}
+
+TEST(Workload, AllPatternsOccurInText) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 300;
+  options.random_max_len = 20;
+  const Workload w = MakeWorkloadW1(fx.text, fx.pool_w1.items, options);
+  for (const Text& pattern : w.patterns) {
+    ASSERT_FALSE(testing::BruteOccurrences(fx.text, pattern).empty());
+  }
+}
+
+TEST(Workload, PatternLengthsWithinBounds) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 500;
+  options.random_min_len = 2;
+  options.random_max_len = 17;
+  options.frequent_fraction = 0.0;  // All random.
+  const Workload w = MakeWorkloadW1(fx.text, {}, options);
+  for (const Text& pattern : w.patterns) {
+    EXPECT_GE(pattern.size(), 2u);
+    EXPECT_LE(pattern.size(), 17u);
+  }
+}
+
+TEST(Workload, W2IncreasingPMeansMoreFrequentQueries) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 1500;
+  options.random_max_len = 40;
+  std::size_t last_frequent = 0;
+  for (u32 p : {20u, 80u}) {
+    const Workload w = MakeWorkloadW2(fx.text, fx.pool_w2.items,
+                                      fx.pool_w1.items, p, options);
+    EXPECT_EQ(w.patterns.size(), 1500u);
+    EXPECT_GT(w.from_frequent, last_frequent);
+    last_frequent = w.from_frequent;
+  }
+}
+
+TEST(Workload, W2PatternsComeFromText) {
+  WorkloadFixture fx;
+  WorkloadOptions options;
+  options.num_queries = 200;
+  options.random_max_len = 25;
+  const Workload w =
+      MakeWorkloadW2(fx.text, fx.pool_w2.items, fx.pool_w1.items, 40, options);
+  for (const Text& pattern : w.patterns) {
+    ASSERT_FALSE(testing::BruteOccurrences(fx.text, pattern).empty());
+  }
+}
+
+}  // namespace
+}  // namespace usi
