@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   WeightedString ws;
   Alphabet alphabet = Alphabet::Identity(256);
   if (argc > 1) {
-    if (!LoadTextFile(argv[1], /*seed=*/42, &ws)) {
+    if (!LoadTextFile(argv[1], /*seed=*/42, &ws, &alphabet)) {
       std::fprintf(stderr, "cannot read %s\n", argv[1]);
       return 1;
     }
@@ -57,11 +57,27 @@ int main(int argc, char** argv) {
                 loaded != nullptr ? "ok" : "FAILED");
   }
 
-  // Answer queries from the command line (raw byte patterns).
+  // Answer queries from the command line, encoding each raw byte pattern
+  // over the same alphabet as the indexed text. A pattern using a byte the
+  // text never contains cannot occur at all.
   for (int arg = 2; arg < argc; ++arg) {
     const std::string raw = argv[arg];
     Text pattern;
-    for (char c : raw) pattern.push_back(static_cast<Symbol>(c));
+    bool encodable = true;
+    for (char c : raw) {
+      const u8 byte = static_cast<u8>(c);
+      if (!alphabet.Contains(byte)) {
+        encodable = false;
+        break;
+      }
+      pattern.push_back(alphabet.Encode(byte));
+    }
+    if (!encodable) {
+      std::printf("U(\"%s\") = 0.000 over 0 occurrence(s) [byte outside text "
+                  "alphabet]\n",
+                  raw.c_str());
+      continue;
+    }
     const QueryResult result = index.Query(pattern);
     std::printf("U(\"%s\") = %.3f over %u occurrence(s)%s\n", raw.c_str(),
                 result.utility, result.occurrences,

@@ -204,7 +204,10 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   if (!reader.Read(&magic) || magic != kIndexMagic) return nullptr;
   if (!reader.Read(&version) || version != kIndexVersion) return nullptr;
   if (!reader.Read(&n) || n != ws.size()) return nullptr;
-  if (!reader.Read(&kind) || !reader.Read(&base)) return nullptr;
+  if (!reader.Read(&kind) || kind >= kNumGlobalUtilityKinds) return nullptr;
+  if (!reader.Read(&base) || !KarpRabinHasher::IsValidBase(base)) {
+    return nullptr;
+  }
 
   std::unique_ptr<UsiIndex> index(new UsiIndex(LoadTag{}, ws));
   index->kind_ = static_cast<GlobalUtilityKind>(kind);
@@ -216,6 +219,11 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   }
   if (!reader.ReadVector(&index->sa_) || index->sa_.size() != ws.size()) {
     return nullptr;
+  }
+  // Corrupted SA payload bytes must not become out-of-bounds positions that
+  // query-time PSW lookups would dereference.
+  for (const index_t pos : index->sa_) {
+    if (pos >= ws.size()) return nullptr;
   }
   std::vector<SerializedEntry> entries;
   if (!reader.ReadVector(&entries)) return nullptr;

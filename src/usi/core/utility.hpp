@@ -24,6 +24,11 @@ namespace usi {
 /// Global aggregator over occurrence-local utilities (the paper's U).
 enum class GlobalUtilityKind : u8 { kSum, kMin, kMax, kAvg };
 
+/// Number of GlobalUtilityKind enumerators. Loaders validate serialized kind
+/// bytes against this; update the anchor when extending the enum past kAvg.
+inline constexpr u8 kNumGlobalUtilityKinds =
+    static_cast<u8>(GlobalUtilityKind::kAvg) + 1;
+
 /// Human-readable aggregator name.
 const char* GlobalUtilityKindName(GlobalUtilityKind kind);
 

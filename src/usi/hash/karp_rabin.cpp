@@ -13,7 +13,7 @@ KarpRabinHasher::KarpRabinHasher(u64 seed) {
 }
 
 KarpRabinHasher KarpRabinHasher::FromBase(u64 base) {
-  USI_CHECK(base >= 257 && base < Mersenne61::kPrime);
+  USI_CHECK(IsValidBase(base));
   KarpRabinHasher hasher;
   hasher.base_ = base;
   hasher.powers_ = {1, base};

@@ -61,6 +61,12 @@ class KarpRabinHasher {
   /// Derives a random base in [256, p-1) from \p seed.
   explicit KarpRabinHasher(u64 seed = 0xF1A6F1A6ULL);
 
+  /// Whether \p base is acceptable to FromBase. Deserializers must check
+  /// untrusted bases with this instead of letting FromBase abort.
+  static bool IsValidBase(u64 base) {
+    return base >= 257 && base < Mersenne61::kPrime;
+  }
+
   /// Reconstructs a hasher with a known base (index deserialization: stored
   /// fingerprints are only valid under the base that produced them).
   static KarpRabinHasher FromBase(u64 base);

@@ -10,7 +10,7 @@ Alphabet Alphabet::FromRaw(const std::string& raw) {
   Alphabet alphabet;
   for (int b = 0; b < 256; ++b) {
     if (present[b]) {
-      alphabet.to_compact_[b] = static_cast<u8>(alphabet.to_raw_.size());
+      alphabet.to_compact_[b] = static_cast<u16>(alphabet.to_raw_.size());
       alphabet.to_raw_.push_back(static_cast<u8>(b));
     }
   }
@@ -21,7 +21,7 @@ Alphabet Alphabet::Identity(u32 sigma) {
   USI_CHECK(sigma <= 256);
   Alphabet alphabet;
   for (u32 b = 0; b < sigma; ++b) {
-    alphabet.to_compact_[b] = static_cast<u8>(b);
+    alphabet.to_compact_[b] = static_cast<u16>(b);
     alphabet.to_raw_.push_back(static_cast<u8>(b));
   }
   return alphabet;

@@ -38,10 +38,13 @@ class Alphabet {
   /// Number of distinct symbols.
   u32 sigma() const { return static_cast<u32>(to_raw_.size()); }
 
-  /// Maps a raw byte to its compact symbol; byte must belong to the alphabet.
+  /// Maps a raw byte to its compact symbol; byte must belong to the alphabet
+  /// (check with Contains first). Always enforced: silently aliasing an
+  /// unmapped byte to a valid symbol would fabricate pattern matches, and
+  /// encoding is never on a per-query hot path.
   Symbol Encode(u8 raw) const {
-    USI_DCHECK(to_compact_[raw] != kUnmapped);
-    return to_compact_[raw];
+    USI_CHECK(to_compact_[raw] != kUnmapped);
+    return static_cast<Symbol>(to_compact_[raw]);
   }
 
   /// Maps a compact symbol back to its raw byte.
@@ -60,9 +63,11 @@ class Alphabet {
   std::string DecodeText(const Text& text) const;
 
  private:
-  static constexpr u8 kUnmapped = 0xFF;
+  // The sentinel lives outside [0, 256) so a full 256-symbol alphabet (every
+  // byte value present, compact code 255 included) is still representable.
+  static constexpr u16 kUnmapped = 0x100;
 
-  std::array<u8, 256> to_compact_;
+  std::array<u16, 256> to_compact_;
   std::vector<u8> to_raw_;
 };
 

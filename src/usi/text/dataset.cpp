@@ -45,7 +45,8 @@ WeightedString MakeDataset(const DatasetSpec& spec, index_t n) {
   std::abort();
 }
 
-bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out) {
+bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out,
+                  Alphabet* alphabet_out) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
   if (file == nullptr) return false;
   std::string raw;
@@ -57,6 +58,7 @@ bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out) {
   std::fclose(file);
   const Alphabet alphabet = Alphabet::FromRaw(raw);
   Text text = alphabet.EncodeString(raw);
+  if (alphabet_out != nullptr) *alphabet_out = alphabet;
   Rng rng(seed);
   std::vector<double> weights(text.size());
   for (auto& w : weights) w = 0.7 + 0.05 * static_cast<double>(rng.UniformBelow(7));

@@ -39,8 +39,11 @@ WeightedString MakeDataset(const DatasetSpec& spec, index_t n = 0);
 
 /// Loads a raw byte file as a weighted string with utilities drawn uniformly
 /// from {0.7, 0.75, ..., 1.0} (the paper's recipe for corpora without real
-/// utilities). Returns false if the file cannot be read.
-bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out);
+/// utilities). The text is re-encoded over its effective alphabet; callers
+/// that query with raw byte patterns need \p alphabet_out to encode them the
+/// same way. Returns false if the file cannot be read.
+bool LoadTextFile(const std::string& path, u64 seed, WeightedString* out,
+                  Alphabet* alphabet_out = nullptr);
 
 }  // namespace usi
 

@@ -7,6 +7,7 @@
 /// written raw, vectors as a u64 length followed by the elements.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -60,7 +61,15 @@ class BinaryWriter {
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& path)
-      : file_(std::fopen(path.c_str(), "rb")) {}
+      : file_(std::fopen(path.c_str(), "rb")) {
+    if (file_ != nullptr) {
+      // Size errors (FIFOs, special files) degrade the remaining-bytes bound
+      // to "unknown", leaving only the element cap — never to an empty file.
+      std::error_code ec;
+      const auto size = std::filesystem::file_size(path, ec);
+      total_bytes_ = ec ? kUnknownSize : static_cast<u64>(size);
+    }
+  }
 
   ~BinaryReader() {
     if (file_ != nullptr) std::fclose(file_);
@@ -78,28 +87,45 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     if (!ok()) return false;
     failed_ |= std::fread(value, sizeof(T), 1, file_) != 1;
+    if (!failed_) consumed_bytes_ += sizeof(T);
     return ok();
   }
 
-  /// Reads a vector written by WriteVector. Lengths above \p max_elements
-  /// are treated as corruption (guards against unbounded allocation).
+  /// Reads a vector written by WriteVector. Lengths above \p max_elements or
+  /// beyond what the rest of the file can hold are treated as corruption, so
+  /// a flipped length field fails the read instead of attempting a huge
+  /// allocation.
   template <typename T>
   bool ReadVector(std::vector<T>* values, u64 max_elements = u64{1} << 40) {
     static_assert(std::is_trivially_copyable_v<T>);
     u64 size = 0;
-    if (!Read(&size) || size > max_elements) {
+    if (!Read(&size) || size > max_elements ||
+        size > RemainingBytes() / sizeof(T)) {
       failed_ = true;
       return false;
     }
     values->resize(size);
     if (size == 0) return true;
     failed_ |= std::fread(values->data(), sizeof(T), size, file_) != size;
+    if (!failed_) consumed_bytes_ += sizeof(T) * size;
     return ok();
   }
 
  private:
+  static constexpr u64 kUnknownSize = static_cast<u64>(-1);
+
+  /// Bytes between the current position and the end of the file. Computed
+  /// from the size captured at open plus a consumed-bytes counter, so it
+  /// stays correct for files beyond 2 GiB even where long is 32 bits.
+  u64 RemainingBytes() const {
+    if (total_bytes_ == kUnknownSize) return kUnknownSize;
+    return total_bytes_ > consumed_bytes_ ? total_bytes_ - consumed_bytes_ : 0;
+  }
+
   std::FILE* file_;
   bool failed_ = false;
+  u64 total_bytes_ = 0;
+  u64 consumed_bytes_ = 0;
 };
 
 }  // namespace usi

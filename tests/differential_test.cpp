@@ -1,0 +1,168 @@
+// Differential harness: UsiIndex (both miners, all four global utility
+// kinds) cross-checked against an independently-built ExhaustiveQueryEngine
+// and the brute-force oracles of test_helpers.hpp over generated texts. One
+// sweep exercises the hash-hit path, the SA+PSW fallback path, and the
+// save/load round-trip, so any divergence between the fast and slow paths —
+// or between a fresh and a restored index — fails here first.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/core/utility.hpp"
+#include "usi/suffix/suffix_array.hpp"
+#include "usi/text/generators.hpp"
+
+namespace usi {
+namespace {
+
+constexpr GlobalUtilityKind kAllKinds[] = {
+    GlobalUtilityKind::kSum, GlobalUtilityKind::kMin, GlobalUtilityKind::kMax,
+    GlobalUtilityKind::kAvg};
+
+/// One generated input for the sweep.
+struct TextCase {
+  const char* name;
+  WeightedString ws;
+};
+
+std::vector<TextCase> SweepTexts() {
+  std::vector<TextCase> cases;
+  cases.push_back({"dna", MakeDnaLike(500, 101)});
+  cases.push_back({"xml", MakeXmlLike(600, 102)});
+  cases.push_back({"periodic", MakePeriodic(400, 7, 103)});
+  cases.push_back({"random", testing::RandomWeighted(450, 3, 104)});
+  return cases;
+}
+
+/// Mixed pattern workload: short fragments (frequent, likely table hits),
+/// long fragments (rare, fallback), and random symbol strings (often absent).
+std::vector<Text> SweepPatterns(const WeightedString& ws, u64 seed) {
+  Rng rng(seed);
+  std::vector<Text> patterns;
+  for (int trial = 0; trial < 60; ++trial) {
+    const index_t len = static_cast<index_t>(rng.UniformInRange(1, 6));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+    patterns.push_back(ws.Fragment(start, len));
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const index_t len = static_cast<index_t>(rng.UniformInRange(9, 24));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+    patterns.push_back(ws.Fragment(start, len));
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    Text random(rng.UniformInRange(1, 5));
+    for (auto& c : random) c = static_cast<Symbol>(rng.UniformBelow(8));
+    patterns.push_back(std::move(random));
+  }
+  return patterns;
+}
+
+/// Runs one (text, miner, kind) configuration through every pattern, checking
+/// the index against the reference engine and the brute-force oracle, then
+/// repeats the workload on a save/load round-trip of the index.
+void RunConfiguration(const TextCase& text_case, UsiMiner miner,
+                      GlobalUtilityKind kind) {
+  const WeightedString& ws = text_case.ws;
+  UsiOptions options;
+  options.k = 50;
+  options.miner = miner;
+  options.utility = kind;
+  options.approx.rounds = 3;
+  const UsiIndex index(ws, options);
+
+  // Independent reference: own suffix array, own PSW.
+  const std::vector<index_t> reference_sa = BuildSuffixArray(ws.text());
+  const PrefixSumWeights reference_psw(ws);
+  const ExhaustiveQueryEngine reference(ws.text(), reference_sa, reference_psw,
+                                        kind);
+
+  const std::string path = ::testing::TempDir() + "usi_differential.bin";
+  ASSERT_TRUE(index.SaveToFile(path));
+  const std::unique_ptr<UsiIndex> restored = UsiIndex::LoadFromFile(ws, path);
+  ASSERT_NE(restored, nullptr);
+
+  int table_hits = 0;
+  int fallbacks = 0;
+  const std::vector<Text> patterns =
+      SweepPatterns(ws, /*seed=*/0xD1FF ^ static_cast<u64>(kind));
+  for (const Text& pattern : patterns) {
+    const QueryResult got = index.Query(pattern);
+    const QueryResult engine = reference.Compute(pattern);
+    const QueryResult brute = testing::BruteUtility(ws, pattern, kind);
+    (got.from_hash_table ? table_hits : fallbacks) += 1;
+
+    ASSERT_EQ(got.occurrences, engine.occurrences);
+    ASSERT_NEAR(got.utility, engine.utility, 1e-9)
+        << "index vs engine, pattern length " << pattern.size();
+    ASSERT_EQ(engine.occurrences, brute.occurrences);
+    ASSERT_NEAR(engine.utility, brute.utility, 1e-9)
+        << "engine vs brute force, pattern length " << pattern.size();
+
+    const QueryResult reloaded = restored->Query(pattern);
+    ASSERT_EQ(reloaded.occurrences, got.occurrences);
+    ASSERT_NEAR(reloaded.utility, got.utility, 1e-9)
+        << "restored index diverged, pattern length " << pattern.size();
+    ASSERT_EQ(reloaded.from_hash_table, got.from_hash_table)
+        << "restored index answered from a different path";
+  }
+  std::remove(path.c_str());
+
+  // The workload must exercise both answer paths, or the sweep proves less
+  // than it claims.
+  EXPECT_GT(table_hits, 0) << text_case.name << ": no hash-table hits";
+  EXPECT_GT(fallbacks, 0) << text_case.name << ": no SA+PSW fallbacks";
+}
+
+TEST(Differential, ExactMinerAllKindsAllTexts) {
+  for (const TextCase& text_case : SweepTexts()) {
+    for (GlobalUtilityKind kind : kAllKinds) {
+      SCOPED_TRACE(std::string(text_case.name) + "/" +
+                   GlobalUtilityKindName(kind));
+      RunConfiguration(text_case, UsiMiner::kExact, kind);
+    }
+  }
+}
+
+TEST(Differential, ApproximateMinerAllKindsAllTexts) {
+  for (const TextCase& text_case : SweepTexts()) {
+    for (GlobalUtilityKind kind : kAllKinds) {
+      SCOPED_TRACE(std::string(text_case.name) + "/" +
+                   GlobalUtilityKindName(kind));
+      RunConfiguration(text_case, UsiMiner::kApproximate, kind);
+    }
+  }
+}
+
+// Every substring of a small text, both miners: exhaustive rather than
+// sampled, so off-by-one interval bugs in SA search cannot hide.
+TEST(Differential, EverySubstringSmallText) {
+  const WeightedString ws = testing::RandomWeighted(90, 2, 777);
+  for (UsiMiner miner : {UsiMiner::kExact, UsiMiner::kApproximate}) {
+    UsiOptions options;
+    options.k = 30;
+    options.miner = miner;
+    const UsiIndex index(ws, options);
+    for (index_t i = 0; i < ws.size(); ++i) {
+      for (index_t len = 1; i + len <= ws.size(); ++len) {
+        const Text pattern = ws.Fragment(i, len);
+        const QueryResult got = index.Query(pattern);
+        const QueryResult want =
+            testing::BruteUtility(ws, pattern, GlobalUtilityKind::kSum);
+        ASSERT_EQ(got.occurrences, want.occurrences)
+            << "i=" << i << " len=" << len;
+        ASSERT_NEAR(got.utility, want.utility, 1e-9)
+            << "i=" << i << " len=" << len;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usi

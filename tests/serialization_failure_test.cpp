@@ -1,0 +1,252 @@
+// Serialization failure modes: UsiIndex::LoadFromFile must return nullptr —
+// never crash, never return a half-initialized index — on truncated files,
+// corrupted magic/version/length headers, and a weighted string whose length
+// does not match the saved index.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "test_helpers.hpp"
+#include "usi/core/usi_index.hpp"
+
+namespace usi {
+namespace {
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Fixture: one saved index plus its raw bytes, shared by every failure case.
+class SerializationFailureTest : public ::testing::Test {
+ protected:
+  // Mirrors the SaveToFile fixed header: magic u32 + version u32 + n u32 +
+  // kind u8 + hasher base u64 + k u64 + tau_k u32 + num_lengths u32. The
+  // suffix-array vector (u64 length + payload) follows immediately.
+  static constexpr std::size_t kKindOffset = 4 + 4 + 4;
+  static constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 1 + 8 + 8 + 4 + 4;
+  static constexpr std::size_t kSaLengthOffset = kHeaderBytes;
+
+  std::size_t EntriesLengthOffset() const {
+    return kSaLengthOffset + 8 + ws_.size() * sizeof(index_t);
+  }
+
+  void SetUp() override {
+    ws_ = testing::RandomWeighted(200, 3, 99);
+    UsiOptions options;
+    options.k = 25;
+    index_ = std::make_unique<UsiIndex>(ws_, options);
+    path_ = ::testing::TempDir() + "usi_serialization_good.bin";
+    mutated_path_ = ::testing::TempDir() + "usi_serialization_bad.bin";
+    ASSERT_TRUE(index_->SaveToFile(path_));
+    bytes_ = ReadAll(path_);
+    ASSERT_GT(bytes_.size(), 16u);
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(mutated_path_.c_str());
+  }
+
+  WeightedString ws_;
+  std::unique_ptr<UsiIndex> index_;
+  std::string path_;
+  std::string mutated_path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(SerializationFailureTest, IntactFileRoundTrips) {
+  const std::unique_ptr<UsiIndex> restored = UsiIndex::LoadFromFile(ws_, path_);
+  ASSERT_NE(restored, nullptr);
+  for (index_t i = 0; i + 4 <= ws_.size(); i += 7) {
+    const Text pattern = ws_.Fragment(i, 4);
+    EXPECT_EQ(restored->Query(pattern).occurrences,
+              index_->Query(pattern).occurrences);
+    EXPECT_NEAR(restored->Query(pattern).utility, index_->Query(pattern).utility,
+                1e-12);
+  }
+}
+
+TEST_F(SerializationFailureTest, MissingFileReturnsNull) {
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws_, ::testing::TempDir() +
+                                            "usi_no_such_index.bin"),
+            nullptr);
+}
+
+TEST_F(SerializationFailureTest, EveryTruncationReturnsNull) {
+  // Every proper prefix of the file must be rejected: each cut lands inside a
+  // different field (magic, header scalar, vector length, vector payload).
+  for (std::size_t cut = 0; cut < bytes_.size(); ++cut) {
+    WriteAll(mutated_path_,
+             std::vector<char>(bytes_.begin(),
+                               bytes_.begin() + static_cast<std::ptrdiff_t>(cut)));
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "truncation at byte " << cut << " of " << bytes_.size();
+  }
+}
+
+TEST_F(SerializationFailureTest, CorruptedMagicReturnsNull) {
+  for (std::size_t byte = 0; byte < 4; ++byte) {
+    std::vector<char> mutated = bytes_;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x5A);
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "magic byte " << byte;
+  }
+}
+
+TEST_F(SerializationFailureTest, UnknownVersionReturnsNull) {
+  // The version field is the u32 after the magic.
+  for (std::size_t byte = 4; byte < 8; ++byte) {
+    std::vector<char> mutated = bytes_;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0xFF);
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "version byte " << byte;
+  }
+}
+
+TEST_F(SerializationFailureTest, CorruptedTextLengthReturnsNull) {
+  // The text-length field is the u32 after magic + version; any change makes
+  // it disagree with the weighted string being loaded against.
+  for (std::size_t byte = 8; byte < 12; ++byte) {
+    std::vector<char> mutated = bytes_;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x01);
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "length byte " << byte;
+  }
+}
+
+TEST_F(SerializationFailureTest, InvalidUtilityKindReturnsNull) {
+  // Out-of-range utility-kind values must be rejected at load, not carried
+  // into query dispatch where they would silently answer U(P) = 0.
+  for (const u8 bad_kind : {u8{4}, u8{0x7F}, u8{0xFF}}) {
+    std::vector<char> mutated = bytes_;
+    mutated[kKindOffset] = static_cast<char>(bad_kind);
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "kind byte " << static_cast<int>(bad_kind);
+  }
+}
+
+TEST_F(SerializationFailureTest, InvalidHasherBaseReturnsNull) {
+  // The Karp-Rabin base (u64 after the kind byte) must be range-checked at
+  // load; FromBase aborts on out-of-range values, so an unvalidated field
+  // would crash instead of returning nullptr. Cover both sides of the valid
+  // range: all-0xFF (>= the Mersenne prime) and all-zero (< 257).
+  const std::size_t base_offset = kKindOffset + 1;
+  for (const u8 fill : {u8{0xFF}, u8{0x00}}) {
+    std::vector<char> mutated = bytes_;
+    for (std::size_t i = 0; i < 8; ++i) {
+      mutated[base_offset + i] = static_cast<char>(fill);
+    }
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "base fill 0x" << std::hex << static_cast<int>(fill);
+  }
+}
+
+TEST_F(SerializationFailureTest, MismatchedWeightedStringReturnsNull) {
+  const WeightedString shorter = ws_.Prefix(ws_.size() - 1);
+  EXPECT_EQ(UsiIndex::LoadFromFile(shorter, path_), nullptr);
+  const WeightedString longer = testing::RandomWeighted(ws_.size() + 1, 3, 99);
+  EXPECT_EQ(UsiIndex::LoadFromFile(longer, path_), nullptr);
+  const WeightedString empty;
+  EXPECT_EQ(UsiIndex::LoadFromFile(empty, path_), nullptr);
+}
+
+TEST_F(SerializationFailureTest, HugeVectorLengthReturnsNull) {
+  // Overwrite the suffix-array length (the u64 straight after the fixed
+  // header) with an absurd value: the reader's allocation guard must trip
+  // instead of attempting a multi-terabyte resize.
+  ASSERT_LT(kSaLengthOffset + 8, bytes_.size());
+  std::vector<char> mutated = bytes_;
+  for (std::size_t i = 0; i < 8; ++i) {
+    mutated[kSaLengthOffset + i] = static_cast<char>(0xFF);
+  }
+  WriteAll(mutated_path_, mutated);
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr);
+}
+
+TEST_F(SerializationFailureTest, OversizedVectorLengthBelowCapReturnsNull) {
+  // A corrupted length below the reader's absolute element cap but far
+  // beyond what the file holds (2^38 elements ~ 1 TB) must be rejected by
+  // the remaining-bytes bound, not attempted as an allocation.
+  std::vector<char> mutated = bytes_;
+  const u64 huge = u64{1} << 38;
+  for (std::size_t i = 0; i < 8; ++i) {
+    mutated[kSaLengthOffset + i] = static_cast<char>((huge >> (8 * i)) & 0xFF);
+  }
+  WriteAll(mutated_path_, mutated);
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr);
+
+  // An off-by-one SA length (n + 1) is rejected too — by LoadFromFile's
+  // sa_.size() == ws.size() consistency check, since the bytes of the
+  // entries section that follows can still satisfy the read.
+  mutated = bytes_;
+  const u64 off_by_one = ws_.size() + 1;
+  for (std::size_t i = 0; i < 8; ++i) {
+    mutated[kSaLengthOffset + i] =
+        static_cast<char>((off_by_one >> (8 * i)) & 0xFF);
+  }
+  WriteAll(mutated_path_, mutated);
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr);
+}
+
+TEST_F(SerializationFailureTest, OutOfRangeSaElementReturnsNull) {
+  // A corrupted SA payload value must be rejected at load; otherwise a query
+  // would use it as a text position and read PSW out of bounds.
+  for (const u32 bad_pos : {static_cast<u32>(ws_.size()), 0xFFFFFFF0u}) {
+    std::vector<char> mutated = bytes_;
+    const std::size_t first_element = kSaLengthOffset + 8;
+    std::memcpy(mutated.data() + first_element, &bad_pos, sizeof(bad_pos));
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "sa[0] = " << bad_pos;
+  }
+}
+
+TEST_F(SerializationFailureTest, EntriesLengthBeyondFileReturnsNull) {
+  // The hash-table entries vector is the file's last section, so inflating
+  // its length by one exercises exactly the remaining-bytes bound: nothing
+  // after it can absorb the extra element.
+  const std::size_t entries_length_offset = EntriesLengthOffset();
+  ASSERT_LT(entries_length_offset + 8, bytes_.size());
+  u64 entries = 0;
+  std::memcpy(&entries, bytes_.data() + entries_length_offset, 8);
+  ASSERT_GT(entries, 0u);
+  std::vector<char> mutated = bytes_;
+  const u64 inflated = entries + 1;
+  std::memcpy(mutated.data() + entries_length_offset, &inflated, 8);
+  WriteAll(mutated_path_, mutated);
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr);
+}
+
+TEST_F(SerializationFailureTest, TrailingGarbageStillLoads) {
+  // Extra bytes after a complete image are ignored (forward-compat slack);
+  // the index itself must still be intact.
+  std::vector<char> mutated = bytes_;
+  mutated.insert(mutated.end(), 64, static_cast<char>(0xAB));
+  WriteAll(mutated_path_, mutated);
+  const std::unique_ptr<UsiIndex> restored =
+      UsiIndex::LoadFromFile(ws_, mutated_path_);
+  ASSERT_NE(restored, nullptr);
+  const Text pattern = ws_.Fragment(0, 3);
+  EXPECT_EQ(restored->Query(pattern).occurrences,
+            index_->Query(pattern).occurrences);
+}
+
+}  // namespace
+}  // namespace usi

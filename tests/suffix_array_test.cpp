@@ -99,7 +99,9 @@ TEST_P(SuffixArraySweep, LcpMatchesNaive) {
   const std::vector<index_t> sa = BuildSuffixArray(text);
   const std::vector<index_t> lcp = BuildLcpArray(text, sa);
   ASSERT_EQ(lcp.size(), sa.size());
-  if (!lcp.empty()) EXPECT_EQ(lcp[0], 0u);
+  if (!lcp.empty()) {
+    EXPECT_EQ(lcp[0], 0u);
+  }
   for (std::size_t i = 1; i < sa.size(); ++i) {
     EXPECT_EQ(lcp[i], NaiveLcpOf(text, sa[i - 1], sa[i])) << "rank " << i;
   }

@@ -178,5 +178,40 @@ TEST(Dataset, SigmaMatchesSpec) {
   }
 }
 
+TEST(Alphabet, FullByteRangeRoundTrips) {
+  // All 256 byte values present: compact code 255 must stay distinguishable
+  // from "not in the alphabet".
+  std::string raw;
+  for (int b = 0; b < 256; ++b) raw.push_back(static_cast<char>(b));
+  const Alphabet alphabet = Alphabet::FromRaw(raw);
+  EXPECT_EQ(alphabet.sigma(), 256u);
+  for (int b = 0; b < 256; ++b) {
+    ASSERT_TRUE(alphabet.Contains(static_cast<u8>(b))) << b;
+    EXPECT_EQ(alphabet.Decode(alphabet.Encode(static_cast<u8>(b))),
+              static_cast<u8>(b));
+  }
+}
+
+TEST(Dataset, LoadTextFileExposesEncodingAlphabet) {
+  const std::string path = ::testing::TempDir() + "usi_load_text_file.txt";
+  {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(file, nullptr);
+    std::fputs("abracadabra", file);
+    std::fclose(file);
+  }
+  WeightedString ws;
+  Alphabet alphabet;
+  ASSERT_TRUE(LoadTextFile(path, /*seed=*/1, &ws, &alphabet));
+  std::remove(path.c_str());
+  ASSERT_EQ(ws.size(), 11u);
+  // The text is stored compacted; raw bytes must round-trip through the
+  // returned alphabet so pattern queries can be encoded the same way.
+  EXPECT_EQ(alphabet.sigma(), 5u);  // a, b, c, d, r.
+  const Text encoded = alphabet.EncodeString("abra");
+  EXPECT_TRUE(std::equal(encoded.begin(), encoded.end(), ws.text().begin()));
+  EXPECT_FALSE(alphabet.Contains('z'));
+}
+
 }  // namespace
 }  // namespace usi
