@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "usi/topk/approximate_topk.hpp"
 #include "usi/topk/heavy_keeper.hpp"
@@ -10,6 +11,32 @@
 #include "usi/util/memory.hpp"
 
 namespace usi::bench {
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(std::string("--threads=").size());
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0' || parsed < 0) {
+      // A typo must not silently fall back to hardware concurrency and
+      // invalidate the measurement the user thought they asked for.
+      std::fprintf(stderr, "invalid --threads value '%s' (expected a "
+                           "non-negative integer)\n", value.c_str());
+      std::exit(2);
+    }
+    args.threads = static_cast<unsigned>(parsed);
+  }
+  return args;
+}
 
 index_t ScaleDivisor() {
   const char* env = std::getenv("USI_BENCH_SCALE");

@@ -20,6 +20,17 @@
 
 namespace usi::bench {
 
+/// Command-line options shared by the benches.
+struct BenchArgs {
+  /// --threads N: pool width for the serving/throughput sections.
+  /// 0 (default) = hardware concurrency.
+  unsigned threads = 0;
+};
+
+/// Parses the shared bench flags (currently --threads N / --threads=N) from
+/// argv; unknown arguments are ignored so per-bench flags can coexist.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
 /// Reads USI_BENCH_SCALE (>= 1) from the environment.
 index_t ScaleDivisor();
 

@@ -1,11 +1,17 @@
 // Regenerates Fig. 6q-t: construction time of UET, UAT and BSL1-4 versus K
 // and versus n (XML- and HUM-like). Shape: baselines build faster (no top-K
 // mining or table population), UET builds faster than UAT, and everything
-// scales (near-)linearly in n.
+// scales (near-)linearly in n. A final section reports the staged parallel
+// build pipeline (UsiBuilder): per-stage seconds at 1, 2 and
+// hardware-concurrency threads — phase (ii), the O(n*L_K) table population,
+// is the stage that parallelizes.
+
+#include <algorithm>
 
 #include "bench_common.hpp"
 #include "usi/core/baselines.hpp"
 #include "usi/core/usi_index.hpp"
+#include "usi/parallel/thread_pool.hpp"
 #include "usi/suffix/suffix_array.hpp"
 
 namespace usi {
@@ -86,14 +92,47 @@ void ConstructionVsN(const char* name) {
   table.Print();
 }
 
+void ParallelBuildStages(const char* name, const bench::BenchArgs& args) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  const u64 k = std::max<u64>(
+      10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+
+  std::vector<unsigned> counts = {1, 2, ThreadPool::HardwareConcurrency()};
+  if (args.threads != 0) counts.push_back(args.threads);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  TablePrinter table(std::string("UsiBuilder staged build (s) on ") + name +
+                     " (UET, n=" + TablePrinter::Int(n) + ", K=" +
+                     TablePrinter::Int(static_cast<long long>(k)) + ")");
+  table.SetHeader({"threads", "sa", "mine", "table", "total"});
+  for (unsigned threads : counts) {
+    UsiOptions options;
+    options.k = k;
+    options.threads = threads;
+    const UsiIndex index(ws, options);
+    const UsiBuildInfo& info = index.build_info();
+    table.AddRow({TablePrinter::Int(threads),
+                  TablePrinter::Num(info.sa_seconds, 3),
+                  TablePrinter::Num(info.mining_seconds, 3),
+                  TablePrinter::Num(info.table_seconds, 3),
+                  TablePrinter::Num(info.total_seconds, 3)});
+  }
+  table.Print();
+}
+
 }  // namespace
 }  // namespace usi
 
-int main() {
+int main(int argc, char** argv) {
+  const usi::bench::BenchArgs args = usi::bench::ParseBenchArgs(argc, argv);
   usi::bench::PrintBanner("fig6_construction", "Fig. 6q-t");
   usi::ConstructionVsK("XML");
   usi::ConstructionVsK("HUM");
   usi::ConstructionVsN("XML");
   usi::ConstructionVsN("HUM");
+  usi::ParallelBuildStages("XML", args);
   return 0;
 }

@@ -3,16 +3,23 @@
 // datasets. The paper's headline: UET/UAT are on average 3.1x (up to 15x)
 // faster than the best baseline, and improve with K and with p while the
 // baselines stay flat.
+//
+// Every engine is driven through the unified QueryEngine contract via
+// UsiService (single-threaded for the per-query figures). A final section
+// per dataset reports UsiService::QueryBatch throughput — queries/sec at 1,
+// 2 and hardware-concurrency threads (plus --threads N when given).
 
+#include <algorithm>
 #include <cstdio>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "usi/core/baselines.hpp"
 #include "usi/core/usi_index.hpp"
+#include "usi/core/usi_service.hpp"
 #include "usi/core/workload.hpp"
+#include "usi/parallel/thread_pool.hpp"
 #include "usi/suffix/suffix_array.hpp"
 #include "usi/topk/substring_stats.hpp"
 
@@ -21,23 +28,37 @@ namespace {
 
 constexpr std::size_t kQueriesPerWorkload = 2000;
 
-struct Engines {
-  std::unique_ptr<UsiIndex> uet;
-  std::unique_ptr<UsiIndex> uat;
-  std::vector<std::unique_ptr<UsiBaseline>> baselines;
-};
-
-double AvgMicros(const std::vector<Text>& patterns,
-                 const std::function<double(const Text&)>& query) {
+/// Average per-query microseconds through a single-threaded service batch.
+double AvgMicros(QueryEngine& engine, const std::vector<Text>& patterns) {
+  UsiServiceOptions sequential;
+  sequential.threads = 1;
+  UsiService service(engine, sequential);
   Timer timer;
-  double checksum = 0;
-  for (const Text& p : patterns) checksum += query(p);
+  const std::vector<QueryResult> results = service.QueryBatch(patterns);
   const double micros = timer.ElapsedSeconds() * 1e6 / patterns.size();
+  double checksum = 0;
+  for (const QueryResult& r : results) checksum += r.utility;
   (void)checksum;
   return micros;
 }
 
-void RunDataset(const DatasetSpec& spec) {
+/// Sustained QueryBatch throughput at a given pool width.
+double QueriesPerSecond(QueryEngine& engine, unsigned threads,
+                        const std::vector<Text>& patterns) {
+  UsiServiceOptions options;
+  options.threads = threads;
+  UsiService service(engine, options);
+  service.QueryBatch(patterns);  // Warm-up: page in tables, prime the pool.
+  std::size_t served = 0;
+  Timer timer;
+  do {
+    service.QueryBatch(patterns);
+    served += patterns.size();
+  } while (timer.ElapsedSeconds() < 0.2 && served < 400'000);
+  return static_cast<double>(served) / timer.ElapsedSeconds();
+}
+
+void RunDataset(const DatasetSpec& spec, const bench::BenchArgs& args) {
   const index_t n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
   const WeightedString ws = MakeDataset(spec, n);
 
@@ -78,17 +99,12 @@ void RunDataset(const DatasetSpec& spec) {
 
     std::vector<std::string> row = {
         TablePrinter::Int(static_cast<long long>(k))};
-    row.push_back(TablePrinter::Num(
-        AvgMicros(w1.patterns, [&](const Text& p) { return uet.Utility(p); }), 2));
-    row.push_back(TablePrinter::Num(
-        AvgMicros(w1.patterns, [&](const Text& p) { return uat.Utility(p); }), 2));
+    row.push_back(TablePrinter::Num(AvgMicros(uet, w1.patterns), 2));
+    row.push_back(TablePrinter::Num(AvgMicros(uat, w1.patterns), 2));
     for (auto kind : {BaselineKind::kBsl1, BaselineKind::kBsl2,
                       BaselineKind::kBsl3, BaselineKind::kBsl4}) {
       auto baseline = MakeBaseline(kind, context);
-      row.push_back(TablePrinter::Num(
-          AvgMicros(w1.patterns,
-                    [&](const Text& p) { return baseline->Query(p).utility; }),
-          2));
+      row.push_back(TablePrinter::Num(AvgMicros(*baseline, w1.patterns), 2));
     }
     by_k.AddRow(std::move(row));
   }
@@ -118,32 +134,54 @@ void RunDataset(const DatasetSpec& spec) {
     context.psw = &psw;
     context.cache_capacity = k;
     std::vector<std::string> row = {TablePrinter::Int(p)};
-    row.push_back(TablePrinter::Num(
-        AvgMicros(w2.patterns, [&](const Text& q) { return uet.Utility(q); }), 2));
-    row.push_back(TablePrinter::Num(
-        AvgMicros(w2.patterns, [&](const Text& q) { return uat.Utility(q); }), 2));
+    row.push_back(TablePrinter::Num(AvgMicros(uet, w2.patterns), 2));
+    row.push_back(TablePrinter::Num(AvgMicros(uat, w2.patterns), 2));
     for (auto kind : {BaselineKind::kBsl1, BaselineKind::kBsl2,
                       BaselineKind::kBsl3, BaselineKind::kBsl4}) {
       auto baseline = MakeBaseline(kind, context);
-      row.push_back(TablePrinter::Num(
-          AvgMicros(w2.patterns,
-                    [&](const Text& q) { return baseline->Query(q).utility; }),
-          2));
+      row.push_back(TablePrinter::Num(AvgMicros(*baseline, w2.patterns), 2));
     }
     by_p.AddRow(std::move(row));
   }
   by_p.Print();
+
+  // --- Serving throughput: UsiService::QueryBatch over the W1 workload. ---
+  std::vector<unsigned> counts = {1, 2, ThreadPool::HardwareConcurrency()};
+  if (args.threads != 0) counts.push_back(args.threads);
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  TablePrinter serving("UsiService::QueryBatch throughput on " + spec.name +
+                       " (UET, K=" +
+                       TablePrinter::Int(static_cast<long long>(k)) +
+                       ", W1 batch of " +
+                       TablePrinter::Int(static_cast<long long>(
+                           w1.patterns.size())) +
+                       ")");
+  serving.SetHeader({"threads", "queries/s", "speedup"});
+  double base_qps = 0;
+  for (unsigned threads : counts) {
+    const double qps = QueriesPerSecond(uet, threads, w1.patterns);
+    if (base_qps == 0) base_qps = qps;
+    serving.AddRow({TablePrinter::Int(threads), TablePrinter::Num(qps, 0),
+                    TablePrinter::Num(qps / base_qps, 2)});
+  }
+  serving.Print();
 }
 
 }  // namespace
 }  // namespace usi
 
-int main() {
+int main(int argc, char** argv) {
+  const usi::bench::BenchArgs args = usi::bench::ParseBenchArgs(argc, argv);
   usi::bench::PrintBanner("fig6_query_time", "Fig. 6a-j");
+  std::printf("hardware concurrency: %u; --threads flag: %u (0 = hw)\n",
+              usi::ThreadPool::HardwareConcurrency(), args.threads);
   for (const usi::DatasetSpec& spec : usi::AllDatasetSpecs()) {
-    usi::RunDataset(spec);
+    usi::RunDataset(spec, args);
   }
   std::printf("\nShape check (paper): UET/UAT beat every baseline and get "
-              "faster as K or p grows; baselines stay flat.\n");
+              "faster as K or p grows; baselines stay flat. QueryBatch "
+              "throughput should scale with threads on multi-core hosts.\n");
   return 0;
 }

@@ -20,6 +20,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "usi/core/query_engine.hpp"
 #include "usi/core/utility.hpp"
 #include "usi/hash/caches.hpp"
 #include "usi/hash/count_min_sketch.hpp"
@@ -28,20 +29,11 @@
 
 namespace usi {
 
-/// Common interface so the benches can sweep engines uniformly.
-class UsiBaseline {
- public:
-  virtual ~UsiBaseline() = default;
-
-  /// Answers U(P). Non-const: caching baselines mutate internal state.
-  virtual QueryResult Query(std::span<const Symbol> pattern) = 0;
-
-  /// Short display name ("BSL1"...).
-  virtual const char* Name() const = 0;
-
-  /// Index size: SA + PSW + caching structures.
-  virtual std::size_t SizeInBytes() const = 0;
-};
+/// Baselines are ordinary QueryEngines; the alias marks the Section IX-C
+/// comparison set. Benches sweep them and USI through the same interface,
+/// and UsiService serves the caching ones sequentially (they mutate state
+/// per query, so SupportsConcurrentQuery() is false for BSL2-4).
+using UsiBaseline = QueryEngine;
 
 /// Identifier for the factory.
 enum class BaselineKind : u8 { kBsl1, kBsl2, kBsl3, kBsl4 };
@@ -69,6 +61,8 @@ class Bsl1NoCache : public UsiBaseline {
   QueryResult Query(std::span<const Symbol> pattern) override;
   const char* Name() const override { return "BSL1"; }
   std::size_t SizeInBytes() const override;
+  /// BSL1 keeps no per-query state; concurrent queries are safe.
+  bool SupportsConcurrentQuery() const override { return true; }
 
  protected:
   BaselineContext context_;
@@ -83,6 +77,7 @@ class Bsl2Lru : public Bsl1NoCache {
   QueryResult Query(std::span<const Symbol> pattern) override;
   const char* Name() const override { return "BSL2"; }
   std::size_t SizeInBytes() const override;
+  bool SupportsConcurrentQuery() const override { return false; }
 
  private:
   LruCache cache_;
@@ -95,6 +90,7 @@ class Bsl3TopSeen : public Bsl1NoCache {
   QueryResult Query(std::span<const Symbol> pattern) override;
   const char* Name() const override { return "BSL3"; }
   std::size_t SizeInBytes() const override;
+  bool SupportsConcurrentQuery() const override { return false; }
 
  private:
   LfuCache cache_;
@@ -108,6 +104,7 @@ class Bsl4SketchTopSeen : public Bsl1NoCache {
   QueryResult Query(std::span<const Symbol> pattern) override;
   const char* Name() const override { return "BSL4"; }
   std::size_t SizeInBytes() const override;
+  bool SupportsConcurrentQuery() const override { return false; }
 
  private:
   LfuCache cache_;

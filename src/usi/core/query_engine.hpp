@@ -1,0 +1,51 @@
+#ifndef USI_CORE_QUERY_ENGINE_HPP_
+#define USI_CORE_QUERY_ENGINE_HPP_
+
+/// \file query_engine.hpp
+/// The query contract shared by every answer path in the library.
+///
+/// UsiIndex (the paper's USI_TOP-K), ExhaustiveQueryEngine (the SA + PSW
+/// scan) and the four Bsl* baselines all answer the same question — U(P) for
+/// a pattern P — but grew separate entry points. QueryEngine unifies them so
+/// benches, examples and the serving layer (UsiService) drive any engine
+/// through one interface, and so batched serving can ask an engine whether
+/// concurrent queries are safe before fanning a batch across a thread pool.
+
+#include <cstddef>
+#include <span>
+
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Result of a USI query.
+struct QueryResult {
+  double utility = 0;        ///< U(P); 0 when the pattern does not occur.
+  index_t occurrences = 0;   ///< |occ_S(P)|.
+  bool from_hash_table = false;  ///< Answered from a precomputed/cached table.
+};
+
+/// Abstract answer path for global-utility queries.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  /// Answers U(P). Non-const: caching engines mutate internal state.
+  virtual QueryResult Query(std::span<const Symbol> pattern) = 0;
+
+  /// Short display name ("UET", "BSL2", ...).
+  virtual const char* Name() const = 0;
+
+  /// Index size in bytes (structures the engine answers from).
+  virtual std::size_t SizeInBytes() const = 0;
+
+  /// Whether Query may be invoked concurrently from multiple threads.
+  /// Engines that mutate per-query state (the caching baselines) return
+  /// false; UsiService then serves their batches sequentially, in order.
+  virtual bool SupportsConcurrentQuery() const { return false; }
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_QUERY_ENGINE_HPP_

@@ -1,0 +1,82 @@
+#ifndef USI_CORE_USI_BUILDER_HPP_
+#define USI_CORE_USI_BUILDER_HPP_
+
+/// \file usi_builder.hpp
+/// Staged, instrumented construction pipeline for UsiIndex.
+///
+/// Construction decomposes into explicit stages — "sa" (SA-IS over the
+/// text), "mine" (phase (i) top-K mining), "table" (phase (ii): the
+/// O(n * L_K) sliding-window table population, the dominant cost) and
+/// "finalize" (fallback wiring). Each stage is timed individually; the
+/// summary lands in UsiIndex::build_info().
+///
+/// Phase (ii) parallelizes over the L_K distinct substring lengths: every
+/// length group runs its own sliding-window pass with thread-confined
+/// scratch (a per-worker copy of the Karp-Rabin hasher and a per-worker
+/// occurrence-mark bit vector) into a private fingerprint table, and the
+/// per-group partials merge into H in increasing-length order. Because the
+/// pattern length is part of every hash key, groups touch disjoint key sets
+/// and each key's accumulation order equals the sequential one — so a
+/// parallel build serializes byte-identical to a sequential build at any
+/// thread count (the determinism contract tests/parallel_test.cpp pins).
+
+#include <memory>
+#include <vector>
+
+#include "usi/core/usi_index.hpp"
+
+namespace usi {
+
+class ThreadPool;
+
+/// One timed construction stage.
+struct UsiBuildStage {
+  const char* name;  ///< "sa", "mine", "table", "finalize".
+  double seconds;
+};
+
+/// Builds UsiIndex instances, sequentially or over a thread pool.
+class UsiBuilder {
+ public:
+  /// \p ws is borrowed and must outlive the builder and the built indexes.
+  /// options.threads selects the pool width when no pool is injected
+  /// (1 = sequential, 0 = hardware concurrency).
+  explicit UsiBuilder(const WeightedString& ws, const UsiOptions& options = {});
+  ~UsiBuilder();
+
+  UsiBuilder(const UsiBuilder&) = delete;
+  UsiBuilder& operator=(const UsiBuilder&) = delete;
+
+  /// Injects a shared pool (borrowed; null = honor options.threads).
+  UsiBuilder& UsePool(ThreadPool* pool);
+
+  /// Runs all stages and returns the finished index.
+  std::unique_ptr<UsiIndex> Build();
+
+  /// Per-stage timings of the most recent Build.
+  const std::vector<UsiBuildStage>& stages() const { return stages_; }
+
+ private:
+  friend class UsiIndex;
+
+  /// The pool the stages will run on: the injected one, else a lazily
+  /// created owned pool per options.threads, else null (sequential).
+  ThreadPool* EffectivePool();
+
+  /// Runs the staged pipeline into \p index (whose invariant members the
+  /// BuildTag constructor already initialized).
+  void BuildInto(UsiIndex& index);
+
+  /// Phase (ii): parallel-over-lengths table population.
+  void PopulateTable(UsiIndex& index, const TopKList& mined, ThreadPool* pool);
+
+  const WeightedString* ws_;
+  UsiOptions options_;
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::vector<UsiBuildStage> stages_;
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_USI_BUILDER_HPP_

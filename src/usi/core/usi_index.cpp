@@ -2,17 +2,18 @@
 
 #include <algorithm>
 
-#include "usi/suffix/suffix_array.hpp"
-#include "usi/topk/substring_stats.hpp"
+#include "usi/core/usi_builder.hpp"
 #include "usi/util/binary_io.hpp"
-#include "usi/util/bit_vector.hpp"
-#include "usi/util/timer.hpp"
 
 namespace usi {
 namespace {
 
 constexpr u32 kIndexMagic = 0x55534931;  // "USI1".
-constexpr u32 kIndexVersion = 1;
+// Version 2 added the miner byte (UET/UAT) after the utility kind.
+constexpr u32 kIndexVersion = 2;
+
+/// Number of UsiMiner enumerators; loaders validate the serialized byte.
+constexpr u8 kNumUsiMiners = static_cast<u8>(UsiMiner::kApproximate) + 1;
 
 /// Flat hash-table entry for serialization.
 struct SerializedEntry {
@@ -24,126 +25,24 @@ struct SerializedEntry {
 
 }  // namespace
 
-UsiIndex::UsiIndex(const WeightedString& ws, const UsiOptions& options)
+UsiIndex::UsiIndex(BuildTag, const WeightedString& ws,
+                   const UsiOptions& options)
     : ws_(&ws),
       kind_(options.utility),
+      miner_(options.miner),
       hasher_(options.hash_seed),
       psw_(ws),
-      table_(options.k > 0 ? options.k : std::max<u64>(1, ws.size() / 100)) {
-  Timer total_timer;
-  const Text& text = ws.text();
-  const index_t n = ws.size();
-  const u64 k = options.k > 0 ? options.k : std::max<u64>(1, n / 100);
-  build_info_.k = k;
+      table_(options.k > 0 ? options.k : std::max<u64>(1, ws.size() / 100)) {}
 
-  // Phase (i): mine the top-K frequent substrings.
-  Timer mining_timer;
-  TopKList mined;
-  if (options.miner == UsiMiner::kExact && n > 0) {
-    SubstringStats stats(text);
-    mined = stats.TopK(k);
-    sa_ = stats.TakeSa();  // Reuse the stats' suffix array as the text index.
-  } else {
-    sa_ = BuildSuffixArray(text);
-    if (n > 0) mined = ApproximateTopK(text, k, options.approx);
-  }
-  build_info_.mining_seconds = mining_timer.ElapsedSeconds();
+UsiIndex::UsiIndex(const WeightedString& ws, const UsiOptions& options)
+    : UsiIndex(ws, options, nullptr) {}
 
-  index_t tau = kInvalidIndex;
-  for (const TopKSubstring& item : mined.items) {
-    tau = std::min(tau, item.frequency);
-  }
-  build_info_.tau_k = mined.items.empty() ? 0 : tau;
-
-  // Phases (ii)+(iii): precompute global utilities; PSW was built above.
-  Timer table_timer;
-  PopulateTable(mined);
-  build_info_.table_seconds = table_timer.ElapsedSeconds();
-
-  fallback_ = ExhaustiveQueryEngine(text, sa_, psw_, kind_);
-  build_info_.total_seconds = total_timer.ElapsedSeconds();
-}
-
-void UsiIndex::PopulateTable(const TopKList& mined) {
-  const Text& text = ws_->text();
-  const index_t n = ws_->size();
-  if (mined.items.empty() || n == 0) return;
-
-  // Group mined substrings by length (bucket sort on length).
-  std::vector<const TopKSubstring*> by_length(mined.items.size());
-  for (std::size_t i = 0; i < mined.items.size(); ++i) {
-    by_length[i] = &mined.items[i];
-  }
-  std::sort(by_length.begin(), by_length.end(),
-            [](const TopKSubstring* a, const TopKSubstring* b) {
-              return a->length < b->length;
-            });
-
-  BitVector occurrence_starts(mined.exact ? n : 0);
-  index_t num_lengths = 0;
-  std::size_t group_begin = 0;
-  while (group_begin < by_length.size()) {
-    const index_t len = by_length[group_begin]->length;
-    std::size_t group_end = group_begin;
-    while (group_end < by_length.size() &&
-           by_length[group_end]->length == len) {
-      ++group_end;
-    }
-    ++num_lengths;
-    if (len > n) break;  // Nothing of this length fits (defensive).
-
-    if (mined.exact) {
-      // Mark all occurrence starts of this length's substrings in B_len.
-      for (std::size_t g = group_begin; g < group_end; ++g) {
-        const TopKSubstring& item = *by_length[g];
-        for (index_t k = item.lb; k <= item.rb; ++k) {
-          occurrence_starts.Set(sa_[k]);
-        }
-      }
-    } else {
-      // Approximate miner gives witnesses, not intervals: pre-insert keys so
-      // the window pass below runs in update-only mode.
-      for (std::size_t g = group_begin; g < group_end; ++g) {
-        const TopKSubstring& item = *by_length[g];
-        const u64 fp = hasher_.Hash(
-            std::span<const Symbol>(text.data() + item.witness, len));
-        table_.FindOrInsert(PatternKey{fp, len}, TableValue{});
-      }
-    }
-
-    // Slide a length-len window over S; O(1) fingerprint and local utility
-    // per position (Section IV, phase (ii)).
-    RollingHasher window(hasher_, len);
-    for (index_t i = 0; i + 1 < len && i < n; ++i) window.Push(text[i]);
-    for (index_t i = 0; i + len <= n; ++i) {
-      if (i == 0) {
-        window.Push(text[len - 1]);
-      } else {
-        window.Roll(text[i - 1], text[i + len - 1]);
-      }
-      const PatternKey key{window.Fingerprint(), len};
-      if (mined.exact) {
-        if (!occurrence_starts.Test(i)) continue;
-        TableValue* value = table_.FindOrInsert(key, TableValue{});
-        value->Add(psw_.LocalUtility(i, len), kind_);
-      } else {
-        TableValue* value = table_.Find(key);
-        if (value != nullptr) value->Add(psw_.LocalUtility(i, len), kind_);
-      }
-    }
-
-    if (mined.exact) {
-      // Reset only the bits we set (cheaper than zeroing all of B).
-      for (std::size_t g = group_begin; g < group_end; ++g) {
-        const TopKSubstring& item = *by_length[g];
-        for (index_t k = item.lb; k <= item.rb; ++k) {
-          occurrence_starts.Clear(sa_[k]);
-        }
-      }
-    }
-    group_begin = group_end;
-  }
-  build_info_.num_lengths = num_lengths;
+UsiIndex::UsiIndex(const WeightedString& ws, const UsiOptions& options,
+                   ThreadPool* pool)
+    : UsiIndex(BuildTag{}, ws, options) {
+  UsiBuilder builder(ws, options);
+  if (pool != nullptr) builder.UsePool(pool);
+  builder.BuildInto(*this);
 }
 
 QueryResult UsiIndex::Query(std::span<const Symbol> pattern) const {
@@ -179,6 +78,7 @@ bool UsiIndex::SaveToFile(const std::string& path) const {
   writer.Write(kIndexVersion);
   writer.Write(static_cast<u32>(ws_->size()));
   writer.Write(static_cast<u8>(kind_));
+  writer.Write(static_cast<u8>(miner_));
   writer.Write(hasher_.base());
   writer.Write(build_info_.k);
   writer.Write(build_info_.tau_k);
@@ -189,6 +89,12 @@ bool UsiIndex::SaveToFile(const std::string& path) const {
   table_.ForEach([&](const PatternKey& key, const TableValue& value) {
     entries.push_back(SerializedEntry{key.fp, key.len, value.count, value.value});
   });
+  // Canonical (length, fingerprint) order: equal table contents serialize to
+  // equal bytes no matter what insertion order the build schedule produced.
+  std::sort(entries.begin(), entries.end(),
+            [](const SerializedEntry& a, const SerializedEntry& b) {
+              return a.len != b.len ? a.len < b.len : a.fp < b.fp;
+            });
   writer.WriteVector(entries);
   return writer.ok();
 }
@@ -200,17 +106,20 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   u32 version = 0;
   u32 n = 0;
   u8 kind = 0;
+  u8 miner = 0;
   u64 base = 0;
   if (!reader.Read(&magic) || magic != kIndexMagic) return nullptr;
   if (!reader.Read(&version) || version != kIndexVersion) return nullptr;
   if (!reader.Read(&n) || n != ws.size()) return nullptr;
   if (!reader.Read(&kind) || kind >= kNumGlobalUtilityKinds) return nullptr;
+  if (!reader.Read(&miner) || miner >= kNumUsiMiners) return nullptr;
   if (!reader.Read(&base) || !KarpRabinHasher::IsValidBase(base)) {
     return nullptr;
   }
 
   std::unique_ptr<UsiIndex> index(new UsiIndex(LoadTag{}, ws));
   index->kind_ = static_cast<GlobalUtilityKind>(kind);
+  index->miner_ = static_cast<UsiMiner>(miner);
   index->hasher_ = KarpRabinHasher::FromBase(base);
   if (!reader.Read(&index->build_info_.k) ||
       !reader.Read(&index->build_info_.tau_k) ||

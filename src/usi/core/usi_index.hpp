@@ -17,11 +17,17 @@
 ///  * UAT — Approximate-Top-K (Section VI): smaller construction space; the
 ///    guarantee is forfeited (Section VI discusses why) but practice is
 ///    competitive, as Fig. 6 shows.
+///
+/// Construction runs through the staged UsiBuilder (usi_builder.hpp): SA,
+/// mining, and the phase (ii) table population are instrumented stages, and
+/// phase (ii) parallelizes over distinct lengths when a thread pool is given
+/// — with byte-identical serialized output to a sequential build.
 
 #include <memory>
 #include <span>
 #include <string>
 
+#include "usi/core/query_engine.hpp"
 #include "usi/core/utility.hpp"
 #include "usi/hash/fingerprint_table.hpp"
 #include "usi/hash/karp_rabin.hpp"
@@ -30,6 +36,9 @@
 #include "usi/topk/topk_types.hpp"
 
 namespace usi {
+
+class ThreadPool;
+class UsiBuilder;
 
 /// Which mining algorithm feeds construction phase (i).
 enum class UsiMiner : u8 {
@@ -46,6 +55,10 @@ struct UsiOptions {
   UsiMiner miner = UsiMiner::kExact;
   ApproximateTopKOptions approx = {};  ///< Used when miner == kApproximate.
   u64 hash_seed = 0x05111;             ///< Karp-Rabin base seed.
+  /// Build parallelism: 1 = sequential (default), 0 = hardware concurrency,
+  /// N > 1 = a pool of N threads. Any value yields byte-identical
+  /// SaveToFile output; see UsiBuilder for the determinism contract.
+  unsigned threads = 1;
 };
 
 /// Construction telemetry (used by the Fig. 6 benches and by tuning).
@@ -53,20 +66,29 @@ struct UsiBuildInfo {
   u64 k = 0;                ///< Effective K.
   index_t tau_k = 0;        ///< Min frequency among mined substrings.
   index_t num_lengths = 0;  ///< L_K: distinct lengths among them.
-  double mining_seconds = 0;
-  double table_seconds = 0;  ///< Phase (ii): sliding-window aggregation.
+  double sa_seconds = 0;    ///< Stage 1: suffix-array construction.
+  double mining_seconds = 0;  ///< Stage 2: phase (i) top-K mining.
+  double table_seconds = 0;  ///< Stage 3: phase (ii) sliding-window tables.
   double total_seconds = 0;
+  unsigned threads_used = 1;  ///< Pool width the build ran with.
 };
 
 /// The USI_TOP-K index over a weighted string.
-class UsiIndex {
+class UsiIndex : public QueryEngine {
  public:
   /// Builds the index. \p ws is borrowed and must outlive the index.
+  /// options.threads > 1 (or 0) runs the parallel build pipeline.
   UsiIndex(const WeightedString& ws, const UsiOptions& options = {});
 
+  /// As above, sharing an existing pool (borrowed; may be null).
+  UsiIndex(const WeightedString& ws, const UsiOptions& options,
+           ThreadPool* pool);
+
   /// Persists the index (suffix array + hash table + parameters; PSW is
-  /// recomputed on load, it is a single O(n) scan). Returns false on I/O
-  /// failure.
+  /// recomputed on load, it is a single O(n) scan). Hash-table entries are
+  /// written in canonical (length, fingerprint) order, so equal indexes
+  /// serialize to equal bytes regardless of build schedule. Returns false on
+  /// I/O failure.
   bool SaveToFile(const std::string& path) const;
 
   /// Restores an index previously saved over the same weighted string.
@@ -76,7 +98,17 @@ class UsiIndex {
                                                 const std::string& path);
 
   /// Answers U(P): hash-table hit in O(m), otherwise SA + PSW fallback.
+  /// Safe to call concurrently (the index is immutable after construction).
   QueryResult Query(std::span<const Symbol> pattern) const;
+
+  /// QueryEngine interface.
+  QueryResult Query(std::span<const Symbol> pattern) override {
+    return static_cast<const UsiIndex*>(this)->Query(pattern);
+  }
+  const char* Name() const override {
+    return miner_ == UsiMiner::kExact ? "UET" : "UAT";
+  }
+  bool SupportsConcurrentQuery() const override { return true; }
 
   /// Convenience: just the utility value.
   double Utility(std::span<const Symbol> pattern) const {
@@ -91,12 +123,14 @@ class UsiIndex {
 
   /// Index size: SA + PSW + H (+ nothing else; the text is borrowed, as in
   /// the paper's accounting, which reports the index on top of S).
-  std::size_t SizeInBytes() const;
+  std::size_t SizeInBytes() const override;
 
   /// The suffix array (exposed for examples and tests).
   const std::vector<index_t>& sa() const { return sa_; }
 
  private:
+  friend class UsiBuilder;
+
   /// Value stored in H: a utility accumulator (value + occurrence count).
   using TableValue = UtilityAccumulator;
 
@@ -106,13 +140,14 @@ class UsiIndex {
   struct LoadTag {};
   UsiIndex(LoadTag, const WeightedString& ws);
 
-  /// Phase (ii): per distinct length, mark occurrence starts (exact miner)
-  /// or pre-insert candidate keys (approximate miner), then slide a window
-  /// over S aggregating local utilities into H. O(n * L_K).
-  void PopulateTable(const TopKList& mined);
+  /// Builder constructor: initializes the invariant members; UsiBuilder
+  /// fills sa_/table_/fallback_/build_info_ through BuildInto.
+  struct BuildTag {};
+  UsiIndex(BuildTag, const WeightedString& ws, const UsiOptions& options);
 
   const WeightedString* ws_;
   GlobalUtilityKind kind_;
+  UsiMiner miner_ = UsiMiner::kExact;
   KarpRabinHasher hasher_;
   std::vector<index_t> sa_;
   PrefixSumWeights psw_;

@@ -1,0 +1,76 @@
+#include "usi/core/usi_service.hpp"
+
+#include <algorithm>
+
+#include "usi/parallel/thread_pool.hpp"
+#include "usi/util/timer.hpp"
+
+namespace usi {
+
+UsiService::UsiService(QueryEngine& engine, const UsiServiceOptions& options)
+    : engine_(&engine), options_(options) {
+  const unsigned threads = options.threads == 0
+                               ? ThreadPool::HardwareConcurrency()
+                               : options.threads;
+  if (threads > 1 && engine.SupportsConcurrentQuery()) {
+    owned_pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+UsiService::UsiService(QueryEngine& engine, ThreadPool* pool,
+                       const UsiServiceOptions& options)
+    : engine_(&engine), pool_(pool), options_(options) {}
+
+UsiService::~UsiService() = default;
+
+unsigned UsiService::threads() const {
+  if (pool_ == nullptr || !engine_->SupportsConcurrentQuery()) return 1;
+  return std::max(1u, pool_->thread_count());
+}
+
+std::vector<QueryResult> UsiService::QueryBatch(
+    std::span<const Text> patterns) {
+  Timer timer;
+  std::vector<QueryResult> results(patterns.size());
+  last_batch_ = UsiBatchStats{};
+  last_batch_.patterns = patterns.size();
+  if (patterns.empty()) return results;
+
+  const unsigned workers = threads();
+  const std::size_t min_shard = std::max<std::size_t>(1, options_.min_shard_size);
+  if (workers <= 1 || patterns.size() < 2 * min_shard) {
+    // Sequential serving, in batch order (also the only correct mode for
+    // caching engines, whose answers depend on query order).
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      results[i] = engine_->Query(patterns[i]);
+    }
+    last_batch_.seconds = timer.ElapsedSeconds();
+    return results;
+  }
+
+  // Contiguous shards, a few per worker so uneven per-pattern costs (hash
+  // hit vs SA fallback) balance out. Every pattern writes its own result
+  // slot, so the output is schedule-independent.
+  const std::size_t target_shards = static_cast<std::size_t>(workers) * 4;
+  const std::size_t shard_size = std::max(
+      min_shard, (patterns.size() + target_shards - 1) / target_shards);
+  const std::size_t shards = (patterns.size() + shard_size - 1) / shard_size;
+  ParallelFor(pool_, shards, [&](std::size_t s, unsigned /*worker*/) {
+    const std::size_t begin = s * shard_size;
+    const std::size_t end = std::min(patterns.size(), begin + shard_size);
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = engine_->Query(patterns[i]);
+    }
+  });
+
+  last_batch_.shards = shards;
+  // Fewer shards than workers means only that many bodies ever ran
+  // concurrently; report the parallelism the timing actually reflects.
+  last_batch_.threads_used =
+      static_cast<unsigned>(std::min<std::size_t>(workers, shards));
+  last_batch_.seconds = timer.ElapsedSeconds();
+  return results;
+}
+
+}  // namespace usi

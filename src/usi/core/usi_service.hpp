@@ -1,0 +1,94 @@
+#ifndef USI_CORE_USI_SERVICE_HPP_
+#define USI_CORE_USI_SERVICE_HPP_
+
+/// \file usi_service.hpp
+/// Batched, sharded query serving over any QueryEngine.
+///
+/// UsiService is the throughput layer the ROADMAP's serving story builds on:
+/// a batch of patterns is split into contiguous shards and fanned out across
+/// a thread pool, with each shard answered independently (UsiIndex and the
+/// other concurrency-safe engines keep no per-query state; Karp-Rabin
+/// scratch lives on each worker's stack). Results land in per-pattern slots,
+/// so the returned vector is byte-for-byte the sequential answer in the
+/// original order, at any thread count.
+///
+/// Engines that mutate per-query state (the caching baselines BSL2-4 —
+/// SupportsConcurrentQuery() == false) are served sequentially and in batch
+/// order, preserving their cache semantics exactly.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "usi/core/query_engine.hpp"
+#include "usi/text/alphabet.hpp"
+
+namespace usi {
+
+class ThreadPool;
+
+/// Tuning for UsiService.
+struct UsiServiceOptions {
+  /// Pool width when the service owns its pool: 0 = hardware concurrency,
+  /// 1 = serve in-thread (no pool). Ignored when a pool is injected.
+  unsigned threads = 0;
+  /// Floor on patterns per shard; small batches stay on one thread rather
+  /// than paying fan-out overhead.
+  std::size_t min_shard_size = 16;
+};
+
+/// Telemetry of the most recent QueryBatch.
+struct UsiBatchStats {
+  std::size_t patterns = 0;
+  std::size_t shards = 1;
+  unsigned threads_used = 1;
+  double seconds = 0;
+};
+
+/// Serves batches of utility queries through one QueryEngine.
+class UsiService {
+ public:
+  /// \p engine is borrowed and must outlive the service. The service owns
+  /// its pool, sized per \p options.
+  explicit UsiService(QueryEngine& engine,
+                      const UsiServiceOptions& options = {});
+
+  /// As above but sharing \p pool (borrowed; null = serve in-thread).
+  UsiService(QueryEngine& engine, ThreadPool* pool,
+             const UsiServiceOptions& options = {});
+
+  ~UsiService();
+
+  UsiService(const UsiService&) = delete;
+  UsiService& operator=(const UsiService&) = delete;
+
+  /// Answers every pattern; results[i] corresponds to patterns[i]. Sharded
+  /// across the pool when the engine supports concurrent queries, served
+  /// sequentially in order otherwise — the results are identical either way.
+  std::vector<QueryResult> QueryBatch(std::span<const Text> patterns);
+
+  /// Single-query passthrough.
+  QueryResult Query(std::span<const Symbol> pattern) {
+    return engine_->Query(pattern);
+  }
+
+  /// The engine being served.
+  QueryEngine& engine() { return *engine_; }
+
+  /// Worker threads available for fan-out (1 = sequential serving).
+  unsigned threads() const;
+
+  /// Telemetry of the most recent QueryBatch.
+  const UsiBatchStats& last_batch() const { return last_batch_; }
+
+ private:
+  QueryEngine* engine_;
+  ThreadPool* pool_ = nullptr;            ///< Borrowed, may be null.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  UsiServiceOptions options_;
+  UsiBatchStats last_batch_;
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_USI_SERVICE_HPP_

@@ -53,6 +53,10 @@ double UtilityAccumulator::Finalize(GlobalUtilityKind kind) const {
 
 QueryResult ExhaustiveQueryEngine::Compute(
     std::span<const Symbol> pattern) const {
+  // A default-constructed engine has nothing to answer from; computing
+  // through it is a wiring bug, not bad input — abort before the null
+  // borrows are dereferenced.
+  USI_CHECK(wired());
   QueryResult result;
   if (pattern.empty()) return result;
   const SaInterval interval = FindSaInterval(*text_, *sa_, pattern);
@@ -65,6 +69,11 @@ QueryResult ExhaustiveQueryEngine::Compute(
   result.utility = acc.Finalize(kind_);
   result.occurrences = interval.Count();
   return result;
+}
+
+std::size_t ExhaustiveQueryEngine::SizeInBytes() const {
+  if (!wired()) return 0;
+  return sa_->capacity() * sizeof(index_t) + psw_->SizeInBytes();
 }
 
 }  // namespace usi

@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "usi/core/query_engine.hpp"
 #include "usi/suffix/sa_search.hpp"
 #include "usi/text/weighted_string.hpp"
 #include "usi/util/common.hpp"
@@ -73,18 +74,15 @@ struct UtilityAccumulator {
   double Finalize(GlobalUtilityKind kind) const;
 };
 
-/// Result of a USI query.
-struct QueryResult {
-  double utility = 0;        ///< U(P); 0 when the pattern does not occur.
-  index_t occurrences = 0;   ///< |occ_S(P)|.
-  bool from_hash_table = false;  ///< Answered from the precomputed table.
-};
-
 /// The prefix-sums query path shared by USI's fallback and all baselines:
 /// locate the pattern in the suffix array (O(m log n)), then aggregate the
-/// local utility of every occurrence through PSW (O(occ)).
-class ExhaustiveQueryEngine {
+/// local utility of every occurrence through PSW (O(occ)). QueryResult and
+/// the QueryEngine interface live in query_engine.hpp.
+class ExhaustiveQueryEngine : public QueryEngine {
  public:
+  /// Default-constructed engines are unwired: Compute/Query on them is a
+  /// programming error and aborts via USI_CHECK (fail loudly rather than
+  /// dereference null borrows).
   ExhaustiveQueryEngine() = default;
 
   /// \p text, \p sa and \p psw are borrowed and must outlive the engine.
@@ -94,6 +92,20 @@ class ExhaustiveQueryEngine {
 
   /// Computes U(pattern) by full occurrence aggregation.
   QueryResult Compute(std::span<const Symbol> pattern) const;
+
+  /// QueryEngine interface. Stateless per query, so concurrent calls are
+  /// safe once the engine is wired.
+  QueryResult Query(std::span<const Symbol> pattern) override {
+    return Compute(pattern);
+  }
+  const char* Name() const override { return "SA+PSW"; }
+  std::size_t SizeInBytes() const override;
+  bool SupportsConcurrentQuery() const override { return true; }
+
+  /// Whether the engine borrows a live text/SA/PSW triple.
+  bool wired() const {
+    return text_ != nullptr && sa_ != nullptr && psw_ != nullptr;
+  }
 
   GlobalUtilityKind kind() const { return kind_; }
 

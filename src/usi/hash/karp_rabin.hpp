@@ -56,6 +56,14 @@ class Mersenne61 {
 
 /// Fingerprint of S[i..j] = sum S[k] * base^(j-k) mod p, i.e. most significant
 /// letter first. Stateless of the text; carries only the base and its powers.
+///
+/// Thread-safety: Hash() and Append() never touch the lazily-grown power
+/// table and are safe to call concurrently. PowerOfBase() (and anything built
+/// on it: Concat, SuffixOf, RollingHasher construction) grows the table on a
+/// cache miss, so concurrent use requires either (a) ReservePowers() up to
+/// the largest exponent needed before sharing the hasher across threads, or
+/// (b) thread-confined scratch: give each worker its own copy (the class is
+/// cheaply copyable) — the parallel build pipeline does both.
 class KarpRabinHasher {
  public:
   /// Derives a random base in [256, p-1) from \p seed.
@@ -76,6 +84,11 @@ class KarpRabinHasher {
 
   /// base^k mod p; grows the internal power table on demand.
   u64 PowerOfBase(std::size_t k) const;
+
+  /// Pre-grows the power table through base^upto so every subsequent
+  /// PowerOfBase(k <= upto) is a read-only lookup — the precondition for
+  /// sharing one hasher across concurrently-querying threads.
+  void ReservePowers(std::size_t upto) const { (void)PowerOfBase(upto); }
 
   /// O(len) fingerprint of an explicit string.
   u64 Hash(std::span<const Symbol> s) const;

@@ -1,17 +1,22 @@
 #include "usi/suffix/lcp_array.hpp"
 
+#include <algorithm>
+
+#include "usi/parallel/thread_pool.hpp"
 #include "usi/suffix/suffix_array.hpp"
 
 namespace usi {
+namespace {
 
-std::vector<index_t> BuildLcpArray(const Text& text,
-                                   const std::vector<index_t>& sa) {
-  const std::size_t n = text.size();
-  std::vector<index_t> lcp(n, 0);
-  if (n == 0) return lcp;
-  const std::vector<index_t> rank = InverseSuffixArray(sa);
+/// Kasai's scan over the text-position range [begin, end): each position
+/// writes exactly one LCP slot (lcp[rank[i]]), so disjoint ranges write
+/// disjoint slots and the chunked passes compose race-free.
+void KasaiRange(const Text& text, const std::vector<index_t>& sa,
+                const std::vector<index_t>& rank, index_t begin, index_t end,
+                std::vector<index_t>& lcp) {
+  const index_t n = static_cast<index_t>(text.size());
   index_t h = 0;
-  for (index_t i = 0; i < n; ++i) {
+  for (index_t i = begin; i < end; ++i) {
     if (rank[i] == 0) {
       h = 0;
       continue;
@@ -21,6 +26,34 @@ std::vector<index_t> BuildLcpArray(const Text& text,
     while (i + h < n && j + h < n && text[i + h] == text[j + h]) ++h;
     lcp[rank[i]] = h;
   }
+}
+
+}  // namespace
+
+std::vector<index_t> BuildLcpArray(const Text& text,
+                                   const std::vector<index_t>& sa,
+                                   ThreadPool* pool) {
+  const std::size_t n = text.size();
+  std::vector<index_t> lcp(n, 0);
+  if (n == 0) return lcp;
+  const std::vector<index_t> rank = InverseSuffixArray(sa);
+
+  const unsigned workers = pool == nullptr ? 1 : pool->thread_count();
+  if (workers <= 1 || n < 4096) {
+    KasaiRange(text, sa, rank, 0, static_cast<index_t>(n), lcp);
+    return lcp;
+  }
+
+  // A handful of chunks per worker smooths out ranges whose suffixes have
+  // unusually long matches; each chunk restarts Kasai's h at zero.
+  const std::size_t chunks = std::min<std::size_t>(n, 4 * workers);
+  const std::size_t chunk_len = (n + chunks - 1) / chunks;
+  ParallelFor(pool, chunks, [&](std::size_t c, unsigned /*worker*/) {
+    const index_t begin = static_cast<index_t>(c * chunk_len);
+    const index_t end =
+        static_cast<index_t>(std::min(n, (c + 1) * chunk_len));
+    KasaiRange(text, sa, rank, begin, end, lcp);
+  });
   return lcp;
 }
 

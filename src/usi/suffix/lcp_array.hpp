@@ -14,9 +14,18 @@
 
 namespace usi {
 
+class ThreadPool;
+
 /// Builds the LCP array from \p text and its suffix array in O(n).
+///
+/// With a pool, text positions are split into contiguous chunks scanned in
+/// parallel. Kasai's carried h is only a lower bound on the next LCP value
+/// (every entry is still verified by direct comparison), so restarting each
+/// chunk at h = 0 yields byte-identical output to the sequential scan; each
+/// chunk merely pays one cold re-match at its first position.
 std::vector<index_t> BuildLcpArray(const Text& text,
-                                   const std::vector<index_t>& sa);
+                                   const std::vector<index_t>& sa,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace usi
 

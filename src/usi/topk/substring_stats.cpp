@@ -9,9 +9,14 @@
 namespace usi {
 
 SubstringStats::SubstringStats(const Text& text)
+    : SubstringStats(text, BuildSuffixArray(text)) {}
+
+SubstringStats::SubstringStats(const Text& text, std::vector<index_t> sa,
+                               ThreadPool* pool)
     : n_(static_cast<index_t>(text.size())) {
-  sa_ = BuildSuffixArray(text);
-  lcp_ = BuildLcpArray(text, sa_);
+  USI_CHECK(sa.size() == text.size());
+  sa_ = std::move(sa);
+  lcp_ = BuildLcpArray(text, sa_, pool);
 
   const std::vector<index_t> suffix_len = DenseSuffixLengths(sa_, n_);
   t_.reserve(2 * static_cast<std::size_t>(n_));

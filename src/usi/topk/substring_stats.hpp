@@ -26,12 +26,21 @@
 
 namespace usi {
 
+class ThreadPool;
+
 /// Section V data structure (T, Q, L + the suffix array view).
 class SubstringStats {
  public:
   /// Builds SA, LCP, enumerates suffix-tree nodes and radix sorts them.
   /// O(n) time, O(n) space.
   explicit SubstringStats(const Text& text);
+
+  /// Builder-stage wiring: adopts a suffix array already built for \p text
+  /// (UsiBuilder times SA construction as its own stage and shares the
+  /// array), then derives LCP — chunk-parallel over \p pool when given —
+  /// and the T/Q/L tables as above.
+  SubstringStats(const Text& text, std::vector<index_t> sa,
+                 ThreadPool* pool = nullptr);
 
   /// Task (ii): tuning parameters implied by a choice of K.
   struct KTuning {

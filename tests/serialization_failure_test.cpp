@@ -32,10 +32,12 @@ void WriteAll(const std::string& path, const std::vector<char>& bytes) {
 class SerializationFailureTest : public ::testing::Test {
  protected:
   // Mirrors the SaveToFile fixed header: magic u32 + version u32 + n u32 +
-  // kind u8 + hasher base u64 + k u64 + tau_k u32 + num_lengths u32. The
-  // suffix-array vector (u64 length + payload) follows immediately.
+  // kind u8 + miner u8 + hasher base u64 + k u64 + tau_k u32 +
+  // num_lengths u32. The suffix-array vector (u64 length + payload) follows
+  // immediately.
   static constexpr std::size_t kKindOffset = 4 + 4 + 4;
-  static constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 1 + 8 + 8 + 4 + 4;
+  static constexpr std::size_t kMinerOffset = kKindOffset + 1;
+  static constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 1 + 1 + 8 + 8 + 4 + 4;
   static constexpr std::size_t kSaLengthOffset = kHeaderBytes;
 
   std::size_t EntriesLengthOffset() const {
@@ -141,12 +143,25 @@ TEST_F(SerializationFailureTest, InvalidUtilityKindReturnsNull) {
   }
 }
 
+TEST_F(SerializationFailureTest, InvalidMinerReturnsNull) {
+  // Out-of-range miner values (neither UET nor UAT) must be rejected so a
+  // loaded index never misreports its Name().
+  for (const u8 bad_miner : {u8{2}, u8{0x7F}, u8{0xFF}}) {
+    std::vector<char> mutated = bytes_;
+    mutated[kMinerOffset] = static_cast<char>(bad_miner);
+    WriteAll(mutated_path_, mutated);
+    EXPECT_EQ(UsiIndex::LoadFromFile(ws_, mutated_path_), nullptr)
+        << "miner byte " << static_cast<int>(bad_miner);
+  }
+}
+
 TEST_F(SerializationFailureTest, InvalidHasherBaseReturnsNull) {
-  // The Karp-Rabin base (u64 after the kind byte) must be range-checked at
-  // load; FromBase aborts on out-of-range values, so an unvalidated field
-  // would crash instead of returning nullptr. Cover both sides of the valid
-  // range: all-0xFF (>= the Mersenne prime) and all-zero (< 257).
-  const std::size_t base_offset = kKindOffset + 1;
+  // The Karp-Rabin base (u64 after the kind + miner bytes) must be
+  // range-checked at load; FromBase aborts on out-of-range values, so an
+  // unvalidated field would crash instead of returning nullptr. Cover both
+  // sides of the valid range: all-0xFF (>= the Mersenne prime) and all-zero
+  // (< 257).
+  const std::size_t base_offset = kMinerOffset + 1;
   for (const u8 fill : {u8{0xFF}, u8{0x00}}) {
     std::vector<char> mutated = bytes_;
     for (std::size_t i = 0; i < 8; ++i) {
