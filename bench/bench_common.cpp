@@ -16,6 +16,14 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      args.json_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      args.json_path = arg.substr(std::string("--json=").size());
+      continue;
+    }
     std::string value;
     if (arg == "--threads" && i + 1 < argc) {
       value = argv[++i];
@@ -36,6 +44,60 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
     args.threads = static_cast<unsigned>(parsed);
   }
   return args;
+}
+
+namespace {
+
+/// Escapes the characters JSON strings cannot hold verbatim; metric names
+/// are ASCII identifiers, so quotes/backslashes/control bytes suffice.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::Add(const std::string& section, const std::string& name,
+                    double value, const std::string& unit) {
+  entries_.push_back(Entry{section, name, value, unit});
+}
+
+bool BenchJson::WriteTo(const std::string& path,
+                        const std::string& bench_name) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s' for --json output\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n"
+                  "  \"scale_divisor\": %u,\n  \"metrics\": [",
+               JsonEscape(bench_name).c_str(), ScaleDivisor());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f,
+                 "%s\n    {\"section\": \"%s\", \"name\": \"%s\", "
+                 "\"value\": %.9g, \"unit\": \"%s\"}",
+                 i == 0 ? "" : ",", JsonEscape(e.section).c_str(),
+                 JsonEscape(e.name).c_str(), e.value,
+                 JsonEscape(e.unit).c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
 }
 
 index_t ScaleDivisor() {

@@ -25,11 +25,43 @@ struct BenchArgs {
   /// --threads N: pool width for the serving/throughput sections.
   /// 0 (default) = hardware concurrency.
   unsigned threads = 0;
+  /// --json PATH: write machine-readable results (BenchJson) to PATH.
+  /// Empty (default) = human-readable tables only.
+  std::string json_path;
 };
 
-/// Parses the shared bench flags (currently --threads N / --threads=N) from
-/// argv; unknown arguments are ignored so per-bench flags can coexist.
+/// Parses the shared bench flags (--threads N / --threads=N, --json PATH /
+/// --json=PATH) from argv; unknown arguments are ignored so per-bench flags
+/// can coexist.
 BenchArgs ParseBenchArgs(int argc, char** argv);
+
+/// Accumulates measurements and writes them as one JSON document — the
+/// machine-readable side of a bench, consumed by the CI perf-trajectory
+/// artifact (BENCH_*.json). Schema:
+///   {"bench": "...", "scale_divisor": N, "schema_version": 1,
+///    "metrics": [{"section": "...", "name": "...", "value": X,
+///                 "unit": "..."}, ...]}
+class BenchJson {
+ public:
+  /// Records one measurement. \p section groups related metrics (usually a
+  /// dataset or table name), \p unit is free-form ("qps", "us", "bytes").
+  void Add(const std::string& section, const std::string& name, double value,
+           const std::string& unit);
+
+  /// Writes the document to \p path; returns false on I/O failure.
+  bool WriteTo(const std::string& path, const std::string& bench_name) const;
+
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::vector<Entry> entries_;
+};
 
 /// Reads USI_BENCH_SCALE (>= 1) from the environment.
 index_t ScaleDivisor();

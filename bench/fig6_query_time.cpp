@@ -58,7 +58,8 @@ double QueriesPerSecond(QueryEngine& engine, unsigned threads,
   return static_cast<double>(served) / timer.ElapsedSeconds();
 }
 
-void RunDataset(const DatasetSpec& spec, const bench::BenchArgs& args) {
+void RunDataset(const DatasetSpec& spec, const bench::BenchArgs& args,
+                bench::BenchJson& json) {
   const index_t n = std::min<index_t>(bench::ScaledLength(spec), 150'000);
   const WeightedString ws = MakeDataset(spec, n);
 
@@ -134,8 +135,14 @@ void RunDataset(const DatasetSpec& spec, const bench::BenchArgs& args) {
     context.psw = &psw;
     context.cache_capacity = k;
     std::vector<std::string> row = {TablePrinter::Int(p)};
-    row.push_back(TablePrinter::Num(AvgMicros(uet, w2.patterns), 2));
-    row.push_back(TablePrinter::Num(AvgMicros(uat, w2.patterns), 2));
+    const double uet_us = AvgMicros(uet, w2.patterns);
+    const double uat_us = AvgMicros(uat, w2.patterns);
+    json.Add(spec.name, "w2_p" + std::to_string(p) + "_uet_avg_us", uet_us,
+             "us");
+    json.Add(spec.name, "w2_p" + std::to_string(p) + "_uat_avg_us", uat_us,
+             "us");
+    row.push_back(TablePrinter::Num(uet_us, 2));
+    row.push_back(TablePrinter::Num(uat_us, 2));
     for (auto kind : {BaselineKind::kBsl1, BaselineKind::kBsl2,
                       BaselineKind::kBsl3, BaselineKind::kBsl4}) {
       auto baseline = MakeBaseline(kind, context);
@@ -163,6 +170,7 @@ void RunDataset(const DatasetSpec& spec, const bench::BenchArgs& args) {
   for (unsigned threads : counts) {
     const double qps = QueriesPerSecond(uet, threads, w1.patterns);
     if (base_qps == 0) base_qps = qps;
+    json.Add(spec.name, "w1_uet_qps_t" + std::to_string(threads), qps, "qps");
     serving.AddRow({TablePrinter::Int(threads), TablePrinter::Num(qps, 0),
                     TablePrinter::Num(qps / base_qps, 2)});
   }
@@ -177,8 +185,14 @@ int main(int argc, char** argv) {
   usi::bench::PrintBanner("fig6_query_time", "Fig. 6a-j");
   std::printf("hardware concurrency: %u; --threads flag: %u (0 = hw)\n",
               usi::ThreadPool::HardwareConcurrency(), args.threads);
+  usi::bench::BenchJson json;
   for (const usi::DatasetSpec& spec : usi::AllDatasetSpecs()) {
-    usi::RunDataset(spec, args);
+    usi::RunDataset(spec, args, json);
+  }
+  if (!args.json_path.empty()) {
+    if (!json.WriteTo(args.json_path, "fig6_query_time")) return 1;
+    std::printf("\nwrote machine-readable results to %s\n",
+                args.json_path.c_str());
   }
   std::printf("\nShape check (paper): UET/UAT beat every baseline and get "
               "faster as K or p grows; baselines stay flat. QueryBatch "

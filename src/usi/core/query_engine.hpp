@@ -10,10 +10,19 @@
 /// benches, examples and the serving layer (UsiService) drive any engine
 /// through one interface, and so batched serving can ask an engine whether
 /// concurrent queries are safe before fanning a batch across a thread pool.
+///
+/// Batches are first-class: PrepareBatch runs once per batch before any
+/// fan-out (engines pre-grow shared read-only state, e.g. the Karp-Rabin
+/// power table), and QueryBatch answers a span of patterns into a span of
+/// results using caller-owned QueryScratch buffers — the hot path allocates
+/// nothing once the scratch has warmed up to the workload's pattern lengths.
 
 #include <cstddef>
 #include <span>
+#include <utility>
+#include <vector>
 
+#include "usi/hash/pattern_key.hpp"
 #include "usi/text/alphabet.hpp"
 #include "usi/util/common.hpp"
 
@@ -24,6 +33,18 @@ struct QueryResult {
   double utility = 0;        ///< U(P); 0 when the pattern does not occur.
   index_t occurrences = 0;   ///< |occ_S(P)|.
   bool from_hash_table = false;  ///< Answered from a precomputed/cached table.
+};
+
+/// Reusable per-worker buffers for QueryBatch. One scratch must never be
+/// shared by two concurrently-running QueryBatch calls; UsiService keeps one
+/// per pool worker. Buffers only ever grow, so a steady-state workload
+/// (same batch shape repeated) stops allocating after the first batch.
+struct QueryScratch {
+  /// (packed prefix+length, pattern index) pairs — sorting these contiguous
+  /// values clusters shared prefixes without indirecting into the patterns.
+  std::vector<std::pair<u64, u32>> cluster;
+  std::vector<u64> prefix_fps;   ///< Incremental prefix fingerprints.
+  std::vector<PatternKey> keys;  ///< Per-pattern table keys.
 };
 
 /// Abstract answer path for global-utility queries.
@@ -44,6 +65,29 @@ class QueryEngine {
   /// Engines that mutate per-query state (the caching baselines) return
   /// false; UsiService then serves their batches sequentially, in order.
   virtual bool SupportsConcurrentQuery() const { return false; }
+
+  /// Called once per batch, before any QueryBatch fan-out, with the full
+  /// batch. Engines pre-grow state shared read-only by the batch (UsiIndex
+  /// reserves Karp-Rabin powers for the batch's max pattern length so no
+  /// concurrent shard ever grows the table). Default: nothing to prepare.
+  virtual void PrepareBatch(std::span<const Text> patterns) {
+    (void)patterns;
+  }
+
+  /// Answers patterns[i] into results[i] for every i; results.size() must
+  /// be >= patterns.size(). \p scratch may be null (the engine then uses
+  /// call-local buffers). The answers are exactly what per-pattern Query
+  /// calls in batch order would produce. Default: that loop, verbatim —
+  /// which is also the only correct serving mode for caching engines.
+  virtual void QueryBatch(std::span<const Text> patterns,
+                          std::span<QueryResult> results,
+                          QueryScratch* scratch) {
+    (void)scratch;
+    USI_DCHECK(results.size() >= patterns.size());
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      results[i] = Query(patterns[i]);
+    }
+  }
 };
 
 }  // namespace usi

@@ -84,8 +84,11 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   index.build_info_.table_seconds = table_timer.ElapsedSeconds();
   stages_.push_back({"table", index.build_info_.table_seconds});
 
-  // Stage "finalize": wire the SA + PSW fallback path.
+  // Stage "finalize": drop construction slack from build-owned vectors
+  // (SizeInBytes reports used bytes; keeping slack would waste resident
+  // memory on every long-lived index) and wire the SA + PSW fallback path.
   Timer finalize_timer;
+  index.sa_.shrink_to_fit();
   index.fallback_ =
       ExhaustiveQueryEngine(text, index.sa_, index.psw_, index.kind_);
   stages_.push_back({"finalize", finalize_timer.ElapsedSeconds()});

@@ -15,6 +15,39 @@ constexpr u32 kIndexVersion = 2;
 /// Number of UsiMiner enumerators; loaders validate the serialized byte.
 constexpr u8 kNumUsiMiners = static_cast<u8>(UsiMiner::kApproximate) + 1;
 
+/// QueryBatch fingerprints in prefix-clustered order only when the average
+/// pattern is at least this long; below it, hashing a pattern outright is
+/// cheaper than placing it in the clustered order.
+constexpr std::size_t kClusterMinAvgLen = 16;
+
+/// Sharing detector: the smallest batch worth clustering (service shards
+/// are often ~100-500 patterns, so this must stay well below shard size),
+/// the most packed prefixes sampled (batches at or below it are sampled
+/// exhaustively), and the sampled duplicate fraction
+/// (dupes * kShareDetectInverse >= sample size) above which clustering is
+/// predicted to pay for its sort.
+constexpr std::size_t kClusterMinBatch = 64;
+constexpr std::size_t kShareSampleSize = 256;
+constexpr std::size_t kShareDetectInverse = 8;
+
+/// Packed ordering key for prefix clustering: 6 prefix bytes then the
+/// (capped) length, so repeats of one pattern — the common case in serving
+/// traffic — end up adjacent with a full-length LCP, and comparisons never
+/// indirect into the pattern storage.
+u64 PackedOrderKey(const Text& pattern) {
+  u64 packed = 0;
+  const std::size_t take = std::min<std::size_t>(6, pattern.size());
+  for (std::size_t j = 0; j < take; ++j) {
+    packed |= static_cast<u64>(pattern[j]) << (56 - 8 * j);
+  }
+  return packed | std::min<std::size_t>(pattern.size(), 0xFFFF);
+}
+
+/// QueryBatch uses the table's pipelined VisitBatch only for tables at
+/// least this large; smaller tables are cache-resident, where the
+/// pipeline's bookkeeping costs more than the misses it hides (~L2 size).
+constexpr std::size_t kPipelinedProbeMinTableBytes = std::size_t{2} << 20;
+
 /// Flat hash-table entry for serialization.
 struct SerializedEntry {
   u64 fp;
@@ -60,9 +93,183 @@ QueryResult UsiIndex::Query(std::span<const Symbol> pattern) const {
   return fallback_.Compute(pattern);
 }
 
+void UsiIndex::PrepareBatch(std::span<const Text> patterns) {
+  std::size_t max_len = 0;
+  for (const Text& pattern : patterns) {
+    max_len = std::max(max_len, pattern.size());
+  }
+  // One shared pre-grow instead of per-query growth: every power any shard
+  // can need is now a read-only lookup, so concurrent shards never mutate
+  // the hasher (the precondition ReservePowers documents).
+  hasher_.ReservePowers(max_len);
+}
+
+void UsiIndex::QueryBatch(std::span<const Text> patterns,
+                          std::span<QueryResult> results,
+                          QueryScratch* scratch) const {
+  USI_CHECK(results.size() >= patterns.size());
+  QueryScratch local;
+  if (scratch == nullptr) scratch = &local;
+  const std::size_t batch = patterns.size();
+  if (batch == 0) return;
+
+  std::size_t max_len = 0;
+  std::size_t total_len = 0;
+  for (const Text& pattern : patterns) {
+    max_len = std::max(max_len, pattern.size());
+    total_len += pattern.size();
+  }
+  std::vector<u64>& fps = scratch->prefix_fps;
+  if (fps.size() < max_len + 1) fps.resize(max_len + 1);
+  fps[0] = 0;
+  std::vector<PatternKey>& keys = scratch->keys;
+  keys.resize(batch);
+
+  // Fingerprint stage. When the batch shows real prefix sharing,
+  // fingerprint in clustered order: patterns sharing a prefix sit adjacent,
+  // and each one extends the running prefix-fingerprint chain from the
+  // longest common prefix with its predecessor instead of rehashing from
+  // scratch. The order only needs to CLUSTER shared prefixes, not be truly
+  // lexicographic (each fingerprint is recomputed from its actual LCP with
+  // its predecessor either way), so the sort compares a packed 8-byte
+  // prefix — O(1) per comparison instead of O(m).
+  //
+  // Clustering is gated twice, because its sort is a pure loss on batches
+  // of short or near-distinct patterns: (1) the average pattern must be
+  // long enough that hashing dominates the ordering overhead, and (2) a
+  // strided sample of the packed prefixes, sorted, must actually contain
+  // repeats. Heavy sharing — hot queries repeated across a batch,
+  // hierarchical key families — shows up as sampled duplicates; a
+  // near-distinct batch does not, and hashes directly instead.
+  bool cluster =
+      total_len >= batch * kClusterMinAvgLen && batch >= kClusterMinBatch;
+  if (cluster) {
+    // Detector first, on a strided sample only — a rejected batch must not
+    // pay for packing all its keys. Ceil stride: a floor would leave the
+    // batch's tail unsampled, hiding sharing concentrated there.
+    u64 sample[kShareSampleSize];
+    const std::size_t stride =
+        (batch + kShareSampleSize - 1) / kShareSampleSize;
+    std::size_t sampled = 0;
+    for (std::size_t i = 0; i < batch && sampled < kShareSampleSize;
+         i += stride) {
+      sample[sampled++] = PackedOrderKey(patterns[i]);
+    }
+    std::sort(sample, sample + sampled);
+    std::size_t repeats = 0;
+    for (std::size_t i = 1; i < sampled; ++i) {
+      repeats += sample[i] == sample[i - 1] ? 1 : 0;
+    }
+    cluster = repeats * kShareDetectInverse >= sampled;
+  }
+  if (cluster) {
+    std::vector<std::pair<u64, u32>>& cluster_order = scratch->cluster;
+    cluster_order.resize(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      cluster_order[i] = {PackedOrderKey(patterns[i]), static_cast<u32>(i)};
+    }
+    // Pair order (key, index): deterministic, and ties keep batch order.
+    std::sort(cluster_order.begin(), cluster_order.end());
+
+    const Text* prev = nullptr;
+    for (const auto& [packed, idx] : cluster_order) {
+      const Text& pattern = patterns[idx];
+      std::size_t lcp = 0;
+      if (prev != nullptr) {
+        const std::size_t bound = std::min(prev->size(), pattern.size());
+        while (lcp < bound && (*prev)[lcp] == pattern[lcp]) ++lcp;
+      }
+      // The running fingerprint stays in a register: routing the chain
+      // through fps[] would put a store-to-load forward on the critical
+      // path of every Append.
+      u64 fp = fps[lcp];
+      for (std::size_t j = lcp; j < pattern.size(); ++j) {
+        fp = hasher_.Append(fp, pattern[j]);
+        fps[j + 1] = fp;
+      }
+      keys[idx] = PatternKey{pattern.empty() ? 0 : fps[pattern.size()],
+                            static_cast<u32>(pattern.size())};
+      prev = &pattern;
+    }
+  } else {
+    for (std::size_t i = 0; i < batch; ++i) {
+      keys[i] = PatternKey{hasher_.Hash(patterns[i]),
+                          static_cast<u32>(patterns[i].size())};
+    }
+  }
+
+  // Probe stage, answering in original order either way. The pipelined
+  // VisitBatch exists to overlap out-of-cache line and TLB fetches; when H
+  // is small enough to live in the fast cache levels its bookkeeping is
+  // pure overhead, so cache-resident tables take the plain loop.
+  const auto answer = [&](std::size_t i, const TableValue* value) {
+    const Text& pattern = patterns[i];
+    QueryResult result;
+    if (pattern.empty() || pattern.size() > ws_->size()) {
+      results[i] = result;
+      return;
+    }
+    if (value != nullptr && value->count > 0) {
+      result.utility = value->Finalize(kind_);
+      result.occurrences = value->count;
+      result.from_hash_table = true;
+    } else {
+      result = fallback_.Compute(pattern);
+    }
+    results[i] = result;
+  };
+  if (table_.SizeInBytes() >= kPipelinedProbeMinTableBytes) {
+    table_.VisitBatch(std::span<const PatternKey>(keys.data(), batch),
+                      answer);
+  } else {
+    for (std::size_t i = 0; i < batch; ++i) {
+      answer(i, table_.Find(keys[i]));
+    }
+  }
+}
+
+void UsiIndex::QueryAllWindows(std::span<const Symbol> document,
+                               index_t window_len,
+                               std::span<QueryResult> results) const {
+  if (window_len == 0 || document.size() < window_len) return;
+  const std::size_t windows = document.size() - window_len + 1;
+  USI_CHECK(results.size() >= windows);
+  // RollingHasher reads base^(window_len-1) at construction; growing the
+  // power table here (not per window) keeps the loop read-only.
+  hasher_.ReservePowers(window_len);
+  RollingHasher window(hasher_, window_len);
+  for (index_t i = 0; i + 1 < window_len; ++i) window.Push(document[i]);
+  for (std::size_t i = 0; i < windows; ++i) {
+    if (i == 0) {
+      window.Push(document[window_len - 1]);
+    } else {
+      window.Roll(document[i - 1], document[i + window_len - 1]);
+    }
+    QueryResult result;
+    if (window_len <= ws_->size()) {
+      const PatternKey key{window.Fingerprint(), window_len};
+      const TableValue* value = table_.Find(key);
+      if (value != nullptr && value->count > 0) {
+        result.utility = value->Finalize(kind_);
+        result.occurrences = value->count;
+        result.from_hash_table = true;
+      } else {
+        result = fallback_.Compute(document.subspan(i, window_len));
+      }
+    }
+    results[i] = result;
+  }
+}
+
 std::size_t UsiIndex::SizeInBytes() const {
-  return sa_.capacity() * sizeof(index_t) + psw_.SizeInBytes() +
-         table_.SizeInBytes();
+  // sa_.size(), not capacity(): the builder shrinks its vectors, and a
+  // loaded index reads them exact, so slack must never inflate the figure.
+  // The fallback engine borrows sa_/psw_ (counted once, above); only its
+  // own object footprint is added. The hasher's power table counts too:
+  // PrepareBatch grows it to the longest pattern ever served and it stays
+  // resident for the index lifetime.
+  return sa_.size() * sizeof(index_t) + psw_.SizeInBytes() +
+         table_.SizeInBytes() + sizeof(fallback_) + hasher_.SizeInBytes();
 }
 
 UsiIndex::UsiIndex(LoadTag, const WeightedString& ws)

@@ -101,9 +101,36 @@ class UsiIndex : public QueryEngine {
   /// Safe to call concurrently (the index is immutable after construction).
   QueryResult Query(std::span<const Symbol> pattern) const;
 
+  /// Batch-aware answer path, identical results to per-pattern Query but
+  /// substantially cheaper: patterns are probed in sorted order so prefix
+  /// fingerprints extend from the longest common prefix instead of being
+  /// recomputed per pattern, and table probes run with software prefetch
+  /// pipelined ahead. Allocation-free once \p scratch (may be null) has
+  /// grown to the workload's batch shape. Safe to call concurrently as long
+  /// as each call owns its scratch and PrepareBatch (or ReservePowers) ran
+  /// for the batch's max pattern length first — UsiService guarantees both.
+  void QueryBatch(std::span<const Text> patterns,
+                  std::span<QueryResult> results,
+                  QueryScratch* scratch) const;
+
+  /// Sliding-window workloads: answers U for every length-\p window_len
+  /// window of \p document (results[i] = U(document[i..i+window_len-1]);
+  /// results.size() must be document.size() - window_len + 1). One O(1)
+  /// rolling-hash step per window instead of an O(window_len) rehash, so
+  /// table hits cost O(|document|) total. Concurrent calls are safe once
+  /// the hasher's powers cover window_len (PrepareBatch/ReservePowers).
+  void QueryAllWindows(std::span<const Symbol> document, index_t window_len,
+                       std::span<QueryResult> results) const;
+
   /// QueryEngine interface.
   QueryResult Query(std::span<const Symbol> pattern) override {
     return static_cast<const UsiIndex*>(this)->Query(pattern);
+  }
+  void PrepareBatch(std::span<const Text> patterns) override;
+  void QueryBatch(std::span<const Text> patterns,
+                  std::span<QueryResult> results,
+                  QueryScratch* scratch) override {
+    static_cast<const UsiIndex*>(this)->QueryBatch(patterns, results, scratch);
   }
   const char* Name() const override {
     return miner_ == UsiMiner::kExact ? "UET" : "UAT";
@@ -121,8 +148,10 @@ class UsiIndex : public QueryEngine {
   /// Number of precomputed entries in H.
   std::size_t HashTableEntries() const { return table_.size(); }
 
-  /// Index size: SA + PSW + H (+ nothing else; the text is borrowed, as in
-  /// the paper's accounting, which reports the index on top of S).
+  /// Index size: SA + PSW + H + the fallback engine object (the text is
+  /// borrowed, as in the paper's accounting, which reports the index on top
+  /// of S). The SA contributes its used size — BuildInto shrinks build-owned
+  /// vectors, so no construction slack is ever reported.
   std::size_t SizeInBytes() const override;
 
   /// The suffix array (exposed for examples and tests).

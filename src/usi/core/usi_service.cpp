@@ -31,46 +31,63 @@ unsigned UsiService::threads() const {
 
 std::vector<QueryResult> UsiService::QueryBatch(
     std::span<const Text> patterns) {
-  Timer timer;
   std::vector<QueryResult> results(patterns.size());
+  QueryBatchInto(patterns, results);
+  return results;
+}
+
+void UsiService::EnsureScratch() {
+  const std::size_t workers = std::max(1u, threads());
+  if (scratch_.size() < workers) scratch_.resize(workers);
+}
+
+void UsiService::QueryBatchInto(std::span<const Text> patterns,
+                                std::span<QueryResult> results) {
+  USI_CHECK(results.size() >= patterns.size());
+  Timer timer;
   last_batch_ = UsiBatchStats{};
   last_batch_.patterns = patterns.size();
-  if (patterns.empty()) return results;
+  if (patterns.empty()) return;
+  EnsureScratch();
+
+  // Once per batch, before any fan-out: the engine pre-grows state the
+  // whole batch shares read-only (UsiIndex reserves Karp-Rabin powers for
+  // the batch's max pattern length).
+  engine_->PrepareBatch(patterns);
 
   const unsigned workers = threads();
   const std::size_t min_shard = std::max<std::size_t>(1, options_.min_shard_size);
   if (workers <= 1 || patterns.size() < 2 * min_shard) {
     // Sequential serving, in batch order (also the only correct mode for
     // caching engines, whose answers depend on query order).
-    for (std::size_t i = 0; i < patterns.size(); ++i) {
-      results[i] = engine_->Query(patterns[i]);
-    }
-    last_batch_.seconds = timer.ElapsedSeconds();
-    return results;
+    engine_->QueryBatch(patterns, results, &scratch_[0]);
+  } else {
+    // Contiguous shards, a few per worker so uneven per-pattern costs (hash
+    // hit vs SA fallback) balance out. Every pattern writes its own result
+    // slot, so the output is schedule-independent. Each shard runs the
+    // engine's batch path with the scratch of the worker it landed on.
+    const std::size_t target_shards = static_cast<std::size_t>(workers) * 4;
+    const std::size_t shard_size = std::max(
+        min_shard, (patterns.size() + target_shards - 1) / target_shards);
+    const std::size_t shards = (patterns.size() + shard_size - 1) / shard_size;
+    ParallelFor(pool_, shards, [&](std::size_t s, unsigned worker) {
+      const std::size_t begin = s * shard_size;
+      const std::size_t end = std::min(patterns.size(), begin + shard_size);
+      engine_->QueryBatch(patterns.subspan(begin, end - begin),
+                          results.subspan(begin, end - begin),
+                          &scratch_[worker]);
+    });
+    last_batch_.shards = shards;
+    // Fewer shards than workers means only that many bodies ever ran
+    // concurrently; report the parallelism the timing actually reflects.
+    last_batch_.threads_used =
+        static_cast<unsigned>(std::min<std::size_t>(workers, shards));
   }
 
-  // Contiguous shards, a few per worker so uneven per-pattern costs (hash
-  // hit vs SA fallback) balance out. Every pattern writes its own result
-  // slot, so the output is schedule-independent.
-  const std::size_t target_shards = static_cast<std::size_t>(workers) * 4;
-  const std::size_t shard_size = std::max(
-      min_shard, (patterns.size() + target_shards - 1) / target_shards);
-  const std::size_t shards = (patterns.size() + shard_size - 1) / shard_size;
-  ParallelFor(pool_, shards, [&](std::size_t s, unsigned /*worker*/) {
-    const std::size_t begin = s * shard_size;
-    const std::size_t end = std::min(patterns.size(), begin + shard_size);
-    for (std::size_t i = begin; i < end; ++i) {
-      results[i] = engine_->Query(patterns[i]);
-    }
-  });
-
-  last_batch_.shards = shards;
-  // Fewer shards than workers means only that many bodies ever ran
-  // concurrently; report the parallelism the timing actually reflects.
-  last_batch_.threads_used =
-      static_cast<unsigned>(std::min<std::size_t>(workers, shards));
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    last_batch_.hash_hits += results[i].from_hash_table ? 1 : 0;
+  }
   last_batch_.seconds = timer.ElapsedSeconds();
-  return results;
 }
 
 }  // namespace usi

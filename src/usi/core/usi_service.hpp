@@ -6,10 +6,13 @@
 ///
 /// UsiService is the throughput layer the ROADMAP's serving story builds on:
 /// a batch of patterns is split into contiguous shards and fanned out across
-/// a thread pool, with each shard answered independently (UsiIndex and the
-/// other concurrency-safe engines keep no per-query state; Karp-Rabin
-/// scratch lives on each worker's stack). Results land in per-pattern slots,
-/// so the returned vector is byte-for-byte the sequential answer in the
+/// a thread pool, with each shard answered independently through the
+/// engine's QueryBatch. Before the fan-out, PrepareBatch runs exactly once
+/// (UsiIndex pre-grows the shared Karp-Rabin power table to the batch's max
+/// pattern length), and every shard gets the reusable QueryScratch of the
+/// worker it runs on — after warm-up, a steady-state batch allocates
+/// nothing beyond what the caller hands in. Results land in per-pattern
+/// slots, so the output is byte-for-byte the sequential answer in the
 /// original order, at any thread count.
 ///
 /// Engines that mutate per-query state (the caching baselines BSL2-4 —
@@ -40,6 +43,7 @@ struct UsiServiceOptions {
 /// Telemetry of the most recent QueryBatch.
 struct UsiBatchStats {
   std::size_t patterns = 0;
+  std::size_t hash_hits = 0;  ///< Answers served from a precomputed table.
   std::size_t shards = 1;
   unsigned threads_used = 1;
   double seconds = 0;
@@ -67,6 +71,13 @@ class UsiService {
   /// sequentially in order otherwise — the results are identical either way.
   std::vector<QueryResult> QueryBatch(std::span<const Text> patterns);
 
+  /// As QueryBatch, into caller-owned storage (results.size() must be >=
+  /// patterns.size()). This is the steady-state serving entry point: the
+  /// service reuses its per-worker scratch, so after warm-up a repeated
+  /// batch shape performs zero heap allocations on the sequential path.
+  void QueryBatchInto(std::span<const Text> patterns,
+                      std::span<QueryResult> results);
+
   /// Single-query passthrough.
   QueryResult Query(std::span<const Symbol> pattern) {
     return engine_->Query(pattern);
@@ -82,10 +93,14 @@ class UsiService {
   const UsiBatchStats& last_batch() const { return last_batch_; }
 
  private:
+  /// Lazily sizes scratch_ to the worker count (idempotent).
+  void EnsureScratch();
+
   QueryEngine* engine_;
   ThreadPool* pool_ = nullptr;            ///< Borrowed, may be null.
   std::unique_ptr<ThreadPool> owned_pool_;
   UsiServiceOptions options_;
+  std::vector<QueryScratch> scratch_;     ///< One per pool worker.
   UsiBatchStats last_batch_;
 };
 

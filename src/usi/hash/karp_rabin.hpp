@@ -93,6 +93,10 @@ class KarpRabinHasher {
   /// O(len) fingerprint of an explicit string.
   u64 Hash(std::span<const Symbol> s) const;
 
+  /// Heap footprint of the lazily-grown power table (index-size accounting:
+  /// ReservePowers keeps it resident for the hasher's lifetime).
+  std::size_t SizeInBytes() const { return powers_.capacity() * sizeof(u64); }
+
   /// Extends fingerprint \p fp of a string X to the fingerprint of X.c.
   u64 Append(u64 fp, Symbol c) const {
     return Mersenne61::Add(Mersenne61::Mul(fp, base_), c + 1);

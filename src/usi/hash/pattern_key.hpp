@@ -1,0 +1,38 @@
+#ifndef USI_HASH_PATTERN_KEY_HPP_
+#define USI_HASH_PATTERN_KEY_HPP_
+
+/// \file pattern_key.hpp
+/// The (Karp-Rabin fingerprint, length) key shared by everything that maps
+/// patterns to values: the USI hash table H (fingerprint_table.hpp), the
+/// query caches, the frequency summaries and the count-min sketch adapter.
+/// Split out of fingerprint_table.hpp so interface-level headers
+/// (query_engine.hpp's QueryScratch) can name the key without pulling in
+/// the table implementation and its platform intrinsics.
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Hash-table key: fingerprint plus pattern length.
+struct PatternKey {
+  u64 fp = 0;
+  u32 len = 0;
+
+  bool operator==(const PatternKey& other) const {
+    return fp == other.fp && len == other.len;
+  }
+};
+
+/// Mixes a PatternKey into a 64-bit hash (splitmix-style finalizer). Used by
+/// the query caches, the count-min sketch and std::unordered_map adapters;
+/// FingerprintTable itself uses its cheaper single-multiply SlotHash.
+inline u64 HashPatternKey(const PatternKey& key) {
+  u64 z = key.fp ^ (static_cast<u64>(key.len) * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace usi
+
+#endif  // USI_HASH_PATTERN_KEY_HPP_

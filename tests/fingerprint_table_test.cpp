@@ -1,0 +1,221 @@
+// Dedicated suite for the tagged SoA FingerprintTable (the index's hash
+// table H): probe wraparound at the mask boundary, rehash exactly at the
+// load-factor threshold (and NOT on re-insertion of a present key), Clear
+// semantics, ForEach coverage, tag collisions, and a 10k-key differential
+// against std::unordered_map as the reference semantics.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/utility.hpp"
+#include "usi/hash/caches.hpp"
+#include "usi/hash/fingerprint_table.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+/// First slot the key's probe sequence touches in a table of \p capacity.
+std::size_t ProbeStartOf(const PatternKey& key, std::size_t capacity) {
+  return static_cast<std::size_t>(FingerprintTable<int>::SlotHash(key)) &
+         (capacity - 1);
+}
+
+/// 7-bit control tag of the key (the hash bits above the slot index).
+u8 TagOf(const PatternKey& key) {
+  return static_cast<u8>(FingerprintTable<int>::SlotHash(key) >> 57);
+}
+
+/// Mines fingerprints whose keys all land on probe start \p target_slot in a
+/// table of \p capacity.
+std::vector<PatternKey> KeysLandingOn(std::size_t target_slot,
+                                      std::size_t capacity, std::size_t count) {
+  std::vector<PatternKey> keys;
+  for (u64 fp = 1; keys.size() < count; ++fp) {
+    const PatternKey key{fp, 3};
+    if (ProbeStartOf(key, capacity) == target_slot) keys.push_back(key);
+  }
+  return keys;
+}
+
+TEST(FingerprintTableSuite, ProbeWrapsAroundAtMaskBoundary) {
+  FingerprintTable<u64> table;
+  const std::size_t capacity = table.capacity();
+  ASSERT_EQ(capacity, 16u);
+  // Everything lands on the last slot: after one entry the rest spill past
+  // the mask boundary, so lookups only succeed if group probes wrap.
+  const std::vector<PatternKey> keys = KeysLandingOn(capacity - 1, capacity, 9);
+  for (u64 i = 0; i < keys.size(); ++i) table.FindOrInsert(keys[i], i);
+  ASSERT_EQ(table.capacity(), capacity) << "no rehash below the threshold";
+  for (u64 i = 0; i < keys.size(); ++i) {
+    auto* value = table.Find(keys[i]);
+    ASSERT_NE(value, nullptr) << "key " << i << " lost across the wrap";
+    EXPECT_EQ(*value, i);
+  }
+}
+
+TEST(FingerprintTableSuite, RehashExactlyAtLoadFactorThreshold) {
+  // Max load is 7/8: a capacity-16 table holds 14 entries; the 15th insert
+  // crosses the threshold and must double the capacity.
+  FingerprintTable<int> table;
+  ASSERT_EQ(table.capacity(), 16u);
+  for (u64 i = 0; i < 14; ++i) {
+    table.FindOrInsert(PatternKey{i + 1, 7}, static_cast<int>(i));
+    EXPECT_EQ(table.capacity(), 16u) << "premature rehash at size " << i + 1;
+  }
+  table.FindOrInsert(PatternKey{100, 7}, 100);
+  EXPECT_EQ(table.capacity(), 32u);
+  EXPECT_EQ(table.size(), 15u);
+  for (u64 i = 0; i < 14; ++i) {
+    ASSERT_NE(table.Find(PatternKey{i + 1, 7}), nullptr);
+  }
+}
+
+TEST(FingerprintTableSuite, ReinsertingPresentKeyAtBoundaryDoesNotRehash) {
+  // Regression for the pre-PR bug: FindOrInsert checked the load factor
+  // before probing for the key, so re-inserting a present key at exactly
+  // the boundary triggered a spurious full rehash.
+  FingerprintTable<int> table;
+  for (u64 i = 0; i < 14; ++i) {
+    table.FindOrInsert(PatternKey{i + 1, 7}, static_cast<int>(i));
+  }
+  ASSERT_EQ(table.capacity(), 16u);
+  for (u64 i = 0; i < 14; ++i) {
+    int* value = table.FindOrInsert(PatternKey{i + 1, 7}, -1);
+    EXPECT_EQ(*value, static_cast<int>(i)) << "original value kept";
+  }
+  EXPECT_EQ(table.capacity(), 16u)
+      << "re-inserting present keys at the load boundary must not rehash";
+  EXPECT_EQ(table.size(), 14u);
+}
+
+TEST(FingerprintTableSuite, ClearKeepsCapacityAndStaysUsable) {
+  FingerprintTable<int> table;
+  for (u64 i = 0; i < 1000; ++i) {
+    table.FindOrInsert(PatternKey{i, 2}, static_cast<int>(i));
+  }
+  const std::size_t grown = table.capacity();
+  ASSERT_GT(grown, 16u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.capacity(), grown);
+  for (u64 i = 0; i < 1000; ++i) {
+    EXPECT_EQ(table.Find(PatternKey{i, 2}), nullptr);
+  }
+  table.FindOrInsert(PatternKey{5, 2}, 55);
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_NE(table.Find(PatternKey{5, 2}), nullptr);
+  EXPECT_EQ(*table.Find(PatternKey{5, 2}), 55);
+}
+
+TEST(FingerprintTableSuite, ForEachVisitsEveryEntryExactlyOnce) {
+  FingerprintTable<u64> table;
+  constexpr u64 kCount = 517;  // Not a power of two; spans several rehashes.
+  for (u64 i = 1; i <= kCount; ++i) {
+    table.FindOrInsert(PatternKey{i * 0x9E37u, static_cast<u32>(i % 31 + 1)},
+                       i);
+  }
+  u64 visits = 0;
+  u64 sum = 0;
+  table.ForEach([&](const PatternKey&, u64& v) {
+    ++visits;
+    sum += v;
+  });
+  EXPECT_EQ(visits, kCount);
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+
+  const auto& const_table = table;
+  u64 const_visits = 0;
+  const_table.ForEach([&](const PatternKey&, const u64&) { ++const_visits; });
+  EXPECT_EQ(const_visits, kCount);
+}
+
+TEST(FingerprintTableSuite, TagCollisionWithEqualLowBitsDisambiguates) {
+  FingerprintTable<int> table;
+  const std::size_t capacity = table.capacity();
+  // Mine two distinct keys agreeing on BOTH the probe start (low hash bits)
+  // and the 7-bit control tag (top hash bits): the control word alone
+  // cannot tell them apart, so the full key comparison must.
+  PatternKey first{0, 0};
+  PatternKey second{0, 0};
+  bool found = false;
+  for (u64 fp = 1; !found; ++fp) {
+    const PatternKey candidate{fp, 9};
+    if (first.len == 0) {
+      first = candidate;
+      continue;
+    }
+    if (candidate.fp != first.fp &&
+        ProbeStartOf(candidate, capacity) == ProbeStartOf(first, capacity) &&
+        TagOf(candidate) == TagOf(first)) {
+      second = candidate;
+      found = true;
+    }
+  }
+  table.FindOrInsert(first, 1);
+  table.FindOrInsert(second, 2);
+  EXPECT_EQ(table.size(), 2u);
+  ASSERT_NE(table.Find(first), nullptr);
+  ASSERT_NE(table.Find(second), nullptr);
+  EXPECT_EQ(*table.Find(first), 1);
+  EXPECT_EQ(*table.Find(second), 2);
+}
+
+TEST(FingerprintTableSuite, DifferentialAgainstUnorderedMap10kKeys) {
+  FingerprintTable<u64> table;
+  std::unordered_map<PatternKey, u64, PatternKeyHash> reference;
+  Rng rng(0xD1FF);
+  std::vector<PatternKey> inserted;
+  for (u64 i = 0; i < 10'000; ++i) {
+    // Narrow fp range so a good fraction of inserts repeat a present key
+    // and must keep the first value, exactly like the map's emplace.
+    const PatternKey key{rng.UniformBelow(6'000),
+                         static_cast<u32>(rng.UniformInRange(1, 4))};
+    inserted.push_back(key);
+    table.FindOrInsert(key, i);
+    reference.emplace(key, i);
+  }
+  ASSERT_EQ(table.size(), reference.size());
+  for (const auto& [key, expected] : reference) {
+    auto* value = table.Find(key);
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, expected);
+  }
+  // Negative lookups: keys the reference never saw must miss.
+  for (u64 trial = 0; trial < 10'000; ++trial) {
+    const PatternKey key{rng.UniformBelow(6'000),
+                         static_cast<u32>(rng.UniformInRange(5, 9))};
+    EXPECT_EQ(table.Find(key), nullptr);
+    EXPECT_FALSE(table.Contains(key));
+  }
+  // FindBatch answers exactly like scalar Find.
+  std::vector<const u64*> batch(inserted.size());
+  table.FindBatch(inserted, batch.data());
+  for (std::size_t i = 0; i < inserted.size(); ++i) {
+    ASSERT_NE(batch[i], nullptr);
+    EXPECT_EQ(*batch[i], reference.at(inserted[i]));
+  }
+}
+
+TEST(FingerprintTableSuite, SoAFootprintBeatsPaddedAoS) {
+  // The point of the layout change: ctrl/key/value arrays cost 33 bytes per
+  // slot at 7/8 load vs. the old 40-byte padded slot at 3/5 load.
+  struct AosSlot {
+    PatternKey key;
+    UtilityAccumulator value{};
+    bool occupied = false;
+  };
+  constexpr std::size_t kEntries = 100'000;
+  FingerprintTable<UtilityAccumulator> table(kEntries);
+  std::size_t aos_capacity = 16;
+  while (aos_capacity * 3 < kEntries * 5) aos_capacity <<= 1;
+  const std::size_t aos_bytes = aos_capacity * sizeof(AosSlot);
+  EXPECT_LT(table.SizeInBytes(), aos_bytes / 2)
+      << "tagged SoA should be under half the padded AoS footprint";
+}
+
+}  // namespace
+}  // namespace usi

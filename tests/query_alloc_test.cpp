@@ -1,0 +1,169 @@
+// Pins the "allocation-free steady state" contract of the query hot path:
+// once UsiService's per-worker scratch and the Karp-Rabin power table have
+// warmed up to a workload's batch shape, repeated QueryBatchInto calls —
+// hash hits AND SA + PSW fallback misses — perform zero heap allocations,
+// and so does QueryAllWindows. The whole test binary counts operator new
+// invocations; the suite asserts the count stays flat across steady-state
+// batches.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/core/usi_service.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocation_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+// The nothrow forms must be replaced too (libstdc++'s temporary buffers use
+// them): every allocation has to route through malloc so the plain
+// operator delete below frees consistently.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+// Aligned forms too: FingerprintTable's CacheAlignedAllocator allocates
+// through them, and the table is exactly the structure whose steady state
+// this suite pins.
+namespace {
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace usi {
+namespace {
+
+std::size_t AllocationsNow() {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+TEST(QueryAlloc, CounterSeesVectorAllocations) {
+  // Guard: if the replacement operator new ever stops being linked in,
+  // every steady-state assertion below would pass vacuously.
+  const std::size_t before = AllocationsNow();
+  std::vector<int>* v = new std::vector<int>(100);
+  const std::size_t after = AllocationsNow();
+  delete v;
+  EXPECT_GT(after, before);
+}
+
+TEST(QueryAlloc, SteadyStateQueryBatchIntoAllocatesNothing) {
+  const WeightedString ws = testing::RandomWeighted(2'000, 4, 0xA110C);
+  UsiOptions options;
+  options.k = 100;
+  UsiIndex index(ws, options);
+
+  UsiServiceOptions service_options;
+  service_options.threads = 1;
+  UsiService service(index, service_options);
+
+  // Mixed batch: frequent substrings (H hits), rare substrings (SA + PSW
+  // fallback) and absent patterns (fallback, zero occurrences) — the miss
+  // path must be as allocation-free as the hit path.
+  Rng rng(0x5EED);
+  std::vector<Text> patterns;
+  for (int i = 0; i < 400; ++i) {
+    const index_t start = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t max_len = std::min<index_t>(16, ws.size() - start);
+    patterns.push_back(ws.Fragment(
+        start, static_cast<index_t>(rng.UniformInRange(1, max_len))));
+  }
+  for (int i = 0; i < 100; ++i) {
+    patterns.push_back(
+        Text(static_cast<std::size_t>(rng.UniformInRange(1, 12)),
+             static_cast<Symbol>(250)));  // Never occurs: always a miss.
+  }
+  std::vector<QueryResult> results(patterns.size());
+
+  // Warm-up: grows the per-worker scratch, the result of PrepareBatch's
+  // ReservePowers, and any lazy buffers.
+  service.QueryBatchInto(patterns, results);
+  service.QueryBatchInto(patterns, results);
+
+  std::size_t miss_count = 0;
+  for (const QueryResult& r : results) miss_count += r.from_hash_table ? 0 : 1;
+  ASSERT_GT(miss_count, 100u) << "workload must exercise the fallback path";
+
+  const std::size_t before = AllocationsNow();
+  for (int round = 0; round < 5; ++round) {
+    service.QueryBatchInto(patterns, results);
+  }
+  const std::size_t after = AllocationsNow();
+  EXPECT_EQ(after, before)
+      << "steady-state QueryBatchInto must not touch the heap";
+}
+
+TEST(QueryAlloc, SteadyStateQueryAllWindowsAllocatesNothing) {
+  const WeightedString ws = testing::RandomWeighted(1'500, 3, 0xD0C5);
+  UsiOptions options;
+  options.k = 80;
+  UsiIndex index(ws, options);
+
+  Text document(ws.text().begin(), ws.text().begin() + 800);
+  for (int i = 0; i < 50; ++i) document.push_back(static_cast<Symbol>(240));
+  const index_t window_len = 9;
+  std::vector<QueryResult> results(document.size() - window_len + 1);
+
+  index.QueryAllWindows(document, window_len, results);  // Warm-up.
+
+  const std::size_t before = AllocationsNow();
+  for (int round = 0; round < 5; ++round) {
+    index.QueryAllWindows(document, window_len, results);
+  }
+  const std::size_t after = AllocationsNow();
+  EXPECT_EQ(after, before)
+      << "steady-state QueryAllWindows must not touch the heap";
+}
+
+}  // namespace
+}  // namespace usi
