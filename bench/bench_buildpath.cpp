@@ -1,0 +1,210 @@
+// Construction hot-path bench (PR: cache-conscious SA-IS, pool-parallel
+// mining, memory-lean staged builds). Three sections, all best-of-3:
+//
+//   rss   — staged UsiBuilder peak-RSS table: per-stage VmHWM deltas and the
+//           final peak (runs first: VmHWM is process-monotone, so only the
+//           first big allocations attribute cleanly).
+//   sa    — suffix-array construction rates: the seed's textbook SA-IS
+//           (BuildSuffixArrayReference) vs the rewritten BuildSuffixArray,
+//           single-thread and with the level-0 passes on a pool. The
+//           acceptance bar is sais_speedup_vs_reference >= 1.5 single-thread.
+//   mine  — exact-miner statistics build (chunked Kasai LCP + chunked
+//           LCP-interval traversal + radix sort), sequential vs pool at
+//           2/4/hw threads.
+//
+// --json PATH writes machine-readable results (BENCH_build.json in CI).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/parallel/thread_pool.hpp"
+#include "usi/suffix/suffix_array.hpp"
+#include "usi/topk/substring_stats.hpp"
+#include "usi/util/memory.hpp"
+
+namespace usi {
+namespace {
+
+constexpr int kRepeats = 3;
+
+/// Best-of-N wall time (construction benches report the least-disturbed run).
+template <typename Fn>
+double BestOf(Fn fn) {
+  double best = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    const double seconds = bench::TimeOnce(fn);
+    if (r == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+double MbPerSec(index_t n, double seconds) {
+  return seconds > 0 ? static_cast<double>(n) / seconds / 1e6 : 0;
+}
+
+void StagedRssSection(const char* name, bench::BenchJson* json) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t n = std::min<index_t>(bench::ScaledLength(spec), 400'000);
+  const WeightedString ws = MakeDataset(spec, n);
+  const u64 k = std::max<u64>(
+      10, static_cast<u64>(spec.default_k) * n / spec.default_n);
+
+  UsiOptions options;
+  options.k = k;
+  options.threads = 1;
+  const UsiIndex index(ws, options);
+  const UsiBuildInfo& info = index.build_info();
+
+  TablePrinter table(std::string("Memory-lean staged build on ") + name +
+                     " (UET, n=" + TablePrinter::Int(n) + ", K=" +
+                     TablePrinter::Int(static_cast<long long>(k)) + ")");
+  table.SetHeader({"stage", "seconds", "peak-RSS delta"});
+  table.AddRow({"sa", TablePrinter::Num(info.sa_seconds, 3),
+                FormatBytes(info.sa_rss_delta_bytes)});
+  table.AddRow({"mine", TablePrinter::Num(info.mining_seconds, 3),
+                FormatBytes(info.mining_rss_delta_bytes)});
+  table.AddRow({"table", TablePrinter::Num(info.table_seconds, 3),
+                FormatBytes(info.table_rss_delta_bytes)});
+  table.AddRow({"total", TablePrinter::Num(info.total_seconds, 3),
+                FormatBytes(info.peak_rss_bytes)});
+  table.Print();
+
+  const std::string section = std::string("rss.") + name;
+  json->Add(section, "sa_rss_delta",
+            static_cast<double>(info.sa_rss_delta_bytes), "bytes");
+  json->Add(section, "mine_rss_delta",
+            static_cast<double>(info.mining_rss_delta_bytes), "bytes");
+  json->Add(section, "table_rss_delta",
+            static_cast<double>(info.table_rss_delta_bytes), "bytes");
+  json->Add(section, "peak_rss", static_cast<double>(info.peak_rss_bytes),
+            "bytes");
+}
+
+/// Returns the single-thread speedup so main can aggregate the geomean —
+/// the headline acceptance metric (per-dataset numbers stay in the JSON).
+double SaRatesSection(const char* name, unsigned pool_threads,
+                      bench::BenchJson* json) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t n = bench::ScaledLength(spec);
+  const Text text = MakeDataset(spec, n).text();
+
+  const double reference_s = BestOf([&] {
+    const std::vector<index_t> sa = BuildSuffixArrayReference(text);
+  });
+  const double sais_s = BestOf([&] {
+    const std::vector<index_t> sa = BuildSuffixArray(text);
+  });
+  ThreadPool pool(pool_threads);
+  const double sais_pool_s = BestOf([&] {
+    const std::vector<index_t> sa = BuildSuffixArray(text, &pool);
+  });
+
+  const double speedup = sais_s > 0 ? reference_s / sais_s : 0;
+  TablePrinter table(std::string("SA construction (best of 3) on ") + name +
+                     " (n=" + TablePrinter::Int(n) + ")");
+  table.SetHeader({"variant", "seconds", "MB/s"});
+  table.AddRow({"seed SA-IS (reference)", TablePrinter::Num(reference_s, 4),
+                TablePrinter::Num(MbPerSec(n, reference_s), 1)});
+  table.AddRow({"SA-IS (rewrite, 1t)", TablePrinter::Num(sais_s, 4),
+                TablePrinter::Num(MbPerSec(n, sais_s), 1)});
+  table.AddRow({"SA-IS (rewrite, pool " + TablePrinter::Int(pool_threads) +
+                    "t)",
+                TablePrinter::Num(sais_pool_s, 4),
+                TablePrinter::Num(MbPerSec(n, sais_pool_s), 1)});
+  table.AddRow({"single-thread speedup", TablePrinter::Num(speedup, 2), "x"});
+  table.Print();
+
+  const std::string section = std::string("sa.") + name;
+  json->Add(section, "reference_mb_s", MbPerSec(n, reference_s), "MB/s");
+  json->Add(section, "sais_mb_s", MbPerSec(n, sais_s), "MB/s");
+  json->Add(section, "sais_pool_mb_s", MbPerSec(n, sais_pool_s), "MB/s");
+  json->Add(section, "sais_speedup_vs_reference", speedup, "x");
+  return speedup;
+}
+
+void MiningSection(const char* name, bench::BenchJson* json) {
+  const DatasetSpec& spec = DatasetSpecByName(name);
+  const index_t n = bench::ScaledLength(spec);
+  const Text text = MakeDataset(spec, n).text();
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+
+  const double seq_s = BestOf([&] {
+    std::vector<index_t> sa_copy = sa;
+    SubstringStats stats(text, std::move(sa_copy));
+  });
+
+  std::vector<unsigned> counts = {2, 4};
+  const unsigned hw = ThreadPool::HardwareConcurrency();
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end() && hw > 1) {
+    counts.push_back(hw);
+  }
+  std::sort(counts.begin(), counts.end());
+
+  TablePrinter table(std::string("Exact-miner stats build (best of 3) on ") +
+                     name + " (n=" + TablePrinter::Int(n) + ")");
+  table.SetHeader({"threads", "seconds", "speedup"});
+  table.AddRow({"1 (seq)", TablePrinter::Num(seq_s, 4), "1.00"});
+  const std::string section = std::string("mine.") + name;
+  json->Add(section, "seq_s", seq_s, "s");
+  for (unsigned threads : counts) {
+    ThreadPool pool(threads);
+    const double pool_s = BestOf([&] {
+      std::vector<index_t> sa_copy = sa;
+      SubstringStats stats(text, std::move(sa_copy), &pool);
+    });
+    const double speedup = pool_s > 0 ? seq_s / pool_s : 0;
+    table.AddRow({TablePrinter::Int(threads), TablePrinter::Num(pool_s, 4),
+                  TablePrinter::Num(speedup, 2)});
+    json->Add(section, "pool" + TablePrinter::Int(threads) + "_s", pool_s,
+              "s");
+    json->Add(section, "pool" + TablePrinter::Int(threads) + "_speedup",
+              speedup, "x");
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main(int argc, char** argv) {
+  const usi::bench::BenchArgs args = usi::bench::ParseBenchArgs(argc, argv);
+  usi::bench::PrintBanner("bench_buildpath", "the Fig. 6 build-time study");
+  usi::bench::BenchJson json;
+
+  // RSS first: VmHWM only attributes cleanly before anything else has
+  // raised the process peak.
+  usi::StagedRssSection("XML", &json);
+
+  const unsigned pool_threads =
+      args.threads != 0 ? args.threads
+                        : usi::ThreadPool::HardwareConcurrency();
+  double log_speedup_sum = 0;
+  int sa_sections = 0;
+  for (const char* name : {"XML", "HUM", "ADV"}) {
+    const double speedup = usi::SaRatesSection(name, pool_threads, &json);
+    if (speedup > 0) {
+      log_speedup_sum += std::log(speedup);
+      ++sa_sections;
+    }
+  }
+  const double geomean =
+      sa_sections > 0 ? std::exp(log_speedup_sum / sa_sections) : 0;
+  std::printf("\nSA-IS single-thread geomean speedup vs seed: %.2fx "
+              "(acceptance bar: 1.50x)\n",
+              geomean);
+  json.Add("sa.summary", "geomean_speedup_vs_reference", geomean, "x");
+  for (const char* name : {"XML", "HUM"}) {
+    usi::MiningSection(name, &json);
+  }
+
+  if (!args.json_path.empty() &&
+      !json.WriteTo(args.json_path, "bench_buildpath")) {
+    return 1;
+  }
+  return 0;
+}

@@ -7,9 +7,19 @@
 #include "usi/suffix/suffix_array.hpp"
 #include "usi/topk/substring_stats.hpp"
 #include "usi/util/bit_vector.hpp"
+#include "usi/util/memory.hpp"
 #include "usi/util/timer.hpp"
 
 namespace usi {
+namespace {
+
+/// Peak-RSS growth since \p before (VmHWM is monotone; 0 when unavailable).
+std::size_t PeakRssDelta(std::size_t before) {
+  const std::size_t after = ReadPeakRssBytes();
+  return after > before ? after - before : 0;
+}
+
+}  // namespace
 
 UsiBuilder::UsiBuilder(const WeightedString& ws, const UsiOptions& options)
     : ws_(&ws), options_(options) {}
@@ -52,17 +62,28 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   index.build_info_.k = k;
   index.build_info_.threads_used = pool == nullptr ? 1 : pool->thread_count();
 
-  // Stage "sa": the text index every later phase shares.
+  // Stage "sa": the text index every later phase shares. The SA-IS level-0
+  // histogram and LMS gathering run on the pool; the workspace arena is
+  // stack-local to the call, so the stage leaves nothing behind but the
+  // array itself.
   Timer sa_timer;
-  std::vector<index_t> sa = BuildSuffixArray(text);
+  std::size_t rss_before = ReadPeakRssBytes();
+  std::vector<index_t> sa = BuildSuffixArray(text, pool);
   index.build_info_.sa_seconds = sa_timer.ElapsedSeconds();
-  stages_.push_back({"sa", index.build_info_.sa_seconds});
+  index.build_info_.sa_rss_delta_bytes = PeakRssDelta(rss_before);
+  stages_.push_back(
+      {"sa", index.build_info_.sa_seconds, index.build_info_.sa_rss_delta_bytes});
 
-  // Stage "mine": phase (i), the top-K frequent substrings.
+  // Stage "mine": phase (i), the top-K frequent substrings. The stats object
+  // (LCP + T/Q/L tables) is scoped to this block and its LCP array is
+  // released the moment the node table exists, so none of the mining
+  // intermediates are resident while the table stage runs.
   Timer mining_timer;
+  rss_before = ReadPeakRssBytes();
   TopKList mined;
   if (options_.miner == UsiMiner::kExact && n > 0) {
     SubstringStats stats(text, std::move(sa), pool);
+    stats.ReleaseLcp();  // T/Q/L are built; the LCP scratch is dead weight.
     mined = stats.TopK(k);
     index.sa_ = stats.TakeSa();  // Reuse the shared suffix array.
   } else {
@@ -70,7 +91,9 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
     if (n > 0) mined = ApproximateTopK(text, k, options_.approx);
   }
   index.build_info_.mining_seconds = mining_timer.ElapsedSeconds();
-  stages_.push_back({"mine", index.build_info_.mining_seconds});
+  index.build_info_.mining_rss_delta_bytes = PeakRssDelta(rss_before);
+  stages_.push_back({"mine", index.build_info_.mining_seconds,
+                     index.build_info_.mining_rss_delta_bytes});
 
   index_t tau = kInvalidIndex;
   for (const TopKSubstring& item : mined.items) {
@@ -80,20 +103,27 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
 
   // Stage "table": phases (ii)+(iii), parallel over distinct lengths.
   Timer table_timer;
+  rss_before = ReadPeakRssBytes();
   PopulateTable(index, mined, pool);
+  mined = TopKList{};  // The mined list fed the table; release it now.
   index.build_info_.table_seconds = table_timer.ElapsedSeconds();
-  stages_.push_back({"table", index.build_info_.table_seconds});
+  index.build_info_.table_rss_delta_bytes = PeakRssDelta(rss_before);
+  stages_.push_back({"table", index.build_info_.table_seconds,
+                     index.build_info_.table_rss_delta_bytes});
 
   // Stage "finalize": drop construction slack from build-owned vectors
   // (SizeInBytes reports used bytes; keeping slack would waste resident
   // memory on every long-lived index) and wire the SA + PSW fallback path.
   Timer finalize_timer;
+  rss_before = ReadPeakRssBytes();
   index.sa_.shrink_to_fit();
   index.fallback_ =
       ExhaustiveQueryEngine(text, index.sa_, index.psw_, index.kind_);
-  stages_.push_back({"finalize", finalize_timer.ElapsedSeconds()});
+  stages_.push_back(
+      {"finalize", finalize_timer.ElapsedSeconds(), PeakRssDelta(rss_before)});
 
   index.build_info_.total_seconds = total_timer.ElapsedSeconds();
+  index.build_info_.peak_rss_bytes = ReadPeakRssBytes();
 }
 
 void UsiBuilder::PopulateTable(UsiIndex& index, const TopKList& mined,

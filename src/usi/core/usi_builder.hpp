@@ -7,10 +7,13 @@
 /// Construction decomposes into explicit stages — "sa" (SA-IS over the
 /// text), "mine" (phase (i) top-K mining), "table" (phase (ii): the
 /// O(n * L_K) sliding-window table population, the dominant cost) and
-/// "finalize" (fallback wiring). Each stage is timed individually; the
-/// summary lands in UsiIndex::build_info().
+/// "finalize" (fallback wiring). Each stage is timed individually and its
+/// peak-RSS growth recorded; the summary lands in UsiIndex::build_info().
 ///
-/// Phase (ii) parallelizes over the L_K distinct substring lengths: every
+/// Every stage runs on the pool when one is given. "sa" parallelizes the
+/// level-0 SA-IS histogram and LMS gathering; "mine" runs chunked Kasai LCP
+/// plus the chunked LCP-interval (ESA) traversal of the exact miner; and
+/// phase (ii) parallelizes over the L_K distinct substring lengths: every
 /// length group runs its own sliding-window pass with thread-confined
 /// scratch (a per-worker copy of the Karp-Rabin hasher and a per-worker
 /// occurrence-mark bit vector) into a private fingerprint table, and the
@@ -18,7 +21,13 @@
 /// pattern length is part of every hash key, groups touch disjoint key sets
 /// and each key's accumulation order equals the sequential one — so a
 /// parallel build serializes byte-identical to a sequential build at any
-/// thread count (the determinism contract tests/parallel_test.cpp pins).
+/// thread count (the determinism contract tests/parallel_test.cpp and
+/// tests/buildpath_test.cpp pin).
+///
+/// Memory-lean staging: each stage releases its dead intermediates (SA-IS
+/// workspace, LCP array, the T/Q/L mining tables, the mined list) before
+/// the next stage allocates, so the build's peak RSS tracks the largest
+/// single stage instead of the sum of all of them.
 
 #include <memory>
 #include <vector>
@@ -33,6 +42,9 @@ class ThreadPool;
 struct UsiBuildStage {
   const char* name;  ///< "sa", "mine", "table", "finalize".
   double seconds;
+  /// How much the stage grew the process peak RSS (VmHWM delta; 0 where
+  /// /proc is unavailable or the stage stayed under the running peak).
+  std::size_t rss_delta_bytes = 0;
 };
 
 /// Builds UsiIndex instances, sequentially or over a thread pool.

@@ -71,6 +71,14 @@ struct UsiBuildInfo {
   double table_seconds = 0;  ///< Stage 3: phase (ii) sliding-window tables.
   double total_seconds = 0;
   unsigned threads_used = 1;  ///< Pool width the build ran with.
+  /// Process peak RSS (VmHWM) after the build, and how much each stage grew
+  /// it — the memory-lean staging contract: each stage releases its dead
+  /// intermediates before the next one allocates, so the per-stage deltas
+  /// show which stage actually set the peak. 0 where /proc is unavailable.
+  std::size_t peak_rss_bytes = 0;
+  std::size_t sa_rss_delta_bytes = 0;
+  std::size_t mining_rss_delta_bytes = 0;
+  std::size_t table_rss_delta_bytes = 0;
 };
 
 /// The USI_TOP-K index over a weighted string.

@@ -11,6 +11,35 @@ std::vector<SuffixTreeNode> CollectSuffixTreeNodes(
   return nodes;
 }
 
+std::vector<std::vector<LcpStackEntry>> LcpIntervalStacksAt(
+    const std::vector<index_t>& lcp, const std::vector<index_t>& boundaries) {
+  std::vector<std::vector<LcpStackEntry>> snapshots;
+  snapshots.reserve(boundaries.size());
+  if (boundaries.empty()) return snapshots;
+  const index_t m = static_cast<index_t>(lcp.size());
+  std::vector<LcpStackEntry> stack;
+  stack.push_back({0, 0});
+  std::size_t next = 0;
+  for (index_t i = 1; i <= m && next < boundaries.size(); ++i) {
+    USI_DCHECK(boundaries[next] >= 1 && boundaries[next] <= m);
+    if (i == boundaries[next]) {
+      snapshots.push_back(stack);
+      ++next;
+      if (next == boundaries.size()) break;
+    }
+    // Exactly the stack transitions of EnumerateSuffixTreeNodeRange step i.
+    const index_t current_lcp = (i < m) ? lcp[i] : 0;
+    index_t lb = i - 1;
+    while (stack.back().lcp > current_lcp) {
+      lb = stack.back().lb;
+      stack.pop_back();
+    }
+    if (stack.back().lcp < current_lcp) stack.push_back({current_lcp, lb});
+  }
+  USI_DCHECK(snapshots.size() == boundaries.size());
+  return snapshots;
+}
+
 std::vector<index_t> DenseSuffixLengths(const std::vector<index_t>& sa,
                                         index_t n) {
   std::vector<index_t> lengths(sa.size());

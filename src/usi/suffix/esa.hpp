@@ -38,6 +38,56 @@ struct SuffixTreeNode {
   bool operator==(const SuffixTreeNode&) const = default;
 };
 
+/// One open lcp-interval on the bottom-up traversal stack: value \p lcp,
+/// left boundary \p lb, right end still unknown.
+struct LcpStackEntry {
+  index_t lcp;
+  index_t lb;
+
+  bool operator==(const LcpStackEntry&) const = default;
+};
+
+/// Processes traversal steps i in [\p begin, \p end) of the bottom-up pass
+/// (the full enumeration is steps 1 .. m inclusive). \p stack must hold the
+/// open-interval stack as it stands *entering* step \p begin — {{0, 0}} for
+/// begin == 1, or a snapshot from LcpIntervalStacksAt for a mid-array chunk;
+/// it is advanced in place. Because the entering stack carries the true
+/// global lb and lcp values, the emissions of this range are exactly the
+/// emissions the full sequential pass makes during the same steps — which is
+/// what lets chunked (pool-parallel) enumeration concatenate per-chunk
+/// outputs into the byte-identical sequential order.
+template <typename EmitFn>
+void EnumerateSuffixTreeNodeRange(const std::vector<index_t>& lcp,
+                                  const std::vector<index_t>& suffix_len,
+                                  index_t begin, index_t end,
+                                  std::vector<LcpStackEntry>& stack,
+                                  EmitFn emit) {
+  const index_t m = static_cast<index_t>(suffix_len.size());
+  USI_DCHECK(begin >= 1 && end <= m + 1);
+  for (index_t i = begin; i < end; ++i) {
+    const index_t current_lcp = (i < m) ? lcp[i] : 0;
+    // Leaf for SA position i-1.
+    {
+      const index_t left_lcp = lcp[i - 1];  // lcp[0] == 0 by convention.
+      const index_t parent_depth =
+          std::max(i > 1 ? left_lcp : index_t{0}, current_lcp);
+      const index_t depth = suffix_len[i - 1];
+      if (depth > parent_depth) {
+        emit(SuffixTreeNode{depth, parent_depth, i - 1, i - 1});
+      }
+    }
+    index_t lb = i - 1;
+    while (stack.back().lcp > current_lcp) {
+      const LcpStackEntry top = stack.back();
+      stack.pop_back();
+      const index_t parent_depth = std::max(stack.back().lcp, current_lcp);
+      emit(SuffixTreeNode{top.lcp, parent_depth, top.lb, i - 1});
+      lb = top.lb;
+    }
+    if (stack.back().lcp < current_lcp) stack.push_back({current_lcp, lb});
+  }
+}
+
 /// Enumerates every explicit node of the (possibly sparse) suffix tree in
 /// one bottom-up pass over \p lcp. \p suffix_len[k] is the length of the
 /// k-th lexicographically smallest (sampled) suffix. Nodes with
@@ -52,35 +102,18 @@ void EnumerateSuffixTreeNodes(const std::vector<index_t>& lcp,
   const index_t m = static_cast<index_t>(suffix_len.size());
   if (m == 0) return;
   USI_DCHECK(lcp.size() == suffix_len.size());
-  struct StackEntry {
-    index_t lcp;
-    index_t lb;
-  };
-  std::vector<StackEntry> stack;
+  std::vector<LcpStackEntry> stack;
   stack.push_back({0, 0});
-  for (index_t i = 1; i <= m; ++i) {
-    const index_t current_lcp = (i < m) ? lcp[i] : 0;
-    // Leaf for SA position i-1.
-    {
-      const index_t left_lcp = lcp[i - 1];  // lcp[0] == 0 by convention.
-      const index_t parent_depth =
-          std::max(i > 1 ? left_lcp : index_t{0}, current_lcp);
-      const index_t depth = suffix_len[i - 1];
-      if (depth > parent_depth) {
-        emit(SuffixTreeNode{depth, parent_depth, i - 1, i - 1});
-      }
-    }
-    index_t lb = i - 1;
-    while (stack.back().lcp > current_lcp) {
-      const StackEntry top = stack.back();
-      stack.pop_back();
-      const index_t parent_depth = std::max(stack.back().lcp, current_lcp);
-      emit(SuffixTreeNode{top.lcp, parent_depth, top.lb, i - 1});
-      lb = top.lb;
-    }
-    if (stack.back().lcp < current_lcp) stack.push_back({current_lcp, lb});
-  }
+  EnumerateSuffixTreeNodeRange(lcp, suffix_len, 1, m + 1, stack, emit);
 }
+
+/// Replays only the stack transitions of the bottom-up traversal (no leaf
+/// handling, no node construction — a far lighter loop than the full pass)
+/// and snapshots the open-interval stack as it stands entering each step in
+/// \p boundaries (ascending, each in [1, m]). Chunked enumeration seeds one
+/// EnumerateSuffixTreeNodeRange per chunk from these snapshots.
+std::vector<std::vector<LcpStackEntry>> LcpIntervalStacksAt(
+    const std::vector<index_t>& lcp, const std::vector<index_t>& boundaries);
 
 /// Convenience: collects the enumeration into a vector.
 std::vector<SuffixTreeNode> CollectSuffixTreeNodes(

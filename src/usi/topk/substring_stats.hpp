@@ -37,8 +37,10 @@ class SubstringStats {
 
   /// Builder-stage wiring: adopts a suffix array already built for \p text
   /// (UsiBuilder times SA construction as its own stage and shares the
-  /// array), then derives LCP — chunk-parallel over \p pool when given —
-  /// and the T/Q/L tables as above.
+  /// array), then derives LCP and the T/Q/L tables as above. With \p pool,
+  /// both the LCP scan (chunked Kasai) and the suffix-tree node enumeration
+  /// (chunked LCP-interval traversal seeded from boundary stack snapshots)
+  /// run on the pool; T is order-identical for every pool width.
   SubstringStats(const Text& text, std::vector<index_t> sa,
                  ThreadPool* pool = nullptr);
 
@@ -93,6 +95,12 @@ class SubstringStats {
   /// Shared LCP array.
   const std::vector<index_t>& lcp() const { return lcp_; }
 
+  /// Releases the LCP array. It is only needed while the T/Q/L tables are
+  /// derived (i.e. during construction); every query method works without
+  /// it. UsiBuilder calls this right after the mine stage starts so the
+  /// O(n)-word buffer never overlaps the table-population footprint.
+  void ReleaseLcp();
+
   /// Number of triplets in T (explicit suffix-tree nodes).
   std::size_t NodeCount() const { return t_.size(); }
 
@@ -109,6 +117,12 @@ class SubstringStats {
     index_t lb;
     index_t rb;
   };
+
+  /// Fills t_ with the suffix-tree node triplets — sequentially, or as a
+  /// chunked LCP-interval traversal over \p pool (identical order either
+  /// way).
+  void EnumerateNodes(const std::vector<index_t>& suffix_len,
+                      ThreadPool* pool);
 
   index_t n_ = 0;
   std::vector<index_t> sa_;

@@ -6,8 +6,15 @@ RankBitVector::RankBitVector(const BitVector& bits, std::size_t num_bits)
     : num_bits_(num_bits) {
   const std::size_t num_words = (num_bits + 63) / 64;
   words_.assign(num_words, 0);
-  for (std::size_t i = 0; i < num_bits; ++i) {
-    if (bits.Test(i)) words_[i >> 6] |= (u64{1} << (i & 63));
+  USI_CHECK(num_bits <= bits.size());
+  // Word-level copy (BitVector keeps bits past size() zero), masking the
+  // tail word — one load/store per 64 bits instead of a Test per bit.
+  for (std::size_t w = 0; w < num_words; ++w) {
+    words_[w] = bits.GetWord(w);
+  }
+  const std::size_t tail_bits = num_bits & 63;
+  if (num_words > 0 && tail_bits != 0) {
+    words_[num_words - 1] &= (u64{1} << tail_bits) - 1;
   }
   const std::size_t num_blocks = (num_words + kWordsPerBlock - 1) / kWordsPerBlock;
   block_rank_.assign(num_blocks + 1, 0);

@@ -56,6 +56,29 @@ class BitVector {
   /// Zeroes every word (O(n/64)).
   void Reset() { std::fill(words_.begin(), words_.end(), 0); }
 
+  /// Word-level fast path: number of backing 64-bit words.
+  std::size_t NumWords() const { return words_.size(); }
+
+  /// Reads backing word \p w (bits [64*w, 64*w + 64)). Hot loops that scan
+  /// or copy whole vectors should use this instead of per-bit Test — one
+  /// load per 64 positions.
+  u64 GetWord(std::size_t w) const {
+    USI_DCHECK(w < words_.size());
+    return words_[w];
+  }
+
+  /// Overwrites backing word \p w. Bits past size() are masked off here,
+  /// so the invariant Count and the rank structures rely on — tail bits
+  /// stay zero — cannot be broken through this path.
+  void SetWord(std::size_t w, u64 value) {
+    USI_DCHECK(w < words_.size());
+    const std::size_t tail = num_bits_ & 63;
+    if (w == words_.size() - 1 && tail != 0) {
+      value &= (u64{1} << tail) - 1;
+    }
+    words_[w] = value;
+  }
+
   /// Number of set bits.
   std::size_t Count() const {
     std::size_t total = 0;

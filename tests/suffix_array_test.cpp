@@ -114,7 +114,10 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{100, 2, 5}, SweepCase{200, 3, 6},
                       SweepCase{500, 4, 7}, SweepCase{500, 16, 8},
                       SweepCase{1000, 2, 9}, SweepCase{1000, 95, 10},
-                      SweepCase{2000, 4, 11}, SweepCase{257, 250, 12}));
+                      SweepCase{2000, 4, 11}, SweepCase{257, 250, 12},
+                      // Full byte alphabet, 0xFF included (the compact-code
+                      // boundary the SA-IS level-0 buckets must cover).
+                      SweepCase{512, 256, 13}, SweepCase{2000, 256, 14}));
 
 TEST(SuffixArray, AdversarialAllEqual) {
   const Text text(200, 1);

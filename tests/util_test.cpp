@@ -104,6 +104,26 @@ TEST(BitVector, WordBoundaries) {
   EXPECT_FALSE(bits.Test(65));
 }
 
+TEST(BitVector, WordAccessFastPath) {
+  BitVector bits(130);  // Two full words + a 2-bit tail word.
+  ASSERT_EQ(bits.NumWords(), 3u);
+  bits.SetWord(0, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(bits.GetWord(0), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(bits.Test(0), (0xDEADBEEFCAFEF00DULL & 1) != 0);
+  // Bit-level and word-level views agree.
+  bits.Set(64);
+  EXPECT_EQ(bits.GetWord(1), u64{1});
+  // SetWord masks bits past size(): the tail word keeps only 2 bits, so
+  // Count() stays consistent with the addressable range.
+  bits.SetWord(2, ~u64{0});
+  EXPECT_EQ(bits.GetWord(2), u64{3});
+  EXPECT_TRUE(bits.Test(128));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_EQ(bits.Count(),
+            static_cast<std::size_t>(__builtin_popcountll(
+                0xDEADBEEFCAFEF00DULL)) + 1 + 2);
+}
+
 TEST(RankBitVector, RankMatchesPrefixCounts) {
   Rng rng(5);
   const std::size_t n = 2000;
