@@ -1,0 +1,255 @@
+// Multi-text serving tier: UsiMultiService throughput under the scenarios
+// the tier exists for. Three texts with different structure (HUM-, XML- and
+// ADV-like) are fronted by one service; the bench measures (a) mixed-text
+// routed batches vs per-text serving at 1 and N threads, (b) sustained
+// serving throughput while the build lane cycles generational rebuilds
+// underneath — the "queries drain during rebuild" contract, quantified —
+// and (c) admission control shedding over-cap concurrent batches with
+// kBusy instead of queueing. --json PATH emits BENCH_multiserve.json for
+// the CI perf-trajectory artifact.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "usi/core/multi_service.hpp"
+#include "usi/parallel/thread_pool.hpp"
+#include "usi/text/dataset.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+struct ServedText {
+  std::string id;
+  WeightedString ws;
+  std::vector<Text> patterns;  ///< Stable storage the queries reference.
+};
+
+/// Frequent-leaning fragments (repeats drive hash hits) plus a few misses.
+std::vector<Text> MakePatterns(const WeightedString& ws, u64 seed) {
+  Rng rng(seed);
+  std::vector<Text> distinct;
+  for (int i = 0; i < 40; ++i) {
+    const index_t start = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t max_len = std::min<index_t>(12, ws.size() - start);
+    distinct.push_back(ws.Fragment(
+        start, static_cast<index_t>(rng.UniformInRange(2, max_len))));
+  }
+  std::vector<Text> patterns;
+  for (int i = 0; i < 140; ++i) {
+    patterns.push_back(distinct[rng.UniformBelow(distinct.size())]);
+  }
+  for (int i = 0; i < 10; ++i) {
+    patterns.push_back(Text(static_cast<std::size_t>(rng.UniformInRange(2, 8)),
+                            static_cast<Symbol>(200 + i)));
+  }
+  return patterns;
+}
+
+/// Round-robin interleaving of every text's patterns: worst-case routing
+/// (maximal id switching), the shape the grouping stage has to undo.
+std::vector<MultiQuery> MixedBatch(const std::vector<ServedText>& texts) {
+  std::vector<MultiQuery> queries;
+  std::size_t max_n = 0;
+  for (const ServedText& text : texts) {
+    max_n = std::max(max_n, text.patterns.size());
+  }
+  for (std::size_t i = 0; i < max_n; ++i) {
+    for (const ServedText& text : texts) {
+      if (i < text.patterns.size()) {
+        queries.push_back({text.id, text.patterns[i]});
+      }
+    }
+  }
+  return queries;
+}
+
+/// Sustained QueryBatchInto throughput over a ~0.25 s window.
+double QueriesPerSecond(UsiMultiService& service,
+                        const std::vector<MultiQuery>& queries) {
+  std::vector<QueryResult> results(queries.size());
+  USI_CHECK(service.QueryBatchInto(queries, results) == ServeStatus::kOk);
+  std::size_t served = 0;
+  Timer timer;
+  do {
+    USI_CHECK(service.QueryBatchInto(queries, results) == ServeStatus::kOk);
+    served += queries.size();
+  } while (timer.ElapsedSeconds() < 0.25 && served < 4'000'000);
+  return static_cast<double>(served) / timer.ElapsedSeconds();
+}
+
+std::vector<ServedText> MakeTexts() {
+  std::vector<ServedText> texts;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.name != "HUM" && spec.name != "XML" && spec.name != "ADV") {
+      continue;
+    }
+    ServedText text;
+    text.id = spec.name;
+    text.ws = MakeDataset(spec, std::min<index_t>(bench::ScaledLength(spec),
+                                                  60'000));
+    text.patterns = MakePatterns(text.ws, spec.seed ^ 0x5E7);
+    texts.push_back(std::move(text));
+  }
+  return texts;
+}
+
+void RunMixedServing(const std::vector<ServedText>& texts,
+                     const std::vector<unsigned>& widths,
+                     bench::BenchJson& json) {
+  const std::vector<MultiQuery> mixed = MixedBatch(texts);
+  TablePrinter table("Mixed-text routed serving — one batch interleaving " +
+                     std::to_string(texts.size()) +
+                     " texts (batch=" + TablePrinter::Int(mixed.size()) + ")");
+  table.SetHeader({"threads", "mixed qps", "per-text qps (worst)"});
+  for (unsigned width : widths) {
+    UsiMultiServiceOptions options;
+    options.threads = width;
+    UsiMultiService service(options);
+    for (const ServedText& text : texts) service.SubmitText(text.id, text.ws);
+    service.WaitForBuilds();
+
+    const double mixed_qps = QueriesPerSecond(service, mixed);
+    // Per-text floor: the slowest text served alone, same total volume.
+    double worst_single = 0;
+    for (const ServedText& text : texts) {
+      std::vector<MultiQuery> single;
+      for (const Text& p : text.patterns) single.push_back({text.id, p});
+      const double qps = QueriesPerSecond(service, single);
+      worst_single = worst_single == 0 ? qps : std::min(worst_single, qps);
+    }
+    table.AddRow({TablePrinter::Int(width == 0
+                                        ? ThreadPool::HardwareConcurrency()
+                                        : width),
+                  TablePrinter::Int(static_cast<long long>(mixed_qps)),
+                  TablePrinter::Int(static_cast<long long>(worst_single))});
+    const std::string label =
+        width == 0 ? "hw" : std::to_string(width) + "t";
+    json.Add("mixed", "qps_" + label, mixed_qps, "qps");
+  }
+  table.Print();
+}
+
+void RunRebuildChurn(const std::vector<ServedText>& texts,
+                     bench::BenchJson& json) {
+  UsiMultiServiceOptions options;
+  UsiMultiService service(options);
+  for (const ServedText& text : texts) service.SubmitText(text.id, text.ws);
+  service.WaitForBuilds();
+  const std::vector<MultiQuery> mixed = MixedBatch(texts);
+
+  const double quiescent_qps = QueriesPerSecond(service, mixed);
+
+  // Serve the same workload while the build lane continuously rebuilds the
+  // first text; readers keep draining against the previous generation.
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      service.UpdateText(texts[0].id, texts[0].ws);
+      service.WaitForText(texts[0].id);  // Publish before queueing the next.
+    }
+  });
+  const u64 builds_before = service.stats().builds_completed;
+  const double churn_qps = QueriesPerSecond(service, mixed);
+  const u64 builds_during = service.stats().builds_completed - builds_before;
+  stop.store(true);
+  churn.join();
+  service.WaitForBuilds();
+
+  TablePrinter table("Serving while the build lane rebuilds " + texts[0].id +
+                     " (generational swaps, hw threads)");
+  table.SetHeader({"mode", "qps", "rebuilds in window"});
+  table.AddRow({"quiescent", TablePrinter::Int(static_cast<long long>(
+                                 quiescent_qps)),
+                "0"});
+  table.AddRow({"rebuild churn",
+                TablePrinter::Int(static_cast<long long>(churn_qps)),
+                TablePrinter::Int(static_cast<long long>(builds_during))});
+  table.Print();
+  json.Add("rebuild", "qps_quiescent", quiescent_qps, "qps");
+  json.Add("rebuild", "qps_during_churn", churn_qps, "qps");
+  json.Add("rebuild", "builds_in_window",
+           static_cast<double>(builds_during), "count");
+}
+
+void RunAdmissionControl(const std::vector<ServedText>& texts,
+                         bench::BenchJson& json) {
+  UsiMultiServiceOptions options;
+  options.max_inflight_batches = 2;
+  UsiMultiService service(options);
+  for (const ServedText& text : texts) service.SubmitText(text.id, text.ws);
+  service.WaitForBuilds();
+  const std::vector<MultiQuery> mixed = MixedBatch(texts);
+
+  constexpr int kHammerThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<u64> ok{0};
+  std::atomic<u64> busy{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < kHammerThreads; ++t) {
+    hammers.emplace_back([&] {
+      std::vector<QueryResult> results(mixed.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ServeStatus status = service.QueryBatchInto(mixed, results);
+        (status == ServeStatus::kOk ? ok : busy).fetch_add(1);
+      }
+    });
+  }
+  Timer timer;
+  while (timer.ElapsedSeconds() < 0.25) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& hammer : hammers) hammer.join();
+  const double seconds = timer.ElapsedSeconds();
+
+  TablePrinter table("Admission control — " +
+                     std::to_string(kHammerThreads) +
+                     " hammer threads vs max_inflight_batches=2");
+  table.SetHeader({"outcome", "batches", "per sec"});
+  table.AddRow({"served (kOk)", TablePrinter::Int(static_cast<long long>(
+                                    ok.load())),
+                TablePrinter::Int(static_cast<long long>(ok.load() / seconds))});
+  table.AddRow({"shed (kBusy)", TablePrinter::Int(static_cast<long long>(
+                                    busy.load())),
+                TablePrinter::Int(
+                    static_cast<long long>(busy.load() / seconds))});
+  table.Print();
+  json.Add("admission", "ok_batches_per_sec", ok.load() / seconds, "1/s");
+  json.Add("admission", "busy_batches_per_sec", busy.load() / seconds, "1/s");
+}
+
+}  // namespace
+}  // namespace usi
+
+int main(int argc, char** argv) {
+  const usi::bench::BenchArgs args = usi::bench::ParseBenchArgs(argc, argv);
+  usi::bench::PrintBanner("bench_multiserve",
+                          "multi-text serving tier (UsiMultiService)");
+  std::printf("hardware concurrency: %u; --threads flag: %u (0 = hw)\n\n",
+              usi::ThreadPool::HardwareConcurrency(), args.threads);
+
+  const std::vector<usi::ServedText> texts = usi::MakeTexts();
+  usi::bench::BenchJson json;
+
+  std::vector<unsigned> widths = {1, 0};
+  if (args.threads != 0) widths.push_back(args.threads);
+  usi::RunMixedServing(texts, widths, json);
+  usi::RunRebuildChurn(texts, json);
+  usi::RunAdmissionControl(texts, json);
+
+  if (!args.json_path.empty()) {
+    if (!json.WriteTo(args.json_path, "bench_multiserve")) return 1;
+    std::printf("\nwrote machine-readable results to %s\n",
+                args.json_path.c_str());
+  }
+  std::printf(
+      "\nShape check: mixed-text qps should track the worst single text "
+      "(routing adds only gather/scatter), rebuild churn should cost little "
+      "qps on multi-core hosts (one worker builds, the rest serve), and the "
+      "hammer should see both served and shed batches, never queueing.\n");
+  return 0;
+}

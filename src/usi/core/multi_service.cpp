@@ -1,0 +1,460 @@
+#include "usi/core/multi_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "usi/core/usi_builder.hpp"
+#include "usi/parallel/thread_pool.hpp"
+
+namespace usi {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kBusy: return "busy";
+    case ServeStatus::kUnknownText: return "unknown-text";
+    case ServeStatus::kNotReady: return "not-ready";
+  }
+  return "?";
+}
+
+/// One immutable index generation. The weighted string lives here because
+/// UsiIndex borrows it; the shared_ptr holding the Generation keeps both
+/// alive for as long as any batch still serves from it.
+struct UsiMultiService::Generation {
+  u64 number = 0;
+  WeightedString ws;
+  std::unique_ptr<UsiIndex> index;    ///< Borrows ws.
+  std::unique_ptr<UsiService> service;  ///< Borrows index + the shared pool.
+};
+
+/// Registry slot for one named text. `current` is the generation pointer
+/// readers pin (a shared_ptr copy under a pointer-copy-scale lock; see
+/// PinGeneration); everything else behind `mu` is build bookkeeping writers
+/// touch briefly. Waiters on `cv` release `mu` while blocked, so pinning
+/// never queues behind a WaitForText.
+struct UsiMultiService::TextEntry {
+  std::string id;
+
+  std::mutex mu;  ///< Guards current, build_options, scheduled, completed,
+                  ///< published.
+  std::condition_variable cv;  ///< Signals per-text build completions.
+  std::shared_ptr<const Generation> current;  ///< Null until first publish.
+  UsiOptions build_options;
+  u64 scheduled = 0;  ///< Generation numbers handed out so far.
+  u64 completed = 0;  ///< Builds finished (published or superseded).
+  u64 published = 0;  ///< Highest generation number stored in `current`.
+
+  std::atomic<u64> batches{0};
+  std::atomic<u64> queries{0};
+  std::atomic<u64> hash_hits{0};
+
+  /// The reader-side pin: a shared_ptr copy taken under `mu`. The lock is
+  /// held for a refcount increment — not for the batch — so a rebuild
+  /// publishing concurrently never blocks readers for longer than a
+  /// pointer copy. (std::atomic<std::shared_ptr> would make this genuinely
+  /// lock-free, but libstdc++'s implementation guards the pointer with a
+  /// lock bit ThreadSanitizer cannot model, and the TSan CI job is part of
+  /// this contract.)
+  std::shared_ptr<const Generation> PinGeneration() {
+    std::lock_guard<std::mutex> lock(mu);
+    return current;
+  }
+};
+
+/// One queued rebuild.
+struct UsiMultiService::BuildJob {
+  EntryPtr entry;
+  WeightedString ws;
+  u64 generation = 0;
+};
+
+/// Leased per-batch routing buffers: the per-text groups (with their pinned
+/// generations) plus gather/scatter staging. Reused across batches, so a
+/// steady-state batch shape stops allocating once capacities are warm.
+struct UsiMultiService::BatchScratch {
+  struct Group {
+    EntryPtr entry;
+    std::shared_ptr<const Generation> gen;
+    std::vector<u32> indices;  ///< Positions in the incoming batch.
+  };
+  std::vector<Group> groups;       ///< groups[0..used) active this batch.
+  std::vector<Text> patterns;      ///< Gathered patterns of one group.
+  std::vector<QueryResult> results;  ///< Group-local results to scatter.
+};
+
+UsiMultiService::UsiMultiService(const UsiMultiServiceOptions& options)
+    : options_(options) {
+  const unsigned threads = options.threads == 0
+                               ? ThreadPool::HardwareConcurrency()
+                               : options.threads;
+  // Unlike UsiService, a 1-wide pool is still useful here: it is the build
+  // lane (queries are then served inline on caller threads).
+  owned_pool_ = std::make_unique<ThreadPool>(std::max(1u, threads));
+  pool_ = owned_pool_.get();
+}
+
+UsiMultiService::UsiMultiService(ThreadPool* pool,
+                                 const UsiMultiServiceOptions& options)
+    : pool_(pool), options_(options) {}
+
+UsiMultiService::~UsiMultiService() {
+  // Wait until the build lane has drained and retired: after that no pool
+  // task can touch this object's members. (An owned pool additionally joins
+  // its workers when destroyed below.)
+  std::unique_lock<std::mutex> lock(build_mu_);
+  build_cv_.wait(lock,
+                 [this] { return build_queue_.empty() && !build_lane_active_; });
+}
+
+unsigned UsiMultiService::threads() const {
+  return pool_ == nullptr ? 1 : std::max(1u, pool_->thread_count());
+}
+
+UsiMultiService::EntryPtr UsiMultiService::FindEntry(
+    std::string_view id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws,
+                                const UsiOptions& build_options) {
+  EntryPtr entry;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = registry_.find(id);
+    if (it == registry_.end()) {
+      entry = std::make_shared<TextEntry>();
+      entry->id = std::string(id);
+      registry_.emplace(entry->id, entry);
+    } else {
+      entry = it->second;
+    }
+  }
+  u64 generation;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->build_options = build_options;
+    generation = ++entry->scheduled;
+  }
+  ScheduleBuild(std::move(entry), std::move(ws), generation);
+  return generation;
+}
+
+u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws) {
+  return SubmitText(id, std::move(ws), options_.default_build);
+}
+
+u64 UsiMultiService::UpdateText(std::string_view id, WeightedString ws) {
+  EntryPtr entry = FindEntry(id);
+  if (entry == nullptr) return 0;
+  u64 generation;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    generation = ++entry->scheduled;
+  }
+  ScheduleBuild(std::move(entry), std::move(ws), generation);
+  return generation;
+}
+
+bool UsiMultiService::RemoveText(std::string_view id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(id);
+  if (it == registry_.end()) return false;
+  registry_.erase(it);
+  return true;
+}
+
+bool UsiMultiService::HasText(std::string_view id) const {
+  return FindEntry(id) != nullptr;
+}
+
+std::vector<std::string> UsiMultiService::TextIds() const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  ids.reserve(registry_.size());
+  for (const auto& [id, entry] : registry_) ids.push_back(id);
+  return ids;
+}
+
+void UsiMultiService::ScheduleBuild(EntryPtr entry, WeightedString ws,
+                                    u64 generation) {
+  if (pool_ == nullptr) {
+    // Degenerate no-pool configuration: build synchronously, right here.
+    BuildJob job{std::move(entry), std::move(ws), generation};
+    {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      ++builds_scheduled_;
+    }
+    BuildOne(job);
+    {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      ++builds_completed_;
+    }
+    build_cv_.notify_all();
+    return;
+  }
+  bool start_lane = false;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    build_queue_.push_back(
+        BuildJob{std::move(entry), std::move(ws), generation});
+    ++builds_scheduled_;
+    if (!build_lane_active_) {
+      build_lane_active_ = true;
+      start_lane = true;
+    }
+  }
+  if (start_lane) pool_->Run([this] { BuildLane(); });
+}
+
+void UsiMultiService::BuildLane() {
+  for (;;) {
+    BuildJob job;
+    {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      if (build_queue_.empty()) {
+        build_lane_active_ = false;
+        // Notify while still holding the lock: a destructor waiting on
+        // build_cv_ can only resume after we release it, by which point
+        // this task no longer touches the service.
+        build_cv_.notify_all();
+        return;
+      }
+      job = std::move(build_queue_.front());
+      build_queue_.pop_front();
+    }
+    BuildOne(job);
+    {
+      std::lock_guard<std::mutex> lock(build_mu_);
+      ++builds_completed_;
+    }
+    build_cv_.notify_all();
+  }
+}
+
+void UsiMultiService::BuildOne(BuildJob& job) {
+  auto gen = std::make_shared<Generation>();
+  gen->number = job.generation;
+  gen->ws = std::move(job.ws);
+  UsiOptions build_options;
+  {
+    std::lock_guard<std::mutex> lock(job.entry->mu);
+    build_options = job.entry->build_options;
+  }
+  // The lane occupies one pool worker, and a task must not ParallelFor on
+  // its own pool — so each generation builds through the sequential staged
+  // pipeline, leaving the remaining workers to the query fan-out.
+  build_options.threads = 1;
+  UsiBuilder builder(gen->ws, build_options);
+  gen->index = builder.Build();
+  UsiServiceOptions service_options;
+  service_options.min_shard_size = options_.min_shard_size;
+  gen->service =
+      std::make_unique<UsiService>(*gen->index, pool_, service_options);
+
+  TextEntry& entry = *job.entry;
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    ++entry.completed;
+    // Monotonic publish: a stale build can never clobber a newer
+    // generation. Readers that pinned the previous generation keep it
+    // alive until their batch completes; the store reclaims nothing.
+    if (gen->number > entry.published) {
+      entry.published = gen->number;
+      entry.current = std::move(gen);
+    }
+  }
+  entry.cv.notify_all();
+}
+
+bool UsiMultiService::WaitForText(std::string_view id) {
+  EntryPtr entry = FindEntry(id);
+  if (entry == nullptr) return false;
+  std::unique_lock<std::mutex> lock(entry->mu);
+  const u64 target = entry->scheduled;
+  entry->cv.wait(lock, [&] { return entry->completed >= target; });
+  return true;
+}
+
+void UsiMultiService::WaitForBuilds() {
+  std::unique_lock<std::mutex> lock(build_mu_);
+  const u64 target = builds_scheduled_;
+  build_cv_.wait(lock, [&] { return builds_completed_ >= target; });
+}
+
+std::unique_ptr<UsiMultiService::BatchScratch>
+UsiMultiService::AcquireBatchScratch() {
+  {
+    std::lock_guard<std::mutex> lock(batch_scratch_mu_);
+    if (!batch_scratch_free_.empty()) {
+      auto scratch = std::move(batch_scratch_free_.back());
+      batch_scratch_free_.pop_back();
+      return scratch;
+    }
+  }
+  return std::make_unique<BatchScratch>();
+}
+
+void UsiMultiService::ReleaseBatchScratch(
+    std::unique_ptr<BatchScratch> scratch) {
+  std::lock_guard<std::mutex> lock(batch_scratch_mu_);
+  batch_scratch_free_.push_back(std::move(scratch));
+}
+
+ServeStatus UsiMultiService::QueryBatchInto(
+    std::span<const MultiQuery> queries, std::span<QueryResult> results) {
+  USI_CHECK(results.size() >= queries.size());
+  if (queries.empty()) return ServeStatus::kOk;
+
+  // Admission control: a counter, not a queue — overload is shed with kBusy
+  // immediately instead of building an unbounded backlog.
+  const u64 cap = static_cast<u64>(options_.max_inflight_batches);
+  const u64 inflight =
+      inflight_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (cap != 0 && inflight > cap) {
+    inflight_batches_.fetch_sub(1, std::memory_order_release);
+    busy_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return ServeStatus::kBusy;
+  }
+  struct InflightRelease {
+    std::atomic<u64>& counter;
+    ~InflightRelease() { counter.fetch_sub(1, std::memory_order_release); }
+  } inflight_release{inflight_batches_};
+
+  std::unique_ptr<BatchScratch> scratch = AcquireBatchScratch();
+  std::size_t used_groups = 0;
+  const auto cleanup = [&] {
+    for (std::size_t k = 0; k < used_groups; ++k) {
+      scratch->groups[k].entry.reset();
+      scratch->groups[k].gen.reset();  // Unpin: may reclaim an old generation.
+    }
+    ReleaseBatchScratch(std::move(scratch));
+  };
+
+  // Route: group query positions per text, pinning each text's current
+  // generation exactly once — the whole batch is answered from a consistent
+  // snapshot per text, whatever the rebuild lane does meanwhile.
+  BatchScratch::Group* last_group = nullptr;
+  std::string_view last_id{};
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const MultiQuery& q = queries[i];
+    if (last_group == nullptr || q.text_id != last_id) {
+      last_group = nullptr;
+      for (std::size_t k = 0; k < used_groups; ++k) {
+        if (scratch->groups[k].entry->id == q.text_id) {
+          last_group = &scratch->groups[k];
+          break;
+        }
+      }
+      if (last_group == nullptr) {
+        EntryPtr entry = FindEntry(q.text_id);
+        if (entry == nullptr) {
+          cleanup();
+          return ServeStatus::kUnknownText;
+        }
+        std::shared_ptr<const Generation> gen = entry->PinGeneration();
+        if (gen == nullptr) {
+          cleanup();
+          return ServeStatus::kNotReady;
+        }
+        if (used_groups == scratch->groups.size()) {
+          scratch->groups.emplace_back();
+        }
+        last_group = &scratch->groups[used_groups++];
+        last_group->entry = std::move(entry);
+        last_group->gen = std::move(gen);
+        last_group->indices.clear();
+      }
+      last_id = q.text_id;
+    }
+    last_group->indices.push_back(static_cast<u32>(i));
+  }
+
+  // Serve each group through its generation's UsiService: gather the
+  // group's patterns contiguously, answer (sharded across the shared pool
+  // for batches worth fanning out), scatter back to the callers' slots.
+  for (std::size_t k = 0; k < used_groups; ++k) {
+    BatchScratch::Group& group = scratch->groups[k];
+    const std::size_t n = group.indices.size();
+    if (scratch->patterns.size() < n) scratch->patterns.resize(n);
+    if (scratch->results.size() < n) scratch->results.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::span<const Symbol> p = queries[group.indices[j]].pattern;
+      scratch->patterns[j].assign(p.begin(), p.end());
+    }
+    UsiBatchStats batch_stats;
+    group.gen->service->QueryBatchInto(
+        std::span<const Text>(scratch->patterns.data(), n),
+        std::span<QueryResult>(scratch->results.data(), n), &batch_stats);
+    for (std::size_t j = 0; j < n; ++j) {
+      results[group.indices[j]] = scratch->results[j];
+    }
+    group.entry->batches.fetch_add(1, std::memory_order_relaxed);
+    group.entry->queries.fetch_add(n, std::memory_order_relaxed);
+    group.entry->hash_hits.fetch_add(batch_stats.hash_hits,
+                                     std::memory_order_relaxed);
+  }
+
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  cleanup();
+  return ServeStatus::kOk;
+}
+
+MultiBatchResult UsiMultiService::QueryBatch(
+    std::span<const MultiQuery> queries) {
+  MultiBatchResult out;
+  out.results.resize(queries.size());
+  out.status = QueryBatchInto(queries, out.results);
+  if (out.status != ServeStatus::kOk) out.results.clear();
+  return out;
+}
+
+ServeStatus UsiMultiService::Query(std::string_view text_id,
+                                   std::span<const Symbol> pattern,
+                                   QueryResult& result) {
+  const MultiQuery query{text_id, pattern};
+  return QueryBatchInto(std::span<const MultiQuery>(&query, 1),
+                        std::span<QueryResult>(&result, 1));
+}
+
+std::optional<UsiTextStats> UsiMultiService::StatsFor(
+    std::string_view id) const {
+  EntryPtr entry = FindEntry(id);
+  if (entry == nullptr) return std::nullopt;
+  UsiTextStats stats;
+  if (std::shared_ptr<const Generation> gen = entry->PinGeneration()) {
+    stats.generation = gen->number;
+    stats.last_build = gen->index->build_info();
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    stats.builds_scheduled = entry->scheduled;
+    stats.builds_completed = entry->completed;
+  }
+  stats.batches = entry->batches.load(std::memory_order_relaxed);
+  stats.queries = entry->queries.load(std::memory_order_relaxed);
+  stats.hash_hits = entry->hash_hits.load(std::memory_order_relaxed);
+  return stats;
+}
+
+UsiMultiStats UsiMultiService::stats() const {
+  UsiMultiStats stats;
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    stats.builds_scheduled = builds_scheduled_;
+    stats.builds_completed = builds_completed_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    stats.texts = registry_.size();
+  }
+  return stats;
+}
+
+}  // namespace usi

@@ -1,0 +1,274 @@
+#ifndef USI_CORE_MULTI_SERVICE_HPP_
+#define USI_CORE_MULTI_SERVICE_HPP_
+
+/// \file multi_service.hpp
+/// Multi-text serving tier: one service fronting many indexes, with async
+/// generational rebuilds.
+///
+/// UsiMultiService owns a registry of named weighted strings. Each text is
+/// served through its own UsiIndex + UsiService pair, wrapped in an
+/// immutable *generation*; a QueryBatch of mixed-text queries is routed by
+/// text id, grouped per text, and each group is sharded across the shared
+/// ThreadPool by that text's UsiService. Construction is asynchronous:
+/// SubmitText / UpdateText enqueue a staged UsiBuilder run that executes on
+/// the pool while queries keep draining against the previous generation.
+///
+/// \par Generation lifecycle (RCU-style swap)
+/// Every text holds its current generation as a shared_ptr swapped under a
+/// pointer-copy-scale lock (a mutex held only for the refcount increment —
+/// chosen over std::atomic<std::shared_ptr> because libstdc++ implements
+/// that with a lock bit ThreadSanitizer cannot model, and the TSan CI job
+/// is part of this tier's contract):
+///
+///     SubmitText/UpdateText ──► build queue ──► build lane (one pool task)
+///                                                 │ staged UsiBuilder
+///                                                 ▼
+///     readers: pin = copy of current     publish: current = new generation
+///              │  (shared_ptr copy,               (monotonic by generation
+///              ▼   never waits on a build)         number, under entry lock)
+///     serve whole batch from the pinned generation
+///              │
+///              ▼
+///     unpin (shared_ptr drops) — the last reader to release an old
+///     generation reclaims it; writers never wait for readers.
+///
+/// A batch pins one generation per referenced text *once*, up front, and
+/// serves every query of the batch from the pinned snapshot — so a batch
+/// never observes a half-applied rebuild (answers are entirely old-text or
+/// entirely new-text, pinned by the generation-swap concurrency test).
+///
+/// \par Build lane
+/// Rebuild jobs run FIFO through a single *build lane*: at most one pool
+/// worker executes builds at any moment, so on a pool of W >= 2 threads
+/// query fan-out always has W-1 workers available, and on W == 1 queries
+/// are served inline on the caller's thread while the lone worker builds.
+/// Each job runs the staged UsiBuilder sequentially (a build inside a pool
+/// task must not ParallelFor on the same pool); the trade — per-build
+/// parallelism for serving isolation — is the "async construction" item of
+/// the ROADMAP. Without a pool (injected null), builds run synchronously
+/// inside SubmitText/UpdateText.
+///
+/// \par Admission control
+/// max_inflight_batches bounds the number of concurrently executing
+/// QueryBatch calls. The cap is enforced with a counter, not a queue: a
+/// batch over the cap is rejected immediately with ServeStatus::kBusy (and
+/// counted in stats().busy_rejected), so overload sheds load instead of
+/// growing an unbounded backlog — the first cut of the ROADMAP's
+/// backpressure item.
+///
+/// \par Thread safety
+/// All public members are safe to call concurrently. QueryBatch never
+/// blocks on builds (it reads the pinned generation); registry mutations
+/// (SubmitText/UpdateText/RemoveText) take the registry lock briefly and
+/// never wait for in-flight batches. The destructor waits for pending
+/// builds to finish draining.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "usi/core/usi_index.hpp"
+#include "usi/core/usi_service.hpp"
+#include "usi/text/weighted_string.hpp"
+
+namespace usi {
+
+class ThreadPool;
+
+/// Outcome of a UsiMultiService batch. Statuses other than kOk reject the
+/// whole batch before any query executes, so results are all-or-nothing.
+enum class ServeStatus : u8 {
+  kOk = 0,
+  kBusy,         ///< Admission control: over max_inflight_batches.
+  kUnknownText,  ///< A query named a text id that is not registered.
+  kNotReady,     ///< A referenced text has no built generation yet.
+};
+
+/// Display name of a ServeStatus ("ok", "busy", ...).
+const char* ServeStatusName(ServeStatus status);
+
+/// One routed query: which text to ask, and the pattern. The referenced
+/// storage is borrowed for the duration of the QueryBatch call.
+struct MultiQuery {
+  std::string_view text_id;
+  std::span<const Symbol> pattern;
+};
+
+/// Tuning for UsiMultiService.
+struct UsiMultiServiceOptions {
+  /// Shared pool width: 0 = hardware concurrency. The pool serves query
+  /// fan-out and the build lane; width 1 still gives async builds (queries
+  /// are then served inline on caller threads).
+  unsigned threads = 0;
+  /// Per-text shard-size floor, forwarded to each generation's UsiService.
+  std::size_t min_shard_size = 16;
+  /// Admission control: max concurrently executing QueryBatch calls.
+  /// 0 = unbounded. Batches over the cap return ServeStatus::kBusy.
+  std::size_t max_inflight_batches = 0;
+  /// Build options applied when SubmitText is called without explicit
+  /// options. threads is overridden to 1 inside the build lane.
+  UsiOptions default_build = {};
+};
+
+/// Per-text lifetime telemetry, aggregated across generations.
+struct UsiTextStats {
+  u64 generation = 0;        ///< Generation currently served (0 = none yet).
+  u64 builds_scheduled = 0;  ///< SubmitText/UpdateText calls for this text.
+  u64 builds_completed = 0;
+  u64 batches = 0;    ///< Batches that touched this text.
+  u64 queries = 0;    ///< Queries routed to this text.
+  u64 hash_hits = 0;  ///< Of those, answered from the precomputed table.
+  UsiBuildInfo last_build;  ///< build_info() of the served generation.
+};
+
+/// Service-wide telemetry.
+struct UsiMultiStats {
+  u64 batches = 0;         ///< Batches admitted (status kOk).
+  u64 queries = 0;
+  u64 busy_rejected = 0;   ///< Batches shed by admission control.
+  u64 builds_scheduled = 0;
+  u64 builds_completed = 0;
+  std::size_t texts = 0;   ///< Registered texts right now.
+};
+
+/// Convenience return form of QueryBatch.
+struct MultiBatchResult {
+  ServeStatus status = ServeStatus::kOk;
+  std::vector<QueryResult> results;  ///< Valid only when status == kOk.
+};
+
+/// One service fronting many named texts, each with asynchronously rebuilt
+/// index generations.
+class UsiMultiService {
+ public:
+  /// The service owns its pool, sized per \p options.
+  explicit UsiMultiService(const UsiMultiServiceOptions& options = {});
+
+  /// As above but sharing \p pool (borrowed, must outlive the service;
+  /// null = no pool: queries serve inline, builds run synchronously).
+  UsiMultiService(ThreadPool* pool, const UsiMultiServiceOptions& options = {});
+
+  /// Waits for pending builds, then tears down.
+  ~UsiMultiService();
+
+  UsiMultiService(const UsiMultiService&) = delete;
+  UsiMultiService& operator=(const UsiMultiService&) = delete;
+
+  /// Registers (or, if \p id exists, replaces — upsert) a text and schedules
+  /// an asynchronous index build with \p build_options. Queries against \p id
+  /// keep draining from the previous generation until the new one is
+  /// published; a brand-new text serves kNotReady until its first build
+  /// lands. Returns the scheduled generation number (monotonic per text,
+  /// starting at 1).
+  u64 SubmitText(std::string_view id, WeightedString ws,
+                 const UsiOptions& build_options);
+
+  /// As above with options_.default_build.
+  u64 SubmitText(std::string_view id, WeightedString ws);
+
+  /// Schedules a rebuild of an existing text with new content, reusing the
+  /// build options it was submitted with. Returns the scheduled generation
+  /// number, or 0 if \p id is not registered.
+  u64 UpdateText(std::string_view id, WeightedString ws);
+
+  /// Unregisters \p id; in-flight batches that already pinned a generation
+  /// finish against it (the shared_ptr keeps it alive). Returns false if
+  /// \p id is not registered.
+  bool RemoveText(std::string_view id);
+
+  /// Whether \p id is registered (its first build may still be pending).
+  bool HasText(std::string_view id) const;
+
+  /// Registered ids, sorted.
+  std::vector<std::string> TextIds() const;
+
+  /// Blocks until every build scheduled for \p id so far has completed.
+  /// Returns false if \p id is not registered.
+  bool WaitForText(std::string_view id);
+
+  /// Blocks until every build scheduled so far (all texts) has completed.
+  void WaitForBuilds();
+
+  /// Answers queries[i] into results[i] (results.size() must be >=
+  /// queries.size()). Routes by text id, pins one generation per referenced
+  /// text for the whole batch, then serves each per-text group through that
+  /// generation's UsiService (sharded across the shared pool). On any
+  /// status other than kOk no query executes and results are untouched.
+  ServeStatus QueryBatchInto(std::span<const MultiQuery> queries,
+                             std::span<QueryResult> results);
+
+  /// As QueryBatchInto, returning owned results.
+  MultiBatchResult QueryBatch(std::span<const MultiQuery> queries);
+
+  /// Single-query convenience (a batch of one).
+  ServeStatus Query(std::string_view text_id, std::span<const Symbol> pattern,
+                    QueryResult& result);
+
+  /// Lifetime telemetry for one text; nullopt if \p id is not registered.
+  std::optional<UsiTextStats> StatsFor(std::string_view id) const;
+
+  /// Service-wide telemetry.
+  UsiMultiStats stats() const;
+
+  /// Worker threads of the shared pool (1 = no pool / inline serving).
+  unsigned threads() const;
+
+ private:
+  struct Generation;
+  struct TextEntry;
+  struct BuildJob;
+  struct BatchScratch;
+
+  using EntryPtr = std::shared_ptr<TextEntry>;
+
+  /// Registry lookup (registry lock taken inside).
+  EntryPtr FindEntry(std::string_view id) const;
+
+  /// Registers the job in the build queue and wakes the build lane (or, with
+  /// no pool, builds synchronously).
+  void ScheduleBuild(EntryPtr entry, WeightedString ws, u64 generation);
+
+  /// Body of the build-lane pool task: drains the queue FIFO, one job at a
+  /// time, then retires.
+  void BuildLane();
+
+  /// Builds one generation and publishes it (monotonic swap).
+  void BuildOne(BuildJob& job);
+
+  std::unique_ptr<BatchScratch> AcquireBatchScratch();
+  void ReleaseBatchScratch(std::unique_ptr<BatchScratch> scratch);
+
+  ThreadPool* pool_ = nullptr;  ///< Borrowed, may be null.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  UsiMultiServiceOptions options_;
+
+  mutable std::mutex registry_mu_;  ///< Guards registry_.
+  std::map<std::string, EntryPtr, std::less<>> registry_;
+
+  mutable std::mutex build_mu_;  ///< Guards the four members below.
+  std::deque<BuildJob> build_queue_;
+  bool build_lane_active_ = false;
+  u64 builds_scheduled_ = 0;
+  u64 builds_completed_ = 0;
+  std::condition_variable build_cv_;  ///< Signals build completions.
+
+  std::mutex batch_scratch_mu_;
+  std::vector<std::unique_ptr<BatchScratch>> batch_scratch_free_;
+
+  std::atomic<u64> inflight_batches_{0};
+  std::atomic<u64> batches_{0};
+  std::atomic<u64> queries_{0};
+  std::atomic<u64> busy_rejected_{0};
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_MULTI_SERVICE_HPP_

@@ -35,10 +35,18 @@ struct QueryResult {
   bool from_hash_table = false;  ///< Answered from a precomputed/cached table.
 };
 
-/// Reusable per-worker buffers for QueryBatch. One scratch must never be
-/// shared by two concurrently-running QueryBatch calls; UsiService keeps one
-/// per pool worker. Buffers only ever grow, so a steady-state workload
-/// (same batch shape repeated) stops allocating after the first batch.
+/// Reusable per-worker buffers for QueryBatch.
+///
+/// \par Reuse rules
+///  * One scratch must never be shared by two concurrently-running
+///    QueryBatch calls — it is mutable working memory. UsiService leases a
+///    block of one-per-worker scratches to each in-flight batch.
+///  * Sequential reuse across batches is the point: buffers only ever
+///    grow, so a steady-state workload (same batch shape repeated) stops
+///    allocating after the first batch (pinned by query_alloc_test).
+///  * A scratch is engine-agnostic and carries no result state; passing it
+///    to a different engine, or dropping it between batches, affects only
+///    performance, never answers.
 struct QueryScratch {
   /// (packed prefix+length, pattern index) pairs — sorting these contiguous
   /// values clusters shared prefixes without indirecting into the patterns.
@@ -48,6 +56,22 @@ struct QueryScratch {
 };
 
 /// Abstract answer path for global-utility queries.
+///
+/// \par Thread safety
+/// The contract is opt-in per engine:
+///  * SupportsConcurrentQuery() == true promises Query / QueryBatch are
+///    safe from multiple threads *provided* each concurrent call owns its
+///    QueryScratch and shared state covers the batch (PrepareBatch ran, or
+///    BatchPrepared() returned true). UsiIndex qualifies: it is immutable
+///    after construction except for the monotonically-grown Karp-Rabin
+///    power table, which PrepareBatch pre-grows.
+///  * SupportsConcurrentQuery() == false (the caching baselines) means the
+///    engine mutates per-query state; callers must serialize, and answer
+///    streams depend on query order.
+///  * PrepareBatch is the single mutating entry point on concurrent-safe
+///    engines; it must be externally excluded from running alongside
+///    serving (UsiService holds a reader/writer lock: batches share,
+///    preparation is exclusive, warm batches skip it via BatchPrepared).
 class QueryEngine {
  public:
   virtual ~QueryEngine() = default;
@@ -70,8 +94,25 @@ class QueryEngine {
   /// batch. Engines pre-grow state shared read-only by the batch (UsiIndex
   /// reserves Karp-Rabin powers for the batch's max pattern length so no
   /// concurrent shard ever grows the table). Default: nothing to prepare.
+  ///
+  /// PrepareBatch may mutate engine state, so it must never run while
+  /// another batch is being served on the same engine. UsiService enforces
+  /// this with a reader/writer protocol: serving holds a shared lock,
+  /// PrepareBatch runs under the exclusive lock, and BatchPrepared() lets
+  /// warm batches skip the exclusive section entirely.
   virtual void PrepareBatch(std::span<const Text> patterns) {
     (void)patterns;
+  }
+
+  /// Whether PrepareBatch(\p patterns) would be a no-op — i.e. the shared
+  /// state it grows already covers this batch, so serving may proceed
+  /// without mutating the engine. Called concurrently with serving; must
+  /// only read state that PrepareBatch grows monotonically. Default:
+  /// false (always prepare), matching the default no-op PrepareBatch being
+  /// free to run under the exclusive lock.
+  virtual bool BatchPrepared(std::span<const Text> patterns) const {
+    (void)patterns;
+    return false;
   }
 
   /// Answers patterns[i] into results[i] for every i; results.size() must

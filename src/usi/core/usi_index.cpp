@@ -104,6 +104,17 @@ void UsiIndex::PrepareBatch(std::span<const Text> patterns) {
   hasher_.ReservePowers(max_len);
 }
 
+bool UsiIndex::BatchPrepared(std::span<const Text> patterns) const {
+  std::size_t max_len = 0;
+  for (const Text& pattern : patterns) {
+    max_len = std::max(max_len, pattern.size());
+  }
+  // powers_.size() only grows, and growth happens under UsiService's
+  // exclusive prepare lock — so a true answer here cannot be invalidated
+  // by a concurrent batch.
+  return hasher_.PowersCover(max_len);
+}
+
 void UsiIndex::QueryBatch(std::span<const Text> patterns,
                           std::span<QueryResult> results,
                           QueryScratch* scratch) const {

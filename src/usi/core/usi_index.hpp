@@ -135,6 +135,7 @@ class UsiIndex : public QueryEngine {
     return static_cast<const UsiIndex*>(this)->Query(pattern);
   }
   void PrepareBatch(std::span<const Text> patterns) override;
+  bool BatchPrepared(std::span<const Text> patterns) const override;
   void QueryBatch(std::span<const Text> patterns,
                   std::span<QueryResult> results,
                   QueryScratch* scratch) override {

@@ -1,6 +1,7 @@
 #include "usi/core/usi_service.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "usi/parallel/thread_pool.hpp"
 #include "usi/util/timer.hpp"
@@ -36,31 +37,68 @@ std::vector<QueryResult> UsiService::QueryBatch(
   return results;
 }
 
-void UsiService::EnsureScratch() {
+std::unique_ptr<UsiService::ScratchBlock> UsiService::AcquireScratch() {
   const std::size_t workers = std::max(1u, threads());
-  if (scratch_.size() < workers) scratch_.resize(workers);
+  std::unique_ptr<ScratchBlock> block;
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!scratch_free_.empty()) {
+      block = std::move(scratch_free_.back());
+      scratch_free_.pop_back();
+    }
+  }
+  if (block == nullptr) block = std::make_unique<ScratchBlock>();
+  if (block->size() < workers) block->resize(workers);
+  return block;
+}
+
+void UsiService::ReleaseScratch(std::unique_ptr<ScratchBlock> block) {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_free_.push_back(std::move(block));
 }
 
 void UsiService::QueryBatchInto(std::span<const Text> patterns,
-                                std::span<QueryResult> results) {
+                                std::span<QueryResult> results,
+                                UsiBatchStats* stats) {
   USI_CHECK(results.size() >= patterns.size());
   Timer timer;
-  last_batch_ = UsiBatchStats{};
-  last_batch_.patterns = patterns.size();
-  if (patterns.empty()) return;
-  EnsureScratch();
+  UsiBatchStats batch;
+  batch.patterns = patterns.size();
+  if (patterns.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_batch_ = batch;
+    totals_.batches += 1;
+    if (stats != nullptr) *stats = batch;
+    return;
+  }
+  std::unique_ptr<ScratchBlock> scratch = AcquireScratch();
 
   // Once per batch, before any fan-out: the engine pre-grows state the
   // whole batch shares read-only (UsiIndex reserves Karp-Rabin powers for
-  // the batch's max pattern length).
-  engine_->PrepareBatch(patterns);
+  // the batch's max pattern length). Growth may reallocate under a
+  // concurrent batch's readers, so it runs with the write side of the
+  // prepare lock while every serving batch holds the read side. The engine
+  // reports (via BatchPrepared) when its monotonically-grown state already
+  // covers this batch — the warm steady state — and the exclusive section
+  // is skipped entirely.
+  std::shared_lock<std::shared_mutex> serving(prepare_rw_);
+  if (!engine_->BatchPrepared(patterns)) {
+    serving.unlock();
+    {
+      std::unique_lock<std::shared_mutex> preparing(prepare_rw_);
+      engine_->PrepareBatch(patterns);
+    }
+    // No re-check needed: preparation grows state monotonically, so this
+    // batch stays covered no matter how the locks interleave from here.
+    serving.lock();
+  }
 
   const unsigned workers = threads();
   const std::size_t min_shard = std::max<std::size_t>(1, options_.min_shard_size);
   if (workers <= 1 || patterns.size() < 2 * min_shard) {
     // Sequential serving, in batch order (also the only correct mode for
     // caching engines, whose answers depend on query order).
-    engine_->QueryBatch(patterns, results, &scratch_[0]);
+    engine_->QueryBatch(patterns, results, &(*scratch)[0]);
   } else {
     // Contiguous shards, a few per worker so uneven per-pattern costs (hash
     // hit vs SA fallback) balance out. Every pattern writes its own result
@@ -75,19 +113,33 @@ void UsiService::QueryBatchInto(std::span<const Text> patterns,
       const std::size_t end = std::min(patterns.size(), begin + shard_size);
       engine_->QueryBatch(patterns.subspan(begin, end - begin),
                           results.subspan(begin, end - begin),
-                          &scratch_[worker]);
+                          &(*scratch)[worker]);
     });
-    last_batch_.shards = shards;
+    batch.shards = shards;
     // Fewer shards than workers means only that many bodies ever ran
     // concurrently; report the parallelism the timing actually reflects.
-    last_batch_.threads_used =
+    batch.threads_used =
         static_cast<unsigned>(std::min<std::size_t>(workers, shards));
   }
+  ReleaseScratch(std::move(scratch));
 
   for (std::size_t i = 0; i < patterns.size(); ++i) {
-    last_batch_.hash_hits += results[i].from_hash_table ? 1 : 0;
+    batch.hash_hits += results[i].from_hash_table ? 1 : 0;
   }
-  last_batch_.seconds = timer.ElapsedSeconds();
+  batch.seconds = timer.ElapsedSeconds();
+  if (stats != nullptr) *stats = batch;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    last_batch_ = batch;
+    totals_.batches += 1;
+    totals_.queries += batch.patterns;
+    totals_.hash_hits += batch.hash_hits;
+  }
+}
+
+UsiServiceTotals UsiService::totals() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return totals_;
 }
 
 }  // namespace usi

@@ -9,17 +9,39 @@
 /// a thread pool, with each shard answered independently through the
 /// engine's QueryBatch. Before the fan-out, PrepareBatch runs exactly once
 /// (UsiIndex pre-grows the shared Karp-Rabin power table to the batch's max
-/// pattern length), and every shard gets the reusable QueryScratch of the
-/// worker it runs on — after warm-up, a steady-state batch allocates
-/// nothing beyond what the caller hands in. Results land in per-pattern
-/// slots, so the output is byte-for-byte the sequential answer in the
-/// original order, at any thread count.
+/// pattern length), and every shard gets a reusable QueryScratch owned by
+/// the service — after warm-up, a steady-state batch allocates nothing
+/// beyond what the caller hands in. Results land in per-pattern slots, so
+/// the output is byte-for-byte the sequential answer in the original order,
+/// at any thread count.
 ///
 /// Engines that mutate per-query state (the caching baselines BSL2-4 —
 /// SupportsConcurrentQuery() == false) are served sequentially and in batch
 /// order, preserving their cache semantics exactly.
+///
+/// \par Thread safety
+/// QueryBatch / QueryBatchInto may be called concurrently from multiple
+/// client threads when the engine's SupportsConcurrentQuery() is true: each
+/// in-flight batch leases its own block of per-worker QueryScratch from an
+/// internal free list, so concurrent batches never share scratch, and the
+/// cumulative counters behind totals() are updated under a lock. With C
+/// concurrent callers the free list converges on C blocks and stops
+/// allocating. PrepareBatch — the one engine call allowed to mutate shared
+/// state — runs under a reader/writer protocol: serving holds the shared
+/// side, preparation takes the exclusive side, and a batch the engine
+/// reports BatchPrepared() for skips the exclusive section, so the warm
+/// steady state is contention-free. The engine must not be driven through
+/// two different UsiService instances concurrently (each instance owns its
+/// own prepare lock). For engines without concurrent-query support the
+/// caller must serialize batches externally (the engine itself is the
+/// shared mutable state). last_batch() reports the most recently
+/// *completed* batch and is only meaningful when batches are not
+/// concurrent; concurrent callers should read per-batch telemetry via the
+/// UsiBatchStats out-parameter of QueryBatchInto instead.
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -40,13 +62,23 @@ struct UsiServiceOptions {
   std::size_t min_shard_size = 16;
 };
 
-/// Telemetry of the most recent QueryBatch.
+/// Telemetry of one QueryBatch.
 struct UsiBatchStats {
   std::size_t patterns = 0;
   std::size_t hash_hits = 0;  ///< Answers served from a precomputed table.
   std::size_t shards = 1;
   unsigned threads_used = 1;
   double seconds = 0;
+};
+
+/// Cumulative serving telemetry, accumulated across every batch since the
+/// service was constructed. Unlike last_batch(), these survive batch
+/// boundaries, so a supervising layer (UsiMultiService) can report per-text
+/// lifetime totals; reading them is safe concurrently with serving.
+struct UsiServiceTotals {
+  u64 batches = 0;
+  u64 queries = 0;
+  u64 hash_hits = 0;
 };
 
 /// Serves batches of utility queries through one QueryEngine.
@@ -73,10 +105,13 @@ class UsiService {
 
   /// As QueryBatch, into caller-owned storage (results.size() must be >=
   /// patterns.size()). This is the steady-state serving entry point: the
-  /// service reuses its per-worker scratch, so after warm-up a repeated
+  /// service reuses leased per-worker scratch, so after warm-up a repeated
   /// batch shape performs zero heap allocations on the sequential path.
+  /// When \p stats is non-null it receives this batch's telemetry — the
+  /// race-free way to observe per-batch stats from concurrent callers.
   void QueryBatchInto(std::span<const Text> patterns,
-                      std::span<QueryResult> results);
+                      std::span<QueryResult> results,
+                      UsiBatchStats* stats = nullptr);
 
   /// Single-query passthrough.
   QueryResult Query(std::span<const Symbol> pattern) {
@@ -89,19 +124,40 @@ class UsiService {
   /// Worker threads available for fan-out (1 = sequential serving).
   unsigned threads() const;
 
-  /// Telemetry of the most recent QueryBatch.
+  /// Telemetry of the most recent completed QueryBatch. Only meaningful when
+  /// batches are not issued concurrently; see the thread-safety note above.
   const UsiBatchStats& last_batch() const { return last_batch_; }
 
+  /// Cumulative totals since construction; safe to call while serving.
+  UsiServiceTotals totals() const;
+
  private:
-  /// Lazily sizes scratch_ to the worker count (idempotent).
-  void EnsureScratch();
+  /// One leased block: a QueryScratch per pool worker, handed to exactly one
+  /// in-flight batch at a time.
+  using ScratchBlock = std::vector<QueryScratch>;
+
+  /// Pops a scratch block off the free list (or makes one), sized to the
+  /// current worker count.
+  std::unique_ptr<ScratchBlock> AcquireScratch();
+
+  /// Returns a block to the free list.
+  void ReleaseScratch(std::unique_ptr<ScratchBlock> block);
 
   QueryEngine* engine_;
   ThreadPool* pool_ = nullptr;            ///< Borrowed, may be null.
   std::unique_ptr<ThreadPool> owned_pool_;
   UsiServiceOptions options_;
-  std::vector<QueryScratch> scratch_;     ///< One per pool worker.
+
+  /// Serving holds this shared; PrepareBatch (which may mutate the engine)
+  /// runs exclusive, so no batch ever reads state mid-growth.
+  std::shared_mutex prepare_rw_;
+
+  std::mutex scratch_mu_;  ///< Guards scratch_free_.
+  std::vector<std::unique_ptr<ScratchBlock>> scratch_free_;
+
+  mutable std::mutex stats_mu_;  ///< Guards last_batch_ and totals_.
   UsiBatchStats last_batch_;
+  UsiServiceTotals totals_;
 };
 
 }  // namespace usi

@@ -90,6 +90,11 @@ class KarpRabinHasher {
   /// sharing one hasher across concurrently-querying threads.
   void ReservePowers(std::size_t upto) const { (void)PowerOfBase(upto); }
 
+  /// Whether PowerOfBase(k <= upto) is already a read-only lookup, i.e.
+  /// ReservePowers(upto) would be a no-op. Serving layers use this to skip
+  /// their exclusive prepare section once the table has warmed up.
+  bool PowersCover(std::size_t upto) const { return powers_.size() > upto; }
+
   /// O(len) fingerprint of an explicit string.
   u64 Hash(std::span<const Symbol> s) const;
 

@@ -33,6 +33,14 @@ void ThreadPool::Run(std::function<void()> task) {
   cv_.notify_one();
 }
 
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  Run([packaged] { (*packaged)(); });
+  return future;
+}
+
 unsigned ThreadPool::HardwareConcurrency() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -50,6 +51,13 @@ class ThreadPool {
 
   /// Enqueues \p task for execution on some worker.
   void Run(std::function<void()> task);
+
+  /// As Run, but returns a future that becomes ready when \p task has
+  /// finished executing. This is the completion plumbing the async layers
+  /// build on (UsiMultiService's build lane waits on these futures during
+  /// shutdown). The future's wait() must not be called from inside a task of
+  /// the same pool — like a nested ParallelFor, that can exhaust the workers.
+  std::future<void> Submit(std::function<void()> task);
 
   /// std::thread::hardware_concurrency() clamped to >= 1.
   static unsigned HardwareConcurrency();

@@ -199,6 +199,40 @@ TEST(UsiServiceBatch, IntoMatchesReturningFormAtEveryThreadCount) {
   }
 }
 
+TEST(UsiServiceBatch, CumulativeTotalsAndPerBatchStatsAccumulate) {
+  const WeightedString ws = testing::RandomWeighted(600, 4, 0x77);
+  UsiOptions options;
+  options.k = 80;
+  UsiIndex index(ws, options);
+  const std::vector<Text> patterns = MixedPatterns(ws, 0x88);
+
+  UsiServiceOptions sequential;
+  sequential.threads = 1;
+  UsiService service(index, sequential);
+  std::size_t hits_per_batch = 0;
+
+  const int rounds = 4;
+  std::vector<QueryResult> got(patterns.size());
+  for (int round = 0; round < rounds; ++round) {
+    // The UsiBatchStats out-parameter is the concurrent-safe per-batch
+    // telemetry channel; it must agree with last_batch() when batches are
+    // sequential.
+    UsiBatchStats batch;
+    service.QueryBatchInto(patterns, got, &batch);
+    EXPECT_EQ(batch.patterns, patterns.size());
+    EXPECT_EQ(batch.hash_hits, service.last_batch().hash_hits);
+    hits_per_batch = batch.hash_hits;
+  }
+  EXPECT_GT(hits_per_batch, 0u);
+
+  // Unlike last_batch() (overwritten per batch), totals() accumulate for
+  // the service's lifetime — the counters a supervising tier reports.
+  const UsiServiceTotals totals = service.totals();
+  EXPECT_EQ(totals.batches, static_cast<u64>(rounds));
+  EXPECT_EQ(totals.queries, static_cast<u64>(rounds) * patterns.size());
+  EXPECT_EQ(totals.hash_hits, static_cast<u64>(rounds) * hits_per_batch);
+}
+
 TEST(UsiServiceBatch, CachingBaselineStillServedInOrder) {
   const WeightedString ws = testing::RandomWeighted(400, 3, 0x21);
   const std::vector<index_t> sa = BuildSuffixArray(ws.text());

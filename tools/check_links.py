@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Validates every inline markdown link in README.md, ROADMAP.md and docs/
+(plus any extra files passed on the command line):
+
+  * relative file links must resolve to an existing file or directory
+    (relative to the markdown file that contains them);
+  * same-file and cross-file heading anchors (#fragment) must match a
+    heading in the target file, using GitHub's slug rules;
+  * absolute http(s)/mailto links are *not* fetched (CI must not depend on
+    the network) — they are only reported with --list-external.
+
+Runs as the `docs_link_check` CTest entry and the docs-link-check CI job,
+so a broken link fails the build instead of rotting silently.
+
+Usage: check_links.py [--root DIR] [--list-external] [extra.md ...]
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline links: [text](target). Images ![alt](target) match too via the
+# optional leading '!', which we treat identically (the file must exist).
+LINK_RE = re.compile(r"!?\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def strip_fenced_blocks(text: str) -> str:
+    """Blanks out fenced code blocks so their contents are never parsed."""
+    out = []
+    in_fence = False
+    fence = None
+    for line in text.splitlines():
+        match = FENCE_RE.match(line)
+        if match:
+            if not in_fence:
+                in_fence, fence = True, match.group(1)
+            elif match.group(1) == fence:
+                in_fence, fence = False, None
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    # Strip inline markup that does not contribute to the slug.
+    heading = re.sub(r"[*_`]", "", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set:
+    slugs = set()
+    counts = {}
+    for line in strip_fenced_blocks(path.read_text(encoding="utf-8")).splitlines():
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md: pathlib.Path, root: pathlib.Path, list_external: bool):
+    errors = []
+    externals = []
+    text = strip_fenced_blocks(md.read_text(encoding="utf-8"))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                externals.append((md, lineno, target))
+                continue
+            if target.startswith("#"):
+                if github_slug(target[1:]) not in heading_slugs(md):
+                    errors.append((md, lineno, target, "no such heading"))
+                continue
+            path_part, _, fragment = target.partition("#")
+            resolved = (md.parent / path_part).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                errors.append((md, lineno, target, "escapes the repository"))
+                continue
+            if not resolved.exists():
+                errors.append((md, lineno, target, "missing file"))
+                continue
+            if fragment and resolved.is_file() and resolved.suffix == ".md":
+                if github_slug(fragment) not in heading_slugs(resolved):
+                    errors.append((md, lineno, target, "no such heading"))
+    if list_external:
+        for md_path, lineno, target in externals:
+            print(f"external: {md_path}:{lineno}: {target}")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--list-external", action="store_true",
+                        help="print (unchecked) http/https links")
+    parser.add_argument("extra", nargs="*", help="additional markdown files")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root)
+    files = [root / "README.md", root / "ROADMAP.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    files += [pathlib.Path(f) for f in args.extra]
+
+    missing = [f for f in files if not f.is_file()]
+    if missing:
+        for f in missing:
+            print(f"error: expected markdown file is absent: {f}")
+        return 1
+
+    errors = []
+    checked = 0
+    for md in files:
+        errors += check_file(md, root, args.list_external)
+        checked += 1
+    for md, lineno, target, why in errors:
+        print(f"error: {md}:{lineno}: broken link '{target}' ({why})")
+    print(f"checked {checked} file(s): "
+          f"{'FAILED' if errors else 'all links resolve'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
