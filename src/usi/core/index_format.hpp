@@ -1,0 +1,135 @@
+#ifndef USI_CORE_INDEX_FORMAT_HPP_
+#define USI_CORE_INDEX_FORMAT_HPP_
+
+/// \file index_format.hpp
+/// On-disk layouts of persisted UsiIndex files.
+///
+/// Two formats share one Save/Load surface (usi_index.hpp):
+///
+///  * v2 "heap" — the portable stream format: a 38-byte packed header
+///    followed by u64-length-prefixed arrays, deserialized into owning heap
+///    structures on load. Works on any host; costs a full O(n) read + hash
+///    re-insertion at startup.
+///  * v3 "mapped" — the layout below: a page-aligned section file whose
+///    on-disk bytes ARE the in-memory structures. Opening is header
+///    validation + pointer fixup (util/mapped_file.hpp); the kernel demand-
+///    pages the sections and shares them across processes. Same-host
+///    format: byte order, index_t width, and FingerprintTable slot layout
+///    must match the writer (slot_bytes in the header guards the latter).
+///
+/// \par v3 file layout
+///
+///     offset 0    FileHeader (208 bytes, see below), header_checksum last
+///     ...         zero padding
+///     offset 256  section kSuffixArray   n * sizeof(index_t)  [64-aligned]
+///     ...         section kPrefixSums    n * sizeof(double)   [64-aligned]
+///     ...         section kTableCtrl     capacity + kGroupWidth bytes
+///     ...         section kTableSlots    capacity * slot_bytes
+///
+/// Sections are 64-byte aligned (cache-line; mmap makes file alignment ==
+/// memory alignment). The section directory inside the header records each
+/// section's id, offset, length, and content checksum; the directory itself
+/// is covered by header_checksum, so a flipped offset or length is rejected
+/// in O(1) at open without touching the payload. file_bytes pins the exact
+/// file size — truncated or extended files fail before any section is read.
+///
+/// Every v3 (and v2) write goes through the atomic publish protocol of
+/// util/mapped_file.hpp: stage to `path.tmp.<pid>`, fsync, rename, fsync
+/// parent. A crash at any instant leaves `path` absent or a complete image.
+
+#include <cstddef>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Which on-disk format SaveToFile emits.
+enum class IndexFileFormat : u8 {
+  kV2Heap,    ///< Portable stream format, heap-deserialized on load.
+  kV3Mapped,  ///< Section file served via mmap; same-host only.
+};
+
+namespace format_v2 {
+
+/// "USI1" — the stream format's magic. Version 2 of the stream added the
+/// miner byte; the magic word kept its original spelling.
+inline constexpr u32 kMagic = 0x55534931;
+
+inline constexpr u32 kVersion = 2;
+
+}  // namespace format_v2
+
+namespace format_v3 {
+
+/// "USI3" (v2 files start with "USI1" + version 2; the first u32 of a file
+/// dispatches the loader).
+inline constexpr u32 kMagic = 0x55534933;
+
+inline constexpr u32 kVersion = 3;
+
+/// Section ids, in file order.
+enum SectionId : u32 {
+  kSuffixArray = 0,  ///< n * sizeof(index_t), the SA in leaf order.
+  kPrefixSums = 1,   ///< n * sizeof(double), the PSW array.
+  kTableCtrl = 2,    ///< capacity + kGroupWidth control bytes (cloned tail).
+  kTableSlots = 3,   ///< capacity * slot_bytes records.
+};
+
+inline constexpr std::size_t kNumSections = 4;
+
+/// Alignment of every section payload. One cache line: mmap maps file
+/// offset alignment straight to memory alignment, so aligned sections give
+/// aligned arrays.
+inline constexpr u64 kSectionAlign = 64;
+
+/// File offset of the first section. Leaves room for the header plus slack
+/// for forward-compatible header growth within the version.
+inline constexpr u64 kFirstSectionOffset = 256;
+
+/// One row of the section directory.
+struct SectionEntry {
+  u32 id = 0;        ///< SectionId.
+  u32 reserved = 0;  ///< Zero.
+  u64 offset = 0;    ///< Absolute file offset, kSectionAlign-aligned.
+  u64 length = 0;    ///< Payload bytes (exact, no padding).
+  u64 checksum = 0;  ///< Checksum64 of the payload bytes.
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+/// The v3 file header. Fixed layout, written and read raw; header_checksum
+/// is a Checksum64 over every byte that precedes it (including the section
+/// directory) and MUST remain the last field.
+struct FileHeader {
+  u32 magic = kMagic;
+  u32 version = kVersion;
+  u64 file_bytes = 0;  ///< Exact total file size.
+  u32 n = 0;           ///< Text length the index was built over.
+  u8 kind = 0;         ///< GlobalUtilityKind.
+  u8 miner = 0;        ///< UsiMiner.
+  u16 reserved0 = 0;   ///< Zero.
+  u64 base = 0;        ///< Karp-Rabin base.
+  u64 k = 0;           ///< Effective K.
+  u32 tau_k = 0;
+  u32 num_lengths = 0;
+  u64 table_size = 0;      ///< Occupied hash-table entries.
+  u64 table_capacity = 0;  ///< Hash-table slots (power of two).
+  u64 slot_bytes = 0;      ///< sizeof one table slot; guards layout drift.
+  SectionEntry sections[kNumSections] = {};
+  u64 header_checksum = 0;  ///< Checksum64 of all preceding header bytes.
+};
+static_assert(sizeof(FileHeader) == 208);
+static_assert(offsetof(FileHeader, header_checksum) ==
+                  sizeof(FileHeader) - sizeof(u64),
+              "header_checksum must be the last header field");
+static_assert(sizeof(FileHeader) <= kFirstSectionOffset);
+
+/// Rounds \p offset up to the next section boundary.
+constexpr u64 AlignUp(u64 offset) {
+  return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+}  // namespace format_v3
+
+}  // namespace usi
+
+#endif  // USI_CORE_INDEX_FORMAT_HPP_

@@ -118,20 +118,19 @@ UsiMultiService::EntryPtr UsiMultiService::FindEntry(
   return it == registry_.end() ? nullptr : it->second;
 }
 
+UsiMultiService::EntryPtr UsiMultiService::EnsureEntry(std::string_view id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(id);
+  if (it != registry_.end()) return it->second;
+  EntryPtr entry = std::make_shared<TextEntry>();
+  entry->id = std::string(id);
+  registry_.emplace(entry->id, entry);
+  return entry;
+}
+
 u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws,
                                 const UsiOptions& build_options) {
-  EntryPtr entry;
-  {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = registry_.find(id);
-    if (it == registry_.end()) {
-      entry = std::make_shared<TextEntry>();
-      entry->id = std::string(id);
-      registry_.emplace(entry->id, entry);
-    } else {
-      entry = it->second;
-    }
-  }
+  EntryPtr entry = EnsureEntry(id);
   u64 generation;
   {
     std::lock_guard<std::mutex> lock(entry->mu);
@@ -144,6 +143,54 @@ u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws,
 
 u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws) {
   return SubmitText(id, std::move(ws), options_.default_build);
+}
+
+u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
+                                          WeightedString ws,
+                                          const std::string& path) {
+  // The generation owns the weighted string (the index borrows it), so the
+  // text moves in before the open. Open BEFORE touching the registry: a
+  // bad file must not register an id or burn a generation number.
+  auto gen = std::make_shared<Generation>();
+  gen->ws = std::move(ws);
+  std::unique_ptr<UsiIndex> index = UsiIndex::OpenMapped(gen->ws, path);
+  if (index == nullptr) return 0;
+  gen->index = std::move(index);
+  UsiServiceOptions service_options;
+  service_options.min_shard_size = options_.min_shard_size;
+  gen->service =
+      std::make_unique<UsiService>(*gen->index, pool_, service_options);
+
+  EntryPtr entry = EnsureEntry(id);
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    gen->number = ++entry->scheduled;
+  }
+  // Account the instant publish as a scheduled-and-completed build so
+  // WaitForText/WaitForBuilds targets stay consistent with SubmitText's.
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    ++builds_scheduled_;
+  }
+  const u64 generation = gen->number;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    ++entry->completed;
+    // Same monotonic publish as BuildOne: an in-flight rebuild that claims
+    // a higher number afterwards supersedes this mapped generation, never
+    // the other way round.
+    if (gen->number > entry->published) {
+      entry->published = gen->number;
+      entry->current = std::move(gen);
+    }
+  }
+  entry->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    ++builds_completed_;
+  }
+  build_cv_.notify_all();
+  return generation;
 }
 
 u64 UsiMultiService::UpdateText(std::string_view id, WeightedString ws) {

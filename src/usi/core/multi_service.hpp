@@ -174,6 +174,20 @@ class UsiMultiService {
   /// As above with options_.default_build.
   u64 SubmitText(std::string_view id, WeightedString ws);
 
+  /// Instant-start registration: opens a kV3Mapped index file for \p ws by
+  /// mmap (UsiIndex::OpenMapped — header validation + pointer fixup, no
+  /// build, no O(n) deserialization) and publishes it as \p id's next
+  /// generation immediately. The registered text serves queries as soon as
+  /// this returns; the kernel demand-pages the index as queries touch it.
+  /// Upserts like SubmitText, so it also swaps a mapped generation under an
+  /// id that is currently serving built ones (and vice versa — a later
+  /// UpdateText rebuild supersedes the mapped generation normally).
+  /// Returns the published generation number, or 0 if the file cannot be
+  /// opened (missing, corrupt, or built over a different text) — in which
+  /// case the registry is left untouched.
+  u64 RegisterTextFromFile(std::string_view id, WeightedString ws,
+                           const std::string& path);
+
   /// Schedules a rebuild of an existing text with new content, reusing the
   /// build options it was submitted with. Returns the scheduled generation
   /// number, or 0 if \p id is not registered.
@@ -231,6 +245,10 @@ class UsiMultiService {
 
   /// Registry lookup (registry lock taken inside).
   EntryPtr FindEntry(std::string_view id) const;
+
+  /// Registry upsert: returns the entry for \p id, creating it if absent
+  /// (registry lock taken inside).
+  EntryPtr EnsureEntry(std::string_view id);
 
   /// Registers the job in the build queue and wakes the build lane (or, with
   /// no pool, builds synchronously).

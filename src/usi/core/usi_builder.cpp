@@ -117,8 +117,11 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   Timer finalize_timer;
   rss_before = ReadPeakRssBytes();
   index.sa_.shrink_to_fit();
+  // After the shrink: sa_span_ and the fallback engine view the vector's
+  // final buffer, which no longer moves for the index lifetime.
+  index.sa_span_ = index.sa_;
   index.fallback_ =
-      ExhaustiveQueryEngine(text, index.sa_, index.psw_, index.kind_);
+      ExhaustiveQueryEngine(text, index.sa_span_, index.psw_, index.kind_);
   stages_.push_back(
       {"finalize", finalize_timer.ElapsedSeconds(), PeakRssDelta(rss_before)});
 

@@ -1,6 +1,8 @@
 #include "usi/core/usi_index.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 #include "usi/core/usi_builder.hpp"
 #include "usi/util/binary_io.hpp"
@@ -8,9 +10,9 @@
 namespace usi {
 namespace {
 
-constexpr u32 kIndexMagic = 0x55534931;  // "USI1".
-// Version 2 added the miner byte (UET/UAT) after the utility kind.
-constexpr u32 kIndexVersion = 2;
+// The v2 stream format's magic + version (index_format.hpp).
+constexpr u32 kIndexMagic = format_v2::kMagic;
+constexpr u32 kIndexVersion = format_v2::kVersion;
 
 /// Number of UsiMiner enumerators; loaders validate the serialized byte.
 constexpr u8 kNumUsiMiners = static_cast<u8>(UsiMiner::kApproximate) + 1;
@@ -273,13 +275,14 @@ void UsiIndex::QueryAllWindows(std::span<const Symbol> document,
 }
 
 std::size_t UsiIndex::SizeInBytes() const {
-  // sa_.size(), not capacity(): the builder shrinks its vectors, and a
-  // loaded index reads them exact, so slack must never inflate the figure.
-  // The fallback engine borrows sa_/psw_ (counted once, above); only its
+  // sa_span_.size(), not a capacity: the builder shrinks its vectors and
+  // loaders read them exact, so slack must never inflate the figure; for a
+  // mapped index this counts the file-backed bytes the views reference.
+  // The fallback engine borrows the SA/PSW (counted once, above); only its
   // own object footprint is added. The hasher's power table counts too:
   // PrepareBatch grows it to the longest pattern ever served and it stays
   // resident for the index lifetime.
-  return sa_.size() * sizeof(index_t) + psw_.SizeInBytes() +
+  return sa_span_.size() * sizeof(index_t) + psw_.SizeInBytes() +
          table_.SizeInBytes() + sizeof(fallback_) + hasher_.SizeInBytes();
 }
 
@@ -287,11 +290,34 @@ UsiIndex::UsiIndex(LoadTag, const WeightedString& ws)
     : ws_(&ws),
       kind_(GlobalUtilityKind::kSum),
       hasher_(),
-      psw_(ws),
       table_(16) {}
+// psw_ stays default-constructed: the v2 loader rebuilds it from ws (one
+// O(n) scan), the v3 opener views the file's PSW section — building it here
+// would put an O(n) pass on the near-zero open path.
 
-bool UsiIndex::SaveToFile(const std::string& path) const {
-  BinaryWriter writer(path);
+namespace {
+
+/// The table entries in canonical (length, fingerprint) order: equal table
+/// contents serialize to equal bytes no matter what insertion order the
+/// build schedule produced. Shared by both formats.
+template <typename Table>
+std::vector<SerializedEntry> CanonicalEntries(const Table& table) {
+  std::vector<SerializedEntry> entries;
+  entries.reserve(table.size());
+  table.ForEach([&](const PatternKey& key, const UtilityAccumulator& value) {
+    entries.push_back(
+        SerializedEntry{key.fp, key.len, value.count, value.value});
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const SerializedEntry& a, const SerializedEntry& b) {
+              return a.len != b.len ? a.len < b.len : a.fp < b.fp;
+            });
+  return entries;
+}
+
+}  // namespace
+
+bool UsiIndex::SaveV2Body(BinaryWriter& writer) const {
   writer.Write(kIndexMagic);
   writer.Write(kIndexVersion);
   writer.Write(static_cast<u32>(ws_->size()));
@@ -301,24 +327,221 @@ bool UsiIndex::SaveToFile(const std::string& path) const {
   writer.Write(build_info_.k);
   writer.Write(build_info_.tau_k);
   writer.Write(build_info_.num_lengths);
-  writer.WriteVector(sa_);
-  std::vector<SerializedEntry> entries;
-  entries.reserve(table_.size());
-  table_.ForEach([&](const PatternKey& key, const TableValue& value) {
-    entries.push_back(SerializedEntry{key.fp, key.len, value.count, value.value});
-  });
-  // Canonical (length, fingerprint) order: equal table contents serialize to
-  // equal bytes no matter what insertion order the build schedule produced.
-  std::sort(entries.begin(), entries.end(),
-            [](const SerializedEntry& a, const SerializedEntry& b) {
-              return a.len != b.len ? a.len < b.len : a.fp < b.fp;
-            });
-  writer.WriteVector(entries);
+  // sa_span_, not sa_: a mapped index owns no SA vector but re-serializes
+  // to v2 all the same (that is the v3 -> v2 conversion path).
+  writer.WriteSpan(sa_span_);
+  writer.WriteVector(CanonicalEntries(table_));
   return writer.ok();
+}
+
+bool UsiIndex::SaveV3Body(BinaryWriter& writer) const {
+  using namespace format_v3;
+  using Table = FingerprintTable<TableValue>;
+
+  // Canonical table image: re-insert the sorted entries into a fresh table
+  // pre-sized for exactly size() entries. The pre-size loop guarantees the
+  // final capacity up front, so no rehash happens and the resulting
+  // ctrl/slot bytes are a pure function of the table CONTENTS — the v3
+  // image is byte-deterministic like v2. AllocateTable blanks the slot
+  // array before any insert, so record padding is zero, never
+  // uninitialized heap bytes.
+  const std::vector<SerializedEntry> entries = CanonicalEntries(table_);
+  Table canon(entries.size());
+  for (const SerializedEntry& entry : entries) {
+    TableValue value;
+    value.value = entry.value;
+    value.count = entry.count;
+    canon.FindOrInsert(PatternKey{entry.fp, entry.len}, value);
+  }
+  const std::span<const u8> ctrl = canon.ctrl_bytes();
+  const std::span<const Table::Slot> slots = canon.slots();
+
+  FileHeader header;
+  header.n = static_cast<u32>(ws_->size());
+  header.kind = static_cast<u8>(kind_);
+  header.miner = static_cast<u8>(miner_);
+  header.base = hasher_.base();
+  header.k = build_info_.k;
+  header.tau_k = build_info_.tau_k;
+  header.num_lengths = build_info_.num_lengths;
+  header.table_size = canon.size();
+  header.table_capacity = canon.capacity();
+  header.slot_bytes = sizeof(Table::Slot);
+
+  const void* payloads[kNumSections] = {sa_span_.data(), psw_.data(),
+                                        ctrl.data(), slots.data()};
+  const u64 lengths[kNumSections] = {
+      sa_span_.size_bytes(), static_cast<u64>(psw_.size()) * sizeof(double),
+      ctrl.size_bytes(), slots.size_bytes()};
+  u64 offset = kFirstSectionOffset;
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    header.sections[s].id = static_cast<u32>(s);
+    header.sections[s].offset = offset;
+    header.sections[s].length = lengths[s];
+    header.sections[s].checksum = Checksum64(payloads[s], lengths[s]);
+    offset = AlignUp(offset + lengths[s]);
+  }
+  // Exact end of the last payload — no tail padding, so file_bytes pins
+  // the file size byte-for-byte.
+  header.file_bytes = header.sections[kNumSections - 1].offset +
+                      header.sections[kNumSections - 1].length;
+  header.header_checksum =
+      Checksum64(&header, offsetof(FileHeader, header_checksum));
+
+  writer.WriteRaw(&header, sizeof(header));
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    writer.PadTo(header.sections[s].offset);
+    writer.WriteRaw(payloads[s], lengths[s]);
+  }
+  return writer.ok() && writer.bytes_written() == header.file_bytes;
+}
+
+bool UsiIndex::SaveToFile(const std::string& path,
+                          IndexFileFormat format) const {
+  // Atomic publish (util/mapped_file.hpp): the destination is replaced only
+  // by a complete, flushed image. A crash — or a failed write, flush, or
+  // fsync — leaves `path` untouched, holding whatever complete image it had
+  // before.
+  const std::string staged = StageTempPath(path);
+  BinaryWriter writer(staged);
+  const bool body_ok = format == IndexFileFormat::kV3Mapped
+                           ? SaveV3Body(writer)
+                           : SaveV2Body(writer);
+  // Close() before publish: its result covers the final buffer flush, so an
+  // out-of-space truncation surfaces here instead of being renamed live.
+  if (!(writer.Close() && body_ok) || !PublishFile(staged, path)) {
+    std::remove(staged.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
+                                               const std::string& path) {
+  return OpenMapped(ws, path, OpenOptions());
+}
+
+std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
+                                               const std::string& path,
+                                               const OpenOptions& options) {
+  using namespace format_v3;
+  using Table = FingerprintTable<TableValue>;
+  using Slot = Table::Slot;
+
+  std::unique_ptr<MappedFile> mapping = MappedFile::OpenReadOnly(path);
+  if (mapping == nullptr || mapping->size() < sizeof(FileHeader)) {
+    return nullptr;
+  }
+  // Copy the header out of the mapping before validating: one place to
+  // reason about alignment, and the checks below read stable memory even
+  // if the file is concurrently replaced.
+  FileHeader header;
+  std::memcpy(&header, mapping->data(), sizeof(header));
+  if (header.magic != kMagic || header.version != kVersion) return nullptr;
+  // The checksum covers every header byte including the section directory,
+  // so a flipped offset/length/checksum in the directory is caught here in
+  // O(1) without touching any payload.
+  if (header.header_checksum !=
+      Checksum64(&header, offsetof(FileHeader, header_checksum))) {
+    return nullptr;
+  }
+  // file_bytes pins the exact size: truncated AND extended files both fail
+  // (a prefix of a valid file passes every other header check).
+  if (header.file_bytes != mapping->size()) return nullptr;
+  if (header.n != ws.size()) return nullptr;
+  if (header.kind >= kNumGlobalUtilityKinds) return nullptr;
+  if (header.miner >= kNumUsiMiners) return nullptr;
+  if (!KarpRabinHasher::IsValidBase(header.base)) return nullptr;
+  // Host-layout guard: a slot written with a different value layout (or a
+  // different index_t width, checked via the SA section length below) must
+  // not be reinterpreted.
+  if (header.slot_bytes != sizeof(Slot)) return nullptr;
+  // Same invariants AdoptView asserts, but as load failures: a corrupt
+  // capacity/size pair must reject the file, not abort the process.
+  const u64 capacity = header.table_capacity;
+  if (capacity < Table::kMinCapacity ||
+      (capacity & (capacity - 1)) != 0 ||
+      header.table_size * Table::kMaxLoadDen > capacity * Table::kMaxLoadNum) {
+    return nullptr;
+  }
+  const u64 expected_lengths[kNumSections] = {
+      static_cast<u64>(header.n) * sizeof(index_t),
+      static_cast<u64>(header.n) * sizeof(double),
+      capacity + Table::kGroupWidth, capacity * sizeof(Slot)};
+  u64 expected_offset = kFirstSectionOffset;
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    const SectionEntry& section = header.sections[s];
+    if (section.id != s || section.offset != expected_offset ||
+        section.length != expected_lengths[s] ||
+        section.offset + section.length > header.file_bytes) {
+      return nullptr;
+    }
+    expected_offset = AlignUp(expected_offset + section.length);
+  }
+
+  const u8* const base = mapping->data();
+  if (options.deep_verify) {
+    // One sequential pass over the whole image (readahead hinted): every
+    // section checksum, then SA positions range-checked so a payload flip
+    // cannot become an out-of-bounds PSW read at query time. Published
+    // files can't be torn (atomic publish), so this guards against storage
+    // rot and untrusted transport, not crashes.
+    mapping->AdviseWillNeed();
+    for (std::size_t s = 0; s < kNumSections; ++s) {
+      const SectionEntry& section = header.sections[s];
+      if (Checksum64(base + section.offset, section.length) !=
+          section.checksum) {
+        return nullptr;
+      }
+    }
+    const auto* sa = reinterpret_cast<const index_t*>(
+        base + header.sections[kSuffixArray].offset);
+    for (u64 i = 0; i < header.n; ++i) {
+      if (sa[i] >= header.n) return nullptr;
+    }
+  }
+
+  std::unique_ptr<UsiIndex> index(new UsiIndex(LoadTag{}, ws));
+  index->kind_ = static_cast<GlobalUtilityKind>(header.kind);
+  index->miner_ = static_cast<UsiMiner>(header.miner);
+  index->hasher_ = KarpRabinHasher::FromBase(header.base);
+  index->build_info_.k = header.k;
+  index->build_info_.tau_k = header.tau_k;
+  index->build_info_.num_lengths = header.num_lengths;
+  // Pointer fixup — the whole "load": every structure views the mapping.
+  // Section offsets are 64-aligned in the file and the mapping is
+  // page-aligned, so each cast below lands on aligned memory.
+  index->sa_span_ = {reinterpret_cast<const index_t*>(
+                         base + header.sections[kSuffixArray].offset),
+                     header.n};
+  index->psw_ = PrefixSumWeights::FromRaw(
+      reinterpret_cast<const double*>(base +
+                                      header.sections[kPrefixSums].offset),
+      static_cast<index_t>(header.n));
+  index->table_.AdoptView(
+      base + header.sections[kTableCtrl].offset,
+      reinterpret_cast<const Slot*>(base +
+                                    header.sections[kTableSlots].offset),
+      capacity, header.table_size);
+  index->fallback_ = ExhaustiveQueryEngine(ws.text(), index->sa_span_,
+                                           index->psw_, index->kind_);
+  index->mapping_ = std::move(mapping);
+  // Serving probes pages out of order; default readahead would fault in
+  // neighbours pointlessly.
+  index->mapping_->AdviseRandom();
+  return index;
 }
 
 std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
                                                  const std::string& path) {
+  {
+    // Magic dispatch: the first u32 names the format. v3 files are opened
+    // by mmap, everything else falls through to the v2 stream loader.
+    BinaryReader sniff(path);
+    u32 magic = 0;
+    if (!sniff.Read(&magic)) return nullptr;
+    if (magic == format_v3::kMagic) return OpenMapped(ws, path);
+  }
   BinaryReader reader(path);
   u32 magic = 0;
   u32 version = 0;
@@ -354,14 +577,20 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   }
   std::vector<SerializedEntry> entries;
   if (!reader.ReadVector(&entries)) return nullptr;
+  // The entry vector is the file's last payload: anything after it is not
+  // slack, it is corruption (a concatenated or doctored file), and a loader
+  // that shrugged it off would serve whatever prefix happened to parse.
+  if (!reader.ExactlyConsumed()) return nullptr;
   for (const SerializedEntry& entry : entries) {
     TableValue value;
     value.value = entry.value;
     value.count = entry.count;
     index->table_.FindOrInsert(PatternKey{entry.fp, entry.len}, value);
   }
-  index->fallback_ = ExhaustiveQueryEngine(ws.text(), index->sa_, index->psw_,
-                                           index->kind_);
+  index->sa_span_ = index->sa_;
+  index->psw_ = PrefixSumWeights(ws);
+  index->fallback_ = ExhaustiveQueryEngine(ws.text(), index->sa_span_,
+                                           index->psw_, index->kind_);
   return index;
 }
 

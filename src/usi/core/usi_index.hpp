@@ -27,6 +27,7 @@
 #include <span>
 #include <string>
 
+#include "usi/core/index_format.hpp"
 #include "usi/core/query_engine.hpp"
 #include "usi/core/utility.hpp"
 #include "usi/hash/fingerprint_table.hpp"
@@ -34,9 +35,11 @@
 #include "usi/text/weighted_string.hpp"
 #include "usi/topk/approximate_topk.hpp"
 #include "usi/topk/topk_types.hpp"
+#include "usi/util/mapped_file.hpp"
 
 namespace usi {
 
+class BinaryWriter;
 class ThreadPool;
 class UsiBuilder;
 
@@ -92,16 +95,47 @@ class UsiIndex : public QueryEngine {
   UsiIndex(const WeightedString& ws, const UsiOptions& options,
            ThreadPool* pool);
 
-  /// Persists the index (suffix array + hash table + parameters; PSW is
-  /// recomputed on load, it is a single O(n) scan). Hash-table entries are
-  /// written in canonical (length, fingerprint) order, so equal indexes
-  /// serialize to equal bytes regardless of build schedule. Returns false on
-  /// I/O failure.
-  bool SaveToFile(const std::string& path) const;
+  /// Persists the index in \p format. Both formats write hash-table entries
+  /// in canonical (length, fingerprint) order, so equal indexes serialize to
+  /// equal bytes regardless of build schedule; and both go through the
+  /// atomic publish protocol (stage to `path.tmp.<pid>`, fsync, rename,
+  /// fsync parent — util/mapped_file.hpp), so a crash mid-save never leaves
+  /// a torn file at \p path. Returns false on any I/O failure, INCLUDING
+  /// the final flush — an out-of-space file is reported, not published.
+  ///
+  ///  * kV2Heap (default): portable stream format, heap-loaded anywhere.
+  ///  * kV3Mapped: section file for OpenMapped — near-zero startup on the
+  ///    same host class (index_format.hpp documents the layout).
+  bool SaveToFile(const std::string& path,
+                  IndexFileFormat format = IndexFileFormat::kV2Heap) const;
 
-  /// Restores an index previously saved over the same weighted string.
-  /// Returns nullptr on I/O failure, format mismatch, or if \p ws has a
-  /// different length than the saved index.
+  /// Deep-verification knob for OpenMapped.
+  struct OpenOptions {
+    /// Also checksum every section payload and range-check the SA (one
+    /// sequential O(file) pass) before serving. Off by default — the
+    /// atomic publish protocol guarantees a published file is a complete
+    /// image, so open stays near-zero; turn on for files from untrusted
+    /// transport.
+    bool deep_verify = false;
+  };
+
+  /// Opens a kV3Mapped file by mmap: header + section-directory validation
+  /// and pointer fixup only — no array is read until queries touch it
+  /// (demand paging), and the page cache is shared across processes serving
+  /// the same file. The mapping lives inside the returned index. Returns
+  /// nullptr on I/O failure, format/host mismatch, a corrupt header or
+  /// directory, or if \p ws has a different length than the saved index.
+  static std::unique_ptr<UsiIndex> OpenMapped(const WeightedString& ws,
+                                              const std::string& path,
+                                              const OpenOptions& options);
+  static std::unique_ptr<UsiIndex> OpenMapped(const WeightedString& ws,
+                                              const std::string& path);
+
+  /// Restores an index previously saved over the same weighted string,
+  /// dispatching on the file's magic word: v2 files are heap-deserialized
+  /// (with an exact-consumption check — trailing bytes are corruption), v3
+  /// files are OpenMapped. Returns nullptr on I/O failure, format mismatch,
+  /// or if \p ws has a different length than the saved index.
   static std::unique_ptr<UsiIndex> LoadFromFile(const WeightedString& ws,
                                                 const std::string& path);
 
@@ -163,8 +197,13 @@ class UsiIndex : public QueryEngine {
   /// vectors, so no construction slack is ever reported.
   std::size_t SizeInBytes() const override;
 
-  /// The suffix array (exposed for examples and tests).
-  const std::vector<index_t>& sa() const { return sa_; }
+  /// The suffix array (exposed for examples and tests). A span: it views
+  /// the owned heap vector for built/v2-loaded indexes and the mmap'd file
+  /// image for OpenMapped ones.
+  std::span<const index_t> sa() const { return sa_span_; }
+
+  /// Whether this index serves straight out of an mmap'd file (OpenMapped).
+  bool IsMapped() const { return mapping_ != nullptr; }
 
  private:
   friend class UsiBuilder;
@@ -172,9 +211,9 @@ class UsiIndex : public QueryEngine {
   /// Value stored in H: a utility accumulator (value + occurrence count).
   using TableValue = UtilityAccumulator;
 
-  /// Deserialization constructor: members are filled by LoadFromFile. The
-  /// tag comes first so the public (ws, options = {}) constructor never
-  /// competes with it in overload resolution.
+  /// Deserialization constructor: members are filled by LoadFromFile /
+  /// OpenMapped. The tag comes first so the public (ws, options = {})
+  /// constructor never competes with it in overload resolution.
   struct LoadTag {};
   UsiIndex(LoadTag, const WeightedString& ws);
 
@@ -183,15 +222,26 @@ class UsiIndex : public QueryEngine {
   struct BuildTag {};
   UsiIndex(BuildTag, const WeightedString& ws, const UsiOptions& options);
 
+  bool SaveV2Body(BinaryWriter& writer) const;
+  bool SaveV3Body(BinaryWriter& writer) const;
+
   const WeightedString* ws_;
   GlobalUtilityKind kind_;
   UsiMiner miner_ = UsiMiner::kExact;
   KarpRabinHasher hasher_;
+  /// Owned SA storage (built / v2-loaded indexes; empty when mapped).
   std::vector<index_t> sa_;
+  /// The SA every query path reads: views sa_ or the mapped file image.
+  std::span<const index_t> sa_span_;
   PrefixSumWeights psw_;
   FingerprintTable<TableValue> table_;
   ExhaustiveQueryEngine fallback_;
   UsiBuildInfo build_info_;
+  /// Keeps the file image alive for mmap-backed indexes — sa_span_, psw_,
+  /// and table_ point into it while the index is in use. (Destruction order
+  /// is immaterial: the views' destructors never dereference their
+  /// backing.)
+  std::unique_ptr<MappedFile> mapping_;
 };
 
 }  // namespace usi

@@ -25,6 +25,8 @@ PrefixSumWeights::PrefixSumWeights(const WeightedString& ws) {
     running += ws.weight(i);
     psw_[i] = running;
   }
+  data_ = psw_.data();
+  size_ = psw_.size();
 }
 
 void UtilityAccumulator::Add(double local, GlobalUtilityKind kind) {
@@ -59,12 +61,12 @@ QueryResult ExhaustiveQueryEngine::Compute(
   USI_CHECK(wired());
   QueryResult result;
   if (pattern.empty()) return result;
-  const SaInterval interval = FindSaInterval(*text_, *sa_, pattern);
+  const SaInterval interval = FindSaInterval(*text_, sa_, pattern);
   if (interval.IsEmpty()) return result;
   UtilityAccumulator acc;
   const index_t m = static_cast<index_t>(pattern.size());
   for (index_t k = interval.lb; k <= interval.rb; ++k) {
-    acc.Add(psw_->LocalUtility((*sa_)[k], m), kind_);
+    acc.Add(psw_->LocalUtility(sa_[k], m), kind_);
   }
   result.utility = acc.Finalize(kind_);
   result.occurrences = interval.Count();
@@ -73,7 +75,7 @@ QueryResult ExhaustiveQueryEngine::Compute(
 
 std::size_t ExhaustiveQueryEngine::SizeInBytes() const {
   if (!wired()) return 0;
-  return sa_->capacity() * sizeof(index_t) + psw_->SizeInBytes();
+  return sa_.size() * sizeof(index_t) + psw_->SizeInBytes();
 }
 
 }  // namespace usi

@@ -35,6 +35,12 @@ const char* GlobalUtilityKindName(GlobalUtilityKind kind);
 
 /// The PSW array of Section IV: PSW[i] = u(0, i+1), so any local utility is
 /// u(i, l) = PSW[i+l-1] - PSW[i-1] in O(1) (sliding-window property).
+///
+/// Storage is either owned (built from a WeightedString, appendable) or a
+/// non-owning view over an external array (FromRaw — index format v3 serves
+/// the PSW section straight out of an mmap). Reads always go through
+/// data_/size_, so both modes share one branch-free query path; the backing
+/// of a view must outlive the object.
 class PrefixSumWeights {
  public:
   PrefixSumWeights() = default;
@@ -42,26 +48,71 @@ class PrefixSumWeights {
   /// Builds PSW from \p ws in one scan.
   explicit PrefixSumWeights(const WeightedString& ws);
 
+  PrefixSumWeights(const PrefixSumWeights& other) { *this = other; }
+  PrefixSumWeights& operator=(const PrefixSumWeights& other) {
+    psw_ = other.psw_;
+    view_ = other.view_;
+    size_ = other.size_;
+    data_ = view_ ? other.data_ : psw_.data();
+    return *this;
+  }
+  PrefixSumWeights(PrefixSumWeights&& other) noexcept {
+    *this = std::move(other);
+  }
+  PrefixSumWeights& operator=(PrefixSumWeights&& other) noexcept {
+    psw_ = std::move(other.psw_);
+    view_ = other.view_;
+    size_ = other.size_;
+    data_ = view_ ? other.data_ : psw_.data();
+    return *this;
+  }
+
+  /// Wraps an external prefix-sum array of \p size doubles without copying.
+  /// The array must already hold inclusive prefix sums and must outlive the
+  /// returned object.
+  static PrefixSumWeights FromRaw(const double* data, index_t size) {
+    PrefixSumWeights psw;
+    psw.data_ = data;
+    psw.size_ = size;
+    psw.view_ = true;
+    return psw;
+  }
+
   /// Local utility of the fragment starting at \p i with length \p len.
   double LocalUtility(index_t i, index_t len) const {
-    USI_DCHECK(len > 0 && i + len <= psw_.size());
-    const double before = (i == 0) ? 0.0 : psw_[i - 1];
-    return psw_[i + len - 1] - before;
+    USI_DCHECK(len > 0 && i + len <= size_);
+    const double before = (i == 0) ? 0.0 : data_[i - 1];
+    return data_[i + len - 1] - before;
   }
 
   /// Extends PSW by one position of weight \p w (DynamicUsi appends).
+  /// Views are immutable; appending to one is a programming error.
   void Append(double w) {
+    USI_CHECK(!view_);
     psw_.push_back((psw_.empty() ? 0.0 : psw_.back()) + w);
+    data_ = psw_.data();
+    size_ = psw_.size();
   }
 
   /// Number of covered positions.
-  index_t size() const { return static_cast<index_t>(psw_.size()); }
+  index_t size() const { return static_cast<index_t>(size_); }
 
-  /// Heap footprint in bytes.
-  std::size_t SizeInBytes() const { return psw_.capacity() * sizeof(double); }
+  /// First prefix sum (size() doubles); what SaveToFile serializes.
+  const double* data() const { return data_; }
+
+  /// Whether the array is owned (false for FromRaw views).
+  bool OwnsStorage() const { return !view_; }
+
+  /// Heap footprint in bytes; views report the bytes they reference.
+  std::size_t SizeInBytes() const {
+    return view_ ? size_ * sizeof(double) : psw_.capacity() * sizeof(double);
+  }
 
  private:
   std::vector<double> psw_;
+  const double* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool view_ = false;
 };
 
 /// Running aggregate of one global utility; Add() folds in one occurrence's
@@ -85,10 +136,12 @@ class ExhaustiveQueryEngine : public QueryEngine {
   /// dereference null borrows).
   ExhaustiveQueryEngine() = default;
 
-  /// \p text, \p sa and \p psw are borrowed and must outlive the engine.
-  ExhaustiveQueryEngine(const Text& text, const std::vector<index_t>& sa,
+  /// \p text and \p psw are borrowed, \p sa viewed; all must outlive the
+  /// engine. Taking the SA as a span lets heap-built and mmap-backed indexes
+  /// share this engine unchanged.
+  ExhaustiveQueryEngine(const Text& text, std::span<const index_t> sa,
                         const PrefixSumWeights& psw, GlobalUtilityKind kind)
-      : text_(&text), sa_(&sa), psw_(&psw), kind_(kind) {}
+      : text_(&text), sa_(sa), psw_(&psw), kind_(kind), wired_(true) {}
 
   /// Computes U(pattern) by full occurrence aggregation.
   QueryResult Compute(std::span<const Symbol> pattern) const;
@@ -103,17 +156,16 @@ class ExhaustiveQueryEngine : public QueryEngine {
   bool SupportsConcurrentQuery() const override { return true; }
 
   /// Whether the engine borrows a live text/SA/PSW triple.
-  bool wired() const {
-    return text_ != nullptr && sa_ != nullptr && psw_ != nullptr;
-  }
+  bool wired() const { return wired_; }
 
   GlobalUtilityKind kind() const { return kind_; }
 
  private:
   const Text* text_ = nullptr;
-  const std::vector<index_t>* sa_ = nullptr;
+  std::span<const index_t> sa_;
   const PrefixSumWeights* psw_ = nullptr;
   GlobalUtilityKind kind_ = GlobalUtilityKind::kSum;
+  bool wired_ = false;
 };
 
 }  // namespace usi

@@ -93,9 +93,27 @@ struct CacheAlignedAllocator {
 };
 
 /// Open-addressing map PatternKey -> V, tagged layout (see file header).
+///
+/// \par Storage backings
+/// The table runs in one of two modes, serving identical answers:
+///  * owning (default): ctrl + record arrays live in cache-aligned heap
+///    vectors; all mutating operations are available.
+///  * non-owning view (AdoptView): the arrays live in externally managed
+///    read-only memory — index format v3 points them straight into an
+///    mmap'd file image — and only the read surface (Find, VisitBatch,
+///    const ForEach, size/capacity) is usable; mutators abort via
+///    USI_CHECK. The backing storage must outlive the table.
 template <typename V>
 class FingerprintTable {
  public:
+  /// One record: key and value adjacent (see file header for why). Public
+  /// because this is the unit of the serialized record array — index format
+  /// v3 persists the records verbatim and maps them back with AdoptView.
+  struct Slot {
+    PatternKey key;
+    V value{};
+  };
+
   /// Slots inspected per probe step (one control-group load).
 #if defined(__SSE2__)
   static constexpr std::size_t kGroupWidth = 16;
@@ -122,18 +140,70 @@ class FingerprintTable {
     AllocateTable(capacity);
   }
 
+  // Copies re-anchor the storage pointers: an owning copy must probe its own
+  // fresh arrays, not the source's. Moves transfer the heap buffers, so the
+  // copied pointers stay valid and the defaults are correct.
+  FingerprintTable(const FingerprintTable& other) { *this = other; }
+  FingerprintTable& operator=(const FingerprintTable& other) {
+    ctrl_ = other.ctrl_;
+    entries_ = other.entries_;
+    mask_ = other.mask_;
+    size_ = other.size_;
+    view_ = other.view_;
+    ctrl_p_ = view_ ? other.ctrl_p_ : ctrl_.data();
+    slots_p_ = view_ ? other.slots_p_ : entries_.data();
+    return *this;
+  }
+  FingerprintTable(FingerprintTable&&) noexcept = default;
+  FingerprintTable& operator=(FingerprintTable&&) noexcept = default;
+
   /// Number of stored entries.
   std::size_t size() const { return size_; }
 
   /// Number of slots (power of two; grows when size exceeds 7/8 of it).
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Rebinds the table to externally managed, read-only storage: \p ctrl
+  /// must point at \p capacity + kGroupWidth control bytes (cloned tail
+  /// included) and \p slots at \p capacity records laid out exactly as the
+  /// owning mode stores them — i.e. at bytes previously produced by
+  /// ctrl_bytes()/slots() of an equivalent table. Frees any owned arrays.
+  /// The caller guarantees the backing outlives the table; \p size is the
+  /// occupied-entry count the backing was serialized with.
+  void AdoptView(const u8* ctrl, const Slot* slots, std::size_t capacity,
+                 std::size_t size) {
+    USI_CHECK(capacity >= kMinCapacity &&
+              (capacity & (capacity - 1)) == 0 &&
+              size * kMaxLoadDen <= capacity * kMaxLoadNum);
+    ctrl_ = CtrlArray();
+    entries_ = EntryArray();
+    ctrl_p_ = ctrl;
+    slots_p_ = slots;
+    mask_ = capacity - 1;
+    size_ = size;
+    view_ = true;
+  }
+
+  /// Whether the arrays are heap-owned (false after AdoptView).
+  bool OwnsStorage() const { return !view_; }
+
+  /// The control-byte array, cloned tail included — the exact bytes a
+  /// non-owning view must be given back. Valid in both modes.
+  std::span<const u8> ctrl_bytes() const {
+    return {ctrl_p_, capacity() + kGroupWidth};
+  }
+
+  /// The record array (capacity() slots; empty slots hold value-initialized
+  /// records). Valid in both modes.
+  std::span<const Slot> slots() const { return {slots_p_, capacity()}; }
+
   /// Inserts \p key with \p value if absent; returns pointer to the stored
   /// value either way. Probing for the key happens before any load-factor
   /// check, so re-inserting a present key never triggers a rehash; the
   /// failed probe already located the insert slot, so a fresh insert pays
-  /// one probe walk, not two.
+  /// one probe walk, not two. Owning mode only.
   V* FindOrInsert(const PatternKey& key, const V& value) {
+    USI_CHECK(!view_);
     const u64 h = SlotHash(key);
     std::size_t slot = 0;
     if (const V* existing = FindWithHash(key, h, &slot)) {
@@ -180,8 +250,8 @@ class FingerprintTable {
     }
     // Hoisted table state: the visitor is opaque to the compiler, so member
     // accesses inside the loop would otherwise reload every iteration.
-    const u8* const ctrl = ctrl_.data();
-    const Entry* const entries = entries_.data();
+    const u8* const ctrl = ctrl_p_;
+    const Slot* const entries = slots_p_;
     const std::size_t mask = mask_;
     u64 h[kRing];
     u32 match[kRing];
@@ -241,15 +311,19 @@ class FingerprintTable {
     VisitBatch(keys, [out](std::size_t i, const V* value) { out[i] = value; });
   }
 
-  /// Removes all entries, keeping the capacity.
+  /// Removes all entries, keeping the capacity. Owning mode only.
   void Clear() {
+    USI_CHECK(!view_);
     std::fill(ctrl_.begin(), ctrl_.end(), kEmpty);
     size_ = 0;
   }
 
   /// Applies \p fn(key, value&) to every entry (unspecified order).
+  /// Owning mode only — the mutable form would hand out references into
+  /// read-only mapped memory.
   template <typename Fn>
   void ForEach(Fn fn) {
+    USI_CHECK(!view_);
     for (std::size_t s = 0; s <= mask_; ++s) {
       if (ctrl_[s] != kEmpty) fn(entries_[s].key, entries_[s].value);
     }
@@ -258,25 +332,31 @@ class FingerprintTable {
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (std::size_t s = 0; s <= mask_; ++s) {
-      if (ctrl_[s] != kEmpty) fn(entries_[s].key, entries_[s].value);
+      if (ctrl_p_[s] != kEmpty) fn(slots_p_[s].key, slots_p_[s].value);
     }
   }
 
-  /// Heap footprint in bytes.
+  /// Storage footprint in bytes: owned heap bytes, or — for a view — the
+  /// logical size of the adopted arrays (file-backed pages the kernel
+  /// shares across processes, but resident all the same once touched).
   std::size_t SizeInBytes() const {
+    if (view_) {
+      return (capacity() + kGroupWidth) * sizeof(u8) +
+             capacity() * sizeof(Slot);
+    }
     return ctrl_.capacity() * sizeof(u8) +
-           entries_.capacity() * sizeof(Entry);
+           entries_.capacity() * sizeof(Slot);
   }
 
- private:
-  struct Entry {
-    PatternKey key;
-    V value{};
-  };
-
+  /// Capacity floor and the 7/8 max load factor. Public because persisted
+  /// table images (index format v3) record their capacity/size and loaders
+  /// must re-validate the same invariants AdoptView enforces — without
+  /// aborting on corrupt input.
   static constexpr std::size_t kMinCapacity = 16;
   static constexpr std::size_t kMaxLoadNum = 7;  // Load factor 7/8.
   static constexpr std::size_t kMaxLoadDen = 8;
+
+ private:
   static constexpr u8 kEmpty = 0x80;  ///< High bit set; tags are 7-bit.
 
   /// 7-bit control tag from the hash's top bits.
@@ -348,8 +428,8 @@ class FingerprintTable {
   /// failed find doubles as the insert probe.
   const V* FindWithHash(const PatternKey& key, u64 h,
                         std::size_t* insert_slot = nullptr) const {
-    const u8* const ctrl = ctrl_.data();
-    const Entry* const entries = entries_.data();
+    const u8* const ctrl = ctrl_p_;
+    const Slot* const entries = slots_p_;
     const u8 tag = TagOf(h);
     std::size_t pos = h & mask_;
     while (true) {
@@ -433,10 +513,21 @@ class FingerprintTable {
     ctrl_.assign(new_capacity + kGroupWidth, kEmpty);
     entries_ = EntryArray();
     entries_.reserve(new_capacity);
-    AdviseHugePages(entries_.data(), entries_.capacity() * sizeof(Entry));
+    AdviseHugePages(entries_.data(), entries_.capacity() * sizeof(Slot));
     entries_.resize(new_capacity);
+    // Value-initialization zeroes the members but not the struct padding
+    // (after PatternKey::len and V's tail), and PlaceAt assigns members
+    // only — so without this memset the padding would carry heap garbage
+    // into the v3 record image, which persists slots verbatim and promises
+    // byte-identical serialization for equal tables. Slot is trivially
+    // copyable, so blanking the array and member-assigning later is defined.
+    std::memset(static_cast<void*>(entries_.data()), 0,
+                new_capacity * sizeof(Slot));
+    ctrl_p_ = ctrl_.data();
+    slots_p_ = entries_.data();
     mask_ = new_capacity - 1;
     size_ = 0;
+    view_ = false;
   }
 
   void Rehash(std::size_t new_capacity) {
@@ -453,12 +544,18 @@ class FingerprintTable {
   }
 
   using CtrlArray = std::vector<u8, CacheAlignedAllocator<u8>>;
-  using EntryArray = std::vector<Entry, CacheAlignedAllocator<Entry>>;
+  using EntryArray = std::vector<Slot, CacheAlignedAllocator<Slot>>;
 
-  CtrlArray ctrl_;      ///< capacity + kGroupWidth (cloned tail).
-  EntryArray entries_;  ///< Parallel to ctrl_[0..capacity).
+  CtrlArray ctrl_;      ///< capacity + kGroupWidth (cloned tail); owning mode.
+  EntryArray entries_;  ///< Parallel to ctrl_[0..capacity); owning mode.
+  /// Read-path storage pointers: into ctrl_/entries_ when owning, into the
+  /// adopted backing when a view. Every probe goes through these, so both
+  /// modes share one code path.
+  const u8* ctrl_p_ = nullptr;
+  const Slot* slots_p_ = nullptr;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
+  bool view_ = false;
 };
 
 }  // namespace usi

@@ -21,7 +21,7 @@ int ComparePrefix(const Text& text, index_t pos,
 
 }  // namespace
 
-SaInterval FindSaInterval(const Text& text, const std::vector<index_t>& sa,
+SaInterval FindSaInterval(const Text& text, std::span<const index_t> sa,
                           std::span<const Symbol> pattern) {
   if (pattern.empty()) {
     return SaInterval{0, static_cast<index_t>(sa.size()) - 1};
@@ -54,7 +54,7 @@ SaInterval FindSaInterval(const Text& text, const std::vector<index_t>& sa,
 }
 
 std::vector<index_t> CollectOccurrences(const Text& text,
-                                        const std::vector<index_t>& sa,
+                                        std::span<const index_t> sa,
                                         std::span<const Symbol> pattern) {
   const SaInterval interval = FindSaInterval(text, sa, pattern);
   std::vector<index_t> occurrences;

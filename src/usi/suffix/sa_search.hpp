@@ -27,14 +27,15 @@ struct SaInterval {
 };
 
 /// Finds the SA interval of all suffixes having \p pattern as a prefix.
-/// O(m log n) character comparisons.
-SaInterval FindSaInterval(const Text& text, const std::vector<index_t>& sa,
+/// O(m log n) character comparisons. The SA is taken as a span so heap-built
+/// (vector) and mmap-backed (format v3) arrays search identically.
+SaInterval FindSaInterval(const Text& text, std::span<const index_t> sa,
                           std::span<const Symbol> pattern);
 
 /// Collects the occurrence start positions of \p pattern (unsorted, SA
 /// order). Convenience for tests and examples.
 std::vector<index_t> CollectOccurrences(const Text& text,
-                                        const std::vector<index_t>& sa,
+                                        std::span<const index_t> sa,
                                         std::span<const Symbol> pattern);
 
 }  // namespace usi

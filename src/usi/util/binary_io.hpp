@@ -6,8 +6,10 @@
 /// Little-endian host assumed (checked via a magic word on load); values are
 /// written raw, vectors as a u64 length followed by the elements.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,8 +17,10 @@
 
 namespace usi {
 
-/// Buffered binary writer. All writes abort the stream on failure; check
-/// ok() once at the end.
+/// Buffered binary writer. All writes abort the stream on failure; finish
+/// with Close(), whose result covers the final flush — stdio buffers
+/// writes, so an out-of-space condition commonly surfaces only then, and a
+/// caller that skipped Close() would report success on a truncated file.
 class BinaryWriter {
  public:
   /// Opens \p path for writing (truncates).
@@ -30,31 +34,71 @@ class BinaryWriter {
   BinaryWriter(const BinaryWriter&) = delete;
   BinaryWriter& operator=(const BinaryWriter&) = delete;
 
-  /// Whether every write so far succeeded.
+  /// Whether every write so far succeeded. Not a completion check — only
+  /// Close() observes the final buffer flush.
   bool ok() const { return file_ != nullptr && !failed_; }
+
+  /// Flushes and closes, returning whether every write INCLUDING the final
+  /// flush reached the filesystem. This is the authoritative success signal
+  /// of a write session; ok() alone can still report true while the last
+  /// buffered bytes are doomed (ENOSPC, quota, I/O error).
+  bool Close() {
+    if (file_ == nullptr) return false;
+    failed_ = (std::fflush(file_) != 0) | failed_;
+    failed_ = (std::fclose(file_) != 0) | failed_;
+    file_ = nullptr;
+    return !failed_;
+  }
 
   /// Writes one trivially-copyable value.
   template <typename T>
   void Write(const T& value) {
+    WriteRaw(&value, sizeof(T));
     static_assert(std::is_trivially_copyable_v<T>);
-    if (!ok()) return;
-    failed_ |= std::fwrite(&value, sizeof(T), 1, file_) != 1;
+  }
+
+  /// Writes \p bytes raw bytes.
+  void WriteRaw(const void* data, std::size_t bytes) {
+    if (!ok() || bytes == 0) return;
+    failed_ |= std::fwrite(data, 1, bytes, file_) != bytes;
+    if (!failed_) bytes_written_ += bytes;
+  }
+
+  /// Writes a span as a u64 length + raw elements (the vector wire format).
+  template <typename T>
+  void WriteSpan(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Write<u64>(values.size());
+    WriteRaw(values.data(), values.size_bytes());
   }
 
   /// Writes a vector as length + raw elements.
   template <typename T>
   void WriteVector(const std::vector<T>& values) {
-    static_assert(std::is_trivially_copyable_v<T>);
-    Write<u64>(values.size());
-    if (!ok() || values.empty()) return;
-    failed_ |=
-        std::fwrite(values.data(), sizeof(T), values.size(), file_) !=
-        values.size();
+    WriteSpan(std::span<const T>(values.data(), values.size()));
   }
+
+  /// Pads with zero bytes up to absolute \p offset (section alignment).
+  /// Writing past \p offset already is a caller bug.
+  void PadTo(u64 offset) {
+    if (!ok()) return;
+    if (bytes_written_ > offset) {
+      failed_ = true;
+      return;
+    }
+    static constexpr char kZeros[64] = {};
+    while (ok() && bytes_written_ < offset) {
+      WriteRaw(kZeros, std::min<u64>(sizeof(kZeros), offset - bytes_written_));
+    }
+  }
+
+  /// Bytes successfully written so far.
+  u64 bytes_written() const { return bytes_written_; }
 
  private:
   std::FILE* file_;
   bool failed_ = false;
+  u64 bytes_written_ = 0;
 };
 
 /// Buffered binary reader mirroring BinaryWriter.
@@ -109,6 +153,16 @@ class BinaryReader {
     failed_ |= std::fread(values->data(), sizeof(T), size, file_) != size;
     if (!failed_) consumed_bytes_ += sizeof(T) * size;
     return ok();
+  }
+
+  /// Whether the reads so far consumed the file exactly — no trailing bytes
+  /// remain. Loaders finish with this so a concatenated, extended, or
+  /// mismatched file is rejected instead of silently accepted on a prefix.
+  /// False for files whose size could not be determined (FIFOs, special
+  /// files): "exactly consumed" cannot be asserted there.
+  bool ExactlyConsumed() const {
+    return ok() && total_bytes_ != kUnknownSize &&
+           consumed_bytes_ == total_bytes_;
   }
 
  private:

@@ -28,20 +28,24 @@ RankBitVector::RankBitVector(const BitVector& bits, std::size_t num_bits)
   }
   block_rank_[num_blocks] = running;
   ones_ = static_cast<std::size_t>(running);
+  words_p_ = words_.data();
+  block_rank_p_ = block_rank_.data();
 }
 
 std::size_t RankBitVector::Rank1(std::size_t i) const {
   USI_DCHECK(i <= num_bits_);
   const std::size_t word_index = i >> 6;
   const std::size_t block = word_index / kWordsPerBlock;
-  u64 rank = block_rank_[block];
+  u64 rank = block_rank_p_[block];
   for (std::size_t w = block * kWordsPerBlock; w < word_index; ++w) {
-    rank += static_cast<u64>(__builtin_popcountll(words_[w]));
+    rank += static_cast<u64>(__builtin_popcountll(words_p_[w]));
   }
   const std::size_t tail_bits = i & 63;
   if (tail_bits != 0) {
-    const u64 mask = (u64{1} << tail_bits) - 1;
-    rank += static_cast<u64>(__builtin_popcountll(words_[word_index] & mask));
+    const u64 mask =
+        (u64{1} << tail_bits) - 1;
+    rank += static_cast<u64>(
+        __builtin_popcountll(words_p_[word_index] & mask));
   }
   return static_cast<std::size_t>(rank);
 }

@@ -96,12 +96,50 @@ class BitVector {
 
 /// Bit vector with O(1) rank support (one superblock count per 512 bits plus
 /// per-word popcounts at query time). Build once, then query.
+///
+/// Storage is either owned (built from a BitVector) or a non-owning view over
+/// externally managed word/directory arrays (FromRaw) — persisted structures
+/// serve rank queries straight out of an mmap'd image. Queries always read
+/// through words_p_/block_rank_p_, so both modes share one code path; the
+/// backing of a view must outlive the object.
 class RankBitVector {
  public:
   RankBitVector() = default;
 
   /// Takes ownership of the bits of \p bits and builds the rank directory.
   explicit RankBitVector(const BitVector& bits, std::size_t num_bits);
+
+  // Copies re-anchor the raw pointers at the copied vectors; moves transfer
+  // the heap buffers, so the copied pointers stay valid.
+  RankBitVector(const RankBitVector& other) { *this = other; }
+  RankBitVector& operator=(const RankBitVector& other) {
+    words_ = other.words_;
+    block_rank_ = other.block_rank_;
+    num_bits_ = other.num_bits_;
+    ones_ = other.ones_;
+    view_ = other.view_;
+    words_p_ = view_ ? other.words_p_ : words_.data();
+    block_rank_p_ = view_ ? other.block_rank_p_ : block_rank_.data();
+    return *this;
+  }
+  RankBitVector(RankBitVector&&) noexcept = default;
+  RankBitVector& operator=(RankBitVector&&) noexcept = default;
+
+  /// Wraps externally managed arrays without copying: \p words must hold
+  /// NumWordsFor(num_bits) bit words (tail bits past \p num_bits zero) and
+  /// \p block_rank the NumBlocksFor(num_bits) + 1 directory entries exactly
+  /// as an owning build lays them out (last entry = total ones). Both must
+  /// outlive the returned object.
+  static RankBitVector FromRaw(const u64* words, const u64* block_rank,
+                               std::size_t num_bits) {
+    RankBitVector rbv;
+    rbv.num_bits_ = num_bits;
+    rbv.words_p_ = words;
+    rbv.block_rank_p_ = block_rank;
+    rbv.ones_ = static_cast<std::size_t>(block_rank[NumBlocksFor(num_bits)]);
+    rbv.view_ = true;
+    return rbv;
+  }
 
   /// rank1(i): number of set bits strictly before position \p i.
   std::size_t Rank1(std::size_t i) const;
@@ -111,14 +149,37 @@ class RankBitVector {
 
   /// Tests bit \p i.
   bool Test(std::size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1;
+    return (words_p_[i >> 6] >> (i & 63)) & 1;
   }
 
   /// Number of addressable bits.
   std::size_t size() const { return num_bits_; }
 
-  /// Heap footprint in bytes.
+  /// Whether the arrays are owned (false for FromRaw views).
+  bool OwnsStorage() const { return !view_; }
+
+  /// Backing words (NumWordsFor(size()) of them); what serializers persist.
+  const u64* words_data() const { return words_p_; }
+
+  /// Rank directory (NumBlocksFor(size()) + 1 entries).
+  const u64* block_rank_data() const { return block_rank_p_; }
+
+  /// Bit words needed for \p num_bits bits.
+  static constexpr std::size_t NumWordsFor(std::size_t num_bits) {
+    return (num_bits + 63) / 64;
+  }
+
+  /// Superblock count for \p num_bits bits (directory has one more entry).
+  static constexpr std::size_t NumBlocksFor(std::size_t num_bits) {
+    return (NumWordsFor(num_bits) + kWordsPerBlock - 1) / kWordsPerBlock;
+  }
+
+  /// Heap footprint in bytes; views report the bytes they reference.
   std::size_t SizeInBytes() const {
+    if (view_) {
+      return (NumWordsFor(num_bits_) + NumBlocksFor(num_bits_) + 1) *
+             sizeof(u64);
+    }
     return words_.capacity() * sizeof(u64) + block_rank_.capacity() * sizeof(u64);
   }
 
@@ -129,6 +190,11 @@ class RankBitVector {
   std::size_t ones_ = 0;
   std::vector<u64> words_;
   std::vector<u64> block_rank_;  // Set bits before each superblock.
+  /// Query-path pointers: into the vectors when owning, into the adopted
+  /// backing when a view.
+  const u64* words_p_ = nullptr;
+  const u64* block_rank_p_ = nullptr;
+  bool view_ = false;
 };
 
 }  // namespace usi

@@ -1,0 +1,125 @@
+#include "usi/util/mapped_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace usi {
+
+std::unique_ptr<MappedFile> MappedFile::OpenReadOnly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* const addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is not
+  // needed past this point (and keeping it would leak fds per open index).
+  ::close(fd);
+  if (addr == MAP_FAILED) return nullptr;
+  return std::unique_ptr<MappedFile>(
+      new MappedFile(static_cast<const u8*>(addr), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<u8*>(data_), size_);
+  }
+}
+
+void MappedFile::AdviseWillNeed() const {
+  if (data_ != nullptr) {
+    (void)::madvise(const_cast<u8*>(data_), size_, MADV_WILLNEED);
+  }
+}
+
+void MappedFile::AdviseRandom() const {
+  if (data_ != nullptr) {
+    (void)::madvise(const_cast<u8*>(data_), size_, MADV_RANDOM);
+  }
+}
+
+u64 Checksum64(const void* data, std::size_t bytes) {
+  // FNV-1a over 64-bit lanes. Folding eight bytes per multiply keeps the
+  // scan memory-bound; the splitmix avalanche at the end spreads the last
+  // lanes' entropy across all 64 output bits (plain lane-FNV leaves the
+  // final bytes underdiffused).
+  constexpr u64 kPrime = 0x100000001B3ULL;
+  const u8* p = static_cast<const u8*>(data);
+  u64 h = 0xCBF29CE484222325ULL ^ bytes;
+  while (bytes >= 8) {
+    u64 lane;
+    std::memcpy(&lane, p, 8);
+    h = (h ^ lane) * kPrime;
+    p += 8;
+    bytes -= 8;
+  }
+  u64 tail = 0;
+  if (bytes > 0) {
+    std::memcpy(&tail, p, bytes);
+    h = (h ^ tail) * kPrime;
+  }
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+std::string StageTempPath(const std::string& path) {
+  return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+}
+
+namespace {
+
+/// fsyncs one path (file or directory). Returns success.
+bool FsyncPath(const char* path) {
+  const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+bool PublishFile(const std::string& staged, const std::string& path) {
+  // Sync the staged bytes BEFORE the rename: rename is atomic for the name,
+  // but only a prior fsync guarantees the content the name will point at
+  // survives a power cut.
+  if (!FsyncPath(staged.c_str())) return false;
+  if (std::rename(staged.c_str(), path.c_str()) != 0) return false;
+  // Sync the directory entry too; without it the rename itself may be lost,
+  // resurfacing the previous image. That outcome is still a complete image
+  // (the protocol's invariant), so a failure here is reported but the
+  // publish is not rolled back.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  return FsyncPath(parent.empty() ? "." : parent.c_str());
+}
+
+int RemoveStaleTemps(const std::string& path) {
+  const std::filesystem::path published(path);
+  const std::string prefix = published.filename().string() + ".tmp.";
+  const std::filesystem::path dir =
+      published.parent_path().empty() ? "." : published.parent_path();
+  int removed = 0;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind(prefix, 0) == 0 &&
+        std::filesystem::remove(it->path(), ec)) {
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace usi

@@ -1,0 +1,98 @@
+#ifndef USI_UTIL_MAPPED_FILE_HPP_
+#define USI_UTIL_MAPPED_FILE_HPP_
+
+/// \file mapped_file.hpp
+/// Memory-mapped file access and the atomic publish protocol.
+///
+/// This is the substrate of index format v3 (core/index_format.hpp): an
+/// index file whose on-disk layout IS the in-memory layout is opened with
+/// MappedFile and served straight out of the page cache — near-zero startup,
+/// demand paging, and kernel-shared pages across serving processes.
+///
+/// \par Atomic publish protocol
+/// Every persisted artifact goes through the same three-step protocol, so a
+/// crash at ANY instant leaves the destination path either absent or holding
+/// a complete previous image — never a torn write:
+///
+///   1. stage:   write the full image to `path.tmp.<pid>` (StageTempPath),
+///   2. sync:    fsync the staged file (its bytes are durable before any
+///               name points at them),
+///   3. publish: rename(2) onto `path` — atomic within a filesystem — then
+///               fsync the parent directory so the new name itself is
+///               durable.
+///
+/// PublishFile implements steps 2-3. A process killed before the rename
+/// leaves only a stale `path.tmp.<pid>` sibling, which readers never open
+/// (the destination still holds the previous good image); RemoveStaleTemps
+/// sweeps such leftovers on the next startup.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Read-only memory-mapped file. The mapping lives for the object's
+/// lifetime; spans handed out by data() are invalidated by destruction.
+class MappedFile {
+ public:
+  /// Maps \p path read-only (MAP_SHARED, so identical pages are shared with
+  /// every other process mapping the same file). Returns nullptr on open,
+  /// stat, or mmap failure — including for empty files, which have nothing
+  /// to map.
+  static std::unique_ptr<MappedFile> OpenReadOnly(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// First mapped byte. Page-aligned (mmap guarantee), so any section offset
+  /// aligned in the file is equally aligned in memory.
+  const u8* data() const { return data_; }
+
+  /// Mapped length in bytes (the file size at open time).
+  std::size_t size() const { return size_; }
+
+  /// Advises the kernel the whole mapping will be read sequentially soon
+  /// (readahead for eager validation passes). Best-effort.
+  void AdviseWillNeed() const;
+
+  /// Advises random access (index serving probes pages out of order;
+  /// default readahead would drag in neighbours pointlessly). Best-effort.
+  void AdviseRandom() const;
+
+ private:
+  MappedFile(const u8* data, std::size_t size) : data_(data), size_(size) {}
+
+  const u8* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// 64-bit checksum over an arbitrary byte range: FNV-1a folded over 64-bit
+/// lanes with a final avalanche, so it runs at memory bandwidth instead of
+/// the byte-at-a-time rate (section checksums cover multi-GB arrays). Not
+/// cryptographic — it detects corruption, not adversaries.
+u64 Checksum64(const void* data, std::size_t bytes);
+
+/// The staging sibling the atomic publish protocol writes to:
+/// `path.tmp.<pid>`. Pid-suffixed so concurrent writers never collide and a
+/// crash leaves an identifiable leftover.
+std::string StageTempPath(const std::string& path);
+
+/// Steps 2-3 of the protocol: fsync \p staged, rename it onto \p path, then
+/// fsync the parent directory. On any failure the staged file is left in
+/// place (the caller removes it) and \p path is untouched. Returns success.
+bool PublishFile(const std::string& staged, const std::string& path);
+
+/// Removes leftover `path.tmp.*` staging siblings from crashed writers.
+/// Safe to call while other processes serve from \p path — only staging
+/// names are touched, never the published file. Returns how many were
+/// removed.
+int RemoveStaleTemps(const std::string& path);
+
+}  // namespace usi
+
+#endif  // USI_UTIL_MAPPED_FILE_HPP_

@@ -1,0 +1,361 @@
+// usi_inspect — operator tooling for persisted UsiIndex files.
+//
+//   usi_inspect info <file> [--deep]
+//       Dumps the header (and, for v3, the section directory) of an index
+//       file and validates it: magic/version, header checksum, directory
+//       geometry, exact file size. --deep also re-checksums every v3
+//       section payload. Exit 0 = valid, 1 = corrupt/unreadable.
+//
+//   usi_inspect convert <in> <out> (--to v2|v3)
+//                       (--dataset NAME [--n N] | --text FILE [--seed S])
+//       Re-serializes an index in the other format. Conversion must load
+//       the index, and index files do not embed the text — so the weighted
+//       string has to be re-materialized the same way it was at build time:
+//       either a registry dataset (--dataset, deterministic stand-in) or a
+//       raw text file with the paper's synthetic-utility recipe (--text,
+//       same --seed as the original run).
+//
+//   usi_inspect selftest
+//       End-to-end check run by CTest: builds a small index, saves both
+//       formats, validates them through the info path, converts v3->v2->v3,
+//       and verifies the round trip is byte-identical with matching
+//       query answers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "usi/core/index_format.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/text/dataset.hpp"
+#include "usi/util/binary_io.hpp"
+#include "usi/util/mapped_file.hpp"
+
+namespace usi {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  usi_inspect info <file> [--deep]\n"
+      "  usi_inspect convert <in> <out> --to v2|v3\n"
+      "              (--dataset NAME [--n N] | --text FILE [--seed S])\n"
+      "  usi_inspect selftest\n");
+  return 2;
+}
+
+const char* KindName(u8 kind) {
+  switch (kind) {
+    case 0: return "sum";
+    case 1: return "max";
+    case 2: return "count";
+    default: return "?";
+  }
+}
+
+const char* MinerName(u8 miner) {
+  return miner == 0 ? "UET" : miner == 1 ? "UAT" : "?";
+}
+
+const char* SectionName(u32 id) {
+  switch (id) {
+    case format_v3::kSuffixArray: return "suffix_array";
+    case format_v3::kPrefixSums: return "prefix_sums";
+    case format_v3::kTableCtrl: return "table_ctrl";
+    case format_v3::kTableSlots: return "table_slots";
+    default: return "?";
+  }
+}
+
+/// info for a v3 file: print the full header + directory, then validate
+/// exactly what OpenMapped validates (sans the text-length check, which
+/// needs the weighted string). Returns process exit code.
+int InfoV3(const std::string& path, bool deep) {
+  using namespace format_v3;
+  const std::unique_ptr<MappedFile> mapping = MappedFile::OpenReadOnly(path);
+  if (mapping == nullptr || mapping->size() < sizeof(FileHeader)) {
+    std::fprintf(stderr, "error: cannot map %s (or too small)\n",
+                 path.c_str());
+    return 1;
+  }
+  FileHeader header;
+  std::memcpy(&header, mapping->data(), sizeof(header));
+
+  std::printf("format:        v3 mapped (magic 0x%08X, version %u)\n",
+              header.magic, header.version);
+  std::printf("file_bytes:    %llu\n",
+              static_cast<unsigned long long>(header.file_bytes));
+  std::printf("n:             %u\n", header.n);
+  std::printf("utility kind:  %s\n", KindName(header.kind));
+  std::printf("miner:         %s\n", MinerName(header.miner));
+  std::printf("kr base:       0x%llX\n",
+              static_cast<unsigned long long>(header.base));
+  std::printf("K:             %llu\n", static_cast<unsigned long long>(header.k));
+  std::printf("tau_K:         %u\n", header.tau_k);
+  std::printf("num_lengths:   %u\n", header.num_lengths);
+  std::printf("table:         %llu entries in %llu slots (%llu B/slot)\n",
+              static_cast<unsigned long long>(header.table_size),
+              static_cast<unsigned long long>(header.table_capacity),
+              static_cast<unsigned long long>(header.slot_bytes));
+  std::printf("sections:\n");
+  std::printf("  %-14s %12s %12s  %s\n", "id", "offset", "length", "checksum");
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    const SectionEntry& section = header.sections[s];
+    std::printf("  %-14s %12llu %12llu  %016llX\n", SectionName(section.id),
+                static_cast<unsigned long long>(section.offset),
+                static_cast<unsigned long long>(section.length),
+                static_cast<unsigned long long>(section.checksum));
+  }
+
+  // Validation, mirroring OpenMapped's order and severity.
+  if (header.header_checksum !=
+      Checksum64(&header, offsetof(FileHeader, header_checksum))) {
+    std::printf("verdict:       CORRUPT (header checksum mismatch)\n");
+    return 1;
+  }
+  if (header.file_bytes != mapping->size()) {
+    std::printf("verdict:       CORRUPT (file is %zu bytes, header pins %llu)\n",
+                mapping->size(),
+                static_cast<unsigned long long>(header.file_bytes));
+    return 1;
+  }
+  u64 expected_offset = kFirstSectionOffset;
+  for (std::size_t s = 0; s < kNumSections; ++s) {
+    const SectionEntry& section = header.sections[s];
+    if (section.id != s || section.offset != expected_offset ||
+        section.offset + section.length > header.file_bytes) {
+      std::printf("verdict:       CORRUPT (section %zu directory)\n", s);
+      return 1;
+    }
+    expected_offset = AlignUp(section.offset + section.length);
+  }
+  if (deep) {
+    mapping->AdviseWillNeed();
+    for (std::size_t s = 0; s < kNumSections; ++s) {
+      const SectionEntry& section = header.sections[s];
+      if (Checksum64(mapping->data() + section.offset, section.length) !=
+          section.checksum) {
+        std::printf("verdict:       CORRUPT (section %s payload checksum)\n",
+                    SectionName(section.id));
+        return 1;
+      }
+    }
+    std::printf("verdict:       OK (deep: all section payloads verified)\n");
+  } else {
+    std::printf("verdict:       OK (shallow: header + directory verified)\n");
+  }
+  return 0;
+}
+
+/// info for a v2 stream file: parse the packed header and the two array
+/// length prefixes. Returns process exit code.
+int InfoV2(const std::string& path) {
+  BinaryReader reader(path);
+  u32 magic = 0, version = 0, n = 0;
+  u8 kind = 0, miner = 0;
+  u64 base = 0, k = 0;
+  u32 tau_k = 0, num_lengths = 0;
+  if (!reader.Read(&magic) || !reader.Read(&version) || !reader.Read(&n) ||
+      !reader.Read(&kind) || !reader.Read(&miner) || !reader.Read(&base) ||
+      !reader.Read(&k) || !reader.Read(&tau_k) || !reader.Read(&num_lengths)) {
+    std::fprintf(stderr, "error: truncated v2 header in %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("format:        v2 heap (magic 0x%08X, version %u)\n", magic,
+              version);
+  std::printf("n:             %u\n", n);
+  std::printf("utility kind:  %s\n", KindName(kind));
+  std::printf("miner:         %s\n", MinerName(miner));
+  std::printf("kr base:       0x%llX\n", static_cast<unsigned long long>(base));
+  std::printf("K:             %llu\n", static_cast<unsigned long long>(k));
+  std::printf("tau_K:         %u\n", tau_k);
+  std::printf("num_lengths:   %u\n", num_lengths);
+  if (version != format_v2::kVersion) {
+    std::printf("verdict:       CORRUPT (unsupported version)\n");
+    return 1;
+  }
+  std::vector<index_t> sa;
+  if (!reader.ReadVector(&sa) || sa.size() != n) {
+    std::printf("verdict:       CORRUPT (suffix array truncated)\n");
+    return 1;
+  }
+  // The serialized entry record (usi_index.cpp): u64 fp, u32 len,
+  // u32 count, double value — 24 bytes.
+  struct V2Entry {
+    u64 fp;
+    u32 len;
+    u32 count;
+    double value;
+  };
+  static_assert(sizeof(V2Entry) == 24);
+  std::vector<V2Entry> entries;
+  if (!reader.ReadVector(&entries)) {
+    std::printf("verdict:       CORRUPT (entry array truncated)\n");
+    return 1;
+  }
+  std::printf("sa entries:    %zu\n", sa.size());
+  std::printf("table entries: %zu\n", entries.size());
+  if (!reader.ExactlyConsumed()) {
+    std::printf("verdict:       CORRUPT (trailing bytes after entry array)\n");
+    return 1;
+  }
+  std::printf("verdict:       OK\n");
+  return 0;
+}
+
+int Info(const std::string& path, bool deep) {
+  BinaryReader sniff(path);
+  u32 magic = 0;
+  if (!sniff.Read(&magic)) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  if (magic == format_v3::kMagic) return InfoV3(path, deep);
+  if (magic == format_v2::kMagic) return InfoV2(path);
+  std::fprintf(stderr, "error: %s is not a UsiIndex file (magic 0x%08X)\n",
+               path.c_str(), magic);
+  return 1;
+}
+
+int Convert(const std::string& in, const std::string& out,
+            const std::string& to, const std::string& dataset, index_t n,
+            const std::string& text_file, u64 seed) {
+  IndexFileFormat format;
+  if (to == "v2") {
+    format = IndexFileFormat::kV2Heap;
+  } else if (to == "v3") {
+    format = IndexFileFormat::kV3Mapped;
+  } else {
+    std::fprintf(stderr, "error: --to must be v2 or v3\n");
+    return 2;
+  }
+  WeightedString ws;
+  if (!dataset.empty()) {
+    ws = MakeDataset(DatasetSpecByName(dataset), n);
+  } else if (!text_file.empty()) {
+    if (!LoadTextFile(text_file, seed, &ws)) {
+      std::fprintf(stderr, "error: cannot read text file %s\n",
+                   text_file.c_str());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "error: convert needs --dataset NAME or --text FILE to "
+                 "re-materialize the weighted string the index borrows\n");
+    return 2;
+  }
+  const std::unique_ptr<UsiIndex> index = UsiIndex::LoadFromFile(ws, in);
+  if (index == nullptr) {
+    std::fprintf(stderr,
+                 "error: cannot load %s (corrupt, or the given text does not "
+                 "match the one the index was built over)\n",
+                 in.c_str());
+    return 1;
+  }
+  if (!index->SaveToFile(out, format)) {
+    std::fprintf(stderr, "error: writing %s failed\n", out.c_str());
+    return 1;
+  }
+  std::printf("converted %s (%s) -> %s (%s)\n", in.c_str(),
+              index->IsMapped() ? "v3" : "v2", out.c_str(), to.c_str());
+  return 0;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(stream),
+                           std::istreambuf_iterator<char>());
+}
+
+int Selftest() {
+  const std::string dir = P_tmpdir;
+  const std::string v3_path = dir + "/usi_inspect_selftest_v3.bin";
+  const std::string v2_path = dir + "/usi_inspect_selftest_v2.bin";
+  const std::string rt_path = dir + "/usi_inspect_selftest_rt.bin";
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "selftest FAILED: %s\n", what);
+    std::remove(v3_path.c_str());
+    std::remove(v2_path.c_str());
+    std::remove(rt_path.c_str());
+    return 1;
+  };
+
+  const WeightedString ws = MakeDataset(DatasetSpecByName("XML"), 20000);
+  UsiOptions options;
+  options.k = 300;
+  const UsiIndex index(ws, options);
+  if (!index.SaveToFile(v3_path, IndexFileFormat::kV3Mapped) ||
+      !index.SaveToFile(v2_path, IndexFileFormat::kV2Heap)) {
+    return fail("save");
+  }
+  if (Info(v3_path, /*deep=*/true) != 0) return fail("v3 info");
+  if (Info(v2_path, /*deep=*/false) != 0) return fail("v2 info");
+
+  // v3 -> v2 -> v3 must land back on the exact original bytes.
+  if (Convert(v3_path, rt_path, "v2", "XML", 20000, "", 0) != 0) {
+    return fail("v3->v2 convert");
+  }
+  if (ReadAll(rt_path) != ReadAll(v2_path)) return fail("v3->v2 bytes");
+  if (Convert(rt_path, rt_path, "v3", "XML", 20000, "", 0) != 0) {
+    return fail("v2->v3 convert");
+  }
+  if (ReadAll(rt_path) != ReadAll(v3_path)) return fail("v2->v3 bytes");
+
+  // The reopened mapped image answers like the freshly built index.
+  const std::unique_ptr<UsiIndex> mapped = UsiIndex::OpenMapped(ws, rt_path);
+  if (mapped == nullptr) return fail("reopen");
+  for (index_t i = 0; i + 6 <= ws.size(); i += 503) {
+    const Text pattern = ws.Fragment(i, 6);
+    const QueryResult a = index.Query(pattern);
+    const QueryResult b = mapped->Query(pattern);
+    if (a.utility != b.utility || a.occurrences != b.occurrences) {
+      return fail("query parity");
+    }
+  }
+  std::remove(v3_path.c_str());
+  std::remove(v2_path.c_str());
+  std::remove(rt_path.c_str());
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string mode = argv[1];
+  if (mode == "info") {
+    if (argc < 3) return Usage();
+    bool deep = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--deep") deep = true;
+    }
+    return Info(argv[2], deep);
+  }
+  if (mode == "convert") {
+    if (argc < 4) return Usage();
+    std::string to, dataset, text_file;
+    index_t n = 0;
+    u64 seed = 0;
+    for (int i = 4; i + 1 < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--to") to = argv[++i];
+      else if (flag == "--dataset") dataset = argv[++i];
+      else if (flag == "--n") n = static_cast<index_t>(std::atoll(argv[++i]));
+      else if (flag == "--text") text_file = argv[++i];
+      else if (flag == "--seed") seed = static_cast<u64>(std::atoll(argv[++i]));
+    }
+    return Convert(argv[2], argv[3], to, dataset, n, text_file, seed);
+  }
+  if (mode == "selftest") return Selftest();
+  return Usage();
+}
+
+}  // namespace
+}  // namespace usi
+
+int main(int argc, char** argv) { return usi::Main(argc, argv); }
