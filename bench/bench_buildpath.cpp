@@ -70,6 +70,8 @@ void StagedRssSection(const char* name, bench::BenchJson* json) {
                 FormatBytes(info.mining_rss_delta_bytes)});
   table.AddRow({"table", TablePrinter::Num(info.table_seconds, 3),
                 FormatBytes(info.table_rss_delta_bytes)});
+  table.AddRow({"learn", TablePrinter::Num(info.learn_seconds, 3),
+                FormatBytes(info.learn_rss_delta_bytes)});
   table.AddRow({"total", TablePrinter::Num(info.total_seconds, 3),
                 FormatBytes(info.peak_rss_bytes)});
   table.Print();
@@ -81,6 +83,8 @@ void StagedRssSection(const char* name, bench::BenchJson* json) {
             static_cast<double>(info.mining_rss_delta_bytes), "bytes");
   json->Add(section, "table_rss_delta",
             static_cast<double>(info.table_rss_delta_bytes), "bytes");
+  json->Add(section, "learn_rss_delta",
+            static_cast<double>(info.learn_rss_delta_bytes), "bytes");
   json->Add(section, "peak_rss", static_cast<double>(info.peak_rss_bytes),
             "bytes");
 }

@@ -128,6 +128,35 @@ constexpr u64 AlignUp(u64 offset) {
   return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
 }
 
+/// "USIL" — marks a populated learned-model extension entry.
+inline constexpr u32 kLearnedMagic = 0x5553494C;
+
+/// Optional learned-model extension descriptor, stored in the slack between
+/// FileHeader and kFirstSectionOffset (file offset 208..255). Pre-extension
+/// writers zero-padded that gap (BinaryWriter::PadTo), so on legacy images
+/// ext_magic reads 0 — "no learned section" — and they keep opening
+/// unchanged; the extension needs no version bump and no header change.
+/// The entry sits OUTSIDE header_checksum's coverage (which must stay the
+/// last covered field), so it carries its own entry_checksum; the payload —
+/// a LearnedSa::Serialize image appended after the last core section, with
+/// file_bytes grown to cover it — is guarded by checksum like any section.
+struct LearnedSectionEntry {
+  u32 ext_magic = 0;       ///< kLearnedMagic when present, 0 when absent.
+  u32 epsilon = 0;         ///< Recorded model error bound ε.
+  u64 offset = 0;          ///< Absolute payload offset, kSectionAlign-aligned.
+  u64 length = 0;          ///< Payload bytes (exact).
+  u64 checksum = 0;        ///< Checksum64 of the payload bytes.
+  u64 num_segments = 0;    ///< Model segments (info/inspect convenience).
+  u64 entry_checksum = 0;  ///< Checksum64 of all preceding entry bytes.
+};
+static_assert(sizeof(LearnedSectionEntry) == 48);
+static_assert(offsetof(LearnedSectionEntry, entry_checksum) ==
+                  sizeof(LearnedSectionEntry) - sizeof(u64),
+              "entry_checksum must be the last entry field");
+static_assert(sizeof(FileHeader) + sizeof(LearnedSectionEntry) ==
+                  kFirstSectionOffset,
+              "the extension entry exactly fills the header slack");
+
 }  // namespace format_v3
 
 }  // namespace usi

@@ -78,8 +78,12 @@ struct UsiMultiService::BatchScratch {
     std::shared_ptr<const Generation> gen;
     std::vector<u32> indices;  ///< Positions in the incoming batch.
   };
-  std::vector<Group> groups;       ///< groups[0..used) active this batch.
-  std::vector<Text> patterns;      ///< Gathered patterns of one group.
+  std::vector<Group> groups;  ///< groups[0..used) active this batch.
+  /// Gathered patterns of one group: spans pointing into the callers'
+  /// request storage (MultiQuery::pattern bytes, alive for the whole
+  /// QueryBatchInto call) — the gather stage scatters pointers, it never
+  /// copies pattern bytes.
+  std::vector<PatternSpan> patterns;
   std::vector<QueryResult> results;  ///< Group-local results to scatter.
 };
 
@@ -428,12 +432,11 @@ ServeStatus UsiMultiService::QueryBatchInto(
     if (scratch->patterns.size() < n) scratch->patterns.resize(n);
     if (scratch->results.size() < n) scratch->results.resize(n);
     for (std::size_t j = 0; j < n; ++j) {
-      const std::span<const Symbol> p = queries[group.indices[j]].pattern;
-      scratch->patterns[j].assign(p.begin(), p.end());
+      scratch->patterns[j] = queries[group.indices[j]].pattern;
     }
     UsiBatchStats batch_stats;
     group.gen->service->QueryBatchInto(
-        std::span<const Text>(scratch->patterns.data(), n),
+        std::span<const PatternSpan>(scratch->patterns.data(), n),
         std::span<QueryResult>(scratch->results.data(), n), &batch_stats);
     for (std::size_t j = 0; j < n; ++j) {
       results[group.indices[j]] = scratch->results[j];

@@ -23,10 +23,18 @@
 #include <vector>
 
 #include "usi/hash/pattern_key.hpp"
+#include "usi/suffix/sa_search.hpp"
 #include "usi/text/alphabet.hpp"
 #include "usi/util/common.hpp"
 
 namespace usi {
+
+/// A borrowed pattern: the span-of-spans batch entry points take these so
+/// callers holding patterns in foreign storage (UsiMultiService's gather
+/// stage, arena-backed request decoders) scatter pointers instead of
+/// copying bytes into scratch Texts. The referenced bytes must stay alive
+/// and unchanged for the duration of the batch call.
+using PatternSpan = std::span<const Symbol>;
 
 /// Result of a USI query.
 struct QueryResult {
@@ -53,6 +61,12 @@ struct QueryScratch {
   std::vector<std::pair<u64, u32>> cluster;
   std::vector<u64> prefix_fps;   ///< Incremental prefix fingerprints.
   std::vector<PatternKey> keys;  ///< Per-pattern table keys.
+  /// Table-miss staging for the batched learned-fallback path: the batch
+  /// positions that missed H, their borrowed pattern bytes, and the SA
+  /// intervals the batched last-mile search resolves them to.
+  std::vector<u32> misses;
+  std::vector<PatternSpan> miss_patterns;
+  std::vector<SaInterval> miss_intervals;
 };
 
 /// Abstract answer path for global-utility queries.
@@ -104,6 +118,11 @@ class QueryEngine {
     (void)patterns;
   }
 
+  /// Span-of-spans variant of PrepareBatch, same contract.
+  virtual void PrepareBatch(std::span<const PatternSpan> patterns) {
+    (void)patterns;
+  }
+
   /// Whether PrepareBatch(\p patterns) would be a no-op — i.e. the shared
   /// state it grows already covers this batch, so serving may proceed
   /// without mutating the engine. Called concurrently with serving; must
@@ -115,12 +134,32 @@ class QueryEngine {
     return false;
   }
 
+  /// Span-of-spans variant of BatchPrepared, same contract.
+  virtual bool BatchPrepared(std::span<const PatternSpan> patterns) const {
+    (void)patterns;
+    return false;
+  }
+
   /// Answers patterns[i] into results[i] for every i; results.size() must
   /// be >= patterns.size(). \p scratch may be null (the engine then uses
   /// call-local buffers). The answers are exactly what per-pattern Query
   /// calls in batch order would produce. Default: that loop, verbatim —
   /// which is also the only correct serving mode for caching engines.
   virtual void QueryBatch(std::span<const Text> patterns,
+                          std::span<QueryResult> results,
+                          QueryScratch* scratch) {
+    (void)scratch;
+    USI_DCHECK(results.size() >= patterns.size());
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      results[i] = Query(patterns[i]);
+    }
+  }
+
+  /// Span-of-spans variant of QueryBatch, same contract: patterns are
+  /// borrowed rather than owned, so gather stages can point into request
+  /// storage instead of copying bytes. The default loop makes every engine
+  /// correct under it; engines with a real batch path (UsiIndex) override.
+  virtual void QueryBatch(std::span<const PatternSpan> patterns,
                           std::span<QueryResult> results,
                           QueryScratch* scratch) {
     (void)scratch;

@@ -111,6 +111,22 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   stages_.push_back({"table", index.build_info_.table_seconds,
                      index.build_info_.table_rss_delta_bytes});
 
+  // Stage "learn": fit the PLA last-mile model over the finished SA (one
+  // deterministic sequential pass; learned_sa.hpp). learned_epsilon == 0
+  // skips the fit and leaves misses on plain binary search. The vector has
+  // its final contents here — only "finalize"'s shrink_to_fit may still
+  // move the buffer, and the model stores positions, not pointers, so the
+  // fit stays valid across it.
+  Timer learn_timer;
+  rss_before = ReadPeakRssBytes();
+  if (options_.learned_epsilon > 0 && n > 0) {
+    index.learned_.Build(text, index.sa_, {options_.learned_epsilon});
+  }
+  index.build_info_.learn_seconds = learn_timer.ElapsedSeconds();
+  index.build_info_.learn_rss_delta_bytes = PeakRssDelta(rss_before);
+  stages_.push_back({"learn", index.build_info_.learn_seconds,
+                     index.build_info_.learn_rss_delta_bytes});
+
   // Stage "finalize": drop construction slack from build-owned vectors
   // (SizeInBytes reports used bytes; keeping slack would waste resident
   // memory on every long-lived index) and wire the SA + PSW fallback path.
@@ -122,6 +138,9 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   index.sa_span_ = index.sa_;
   index.fallback_ =
       ExhaustiveQueryEngine(text, index.sa_span_, index.psw_, index.kind_);
+  if (!index.learned_.empty()) {
+    index.fallback_.AttachLearned(&index.learned_);
+  }
   stages_.push_back(
       {"finalize", finalize_timer.ElapsedSeconds(), PeakRssDelta(rss_before)});
 

@@ -6,7 +6,8 @@
 ///
 /// Construction decomposes into explicit stages — "sa" (SA-IS over the
 /// text), "mine" (phase (i) top-K mining), "table" (phase (ii): the
-/// O(n * L_K) sliding-window table population, the dominant cost) and
+/// O(n * L_K) sliding-window table population, the dominant cost), "learn"
+/// (the PLA last-mile model fit over the finished SA; learned_sa.hpp) and
 /// "finalize" (fallback wiring). Each stage is timed individually and its
 /// peak-RSS growth recorded; the summary lands in UsiIndex::build_info().
 ///
@@ -40,7 +41,7 @@ class ThreadPool;
 
 /// One timed construction stage.
 struct UsiBuildStage {
-  const char* name;  ///< "sa", "mine", "table", "finalize".
+  const char* name;  ///< "sa", "mine", "table", "learn", "finalize".
   double seconds;
   /// How much the stage grew the process peak RSS (VmHWM delta; 0 where
   /// /proc is unavailable or the stage stayed under the running peak).

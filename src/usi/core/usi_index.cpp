@@ -35,8 +35,9 @@ constexpr std::size_t kShareDetectInverse = 8;
 /// Packed ordering key for prefix clustering: 6 prefix bytes then the
 /// (capped) length, so repeats of one pattern — the common case in serving
 /// traffic — end up adjacent with a full-length LCP, and comparisons never
-/// indirect into the pattern storage.
-u64 PackedOrderKey(const Text& pattern) {
+/// indirect into the pattern storage. P is Text or PatternSpan.
+template <typename P>
+u64 PackedOrderKey(const P& pattern) {
   u64 packed = 0;
   const std::size_t take = std::min<std::size_t>(6, pattern.size());
   for (std::size_t j = 0; j < take; ++j) {
@@ -49,6 +50,11 @@ u64 PackedOrderKey(const Text& pattern) {
 /// least this large; smaller tables are cache-resident, where the
 /// pipeline's bookkeeping costs more than the misses it hides (~L2 size).
 constexpr std::size_t kPipelinedProbeMinTableBytes = std::size_t{2} << 20;
+
+/// QueryBatch resolves table misses through the batched learned search only
+/// when a batch collects at least this many; below it the AMAC state
+/// machine's setup outweighs the miss overlap it buys.
+constexpr std::size_t kBatchedMissMin = 4;
 
 /// Flat hash-table entry for serialization.
 struct SerializedEntry {
@@ -95,31 +101,58 @@ QueryResult UsiIndex::Query(std::span<const Symbol> pattern) const {
   return fallback_.Compute(pattern);
 }
 
-void UsiIndex::PrepareBatch(std::span<const Text> patterns) {
+namespace {
+
+/// Longest pattern in a batch (P is Text or PatternSpan).
+template <typename P>
+std::size_t MaxPatternLen(std::span<const P> patterns) {
   std::size_t max_len = 0;
-  for (const Text& pattern : patterns) {
+  for (const P& pattern : patterns) {
     max_len = std::max(max_len, pattern.size());
   }
+  return max_len;
+}
+
+}  // namespace
+
+void UsiIndex::PrepareBatch(std::span<const Text> patterns) {
   // One shared pre-grow instead of per-query growth: every power any shard
   // can need is now a read-only lookup, so concurrent shards never mutate
   // the hasher (the precondition ReservePowers documents).
-  hasher_.ReservePowers(max_len);
+  hasher_.ReservePowers(MaxPatternLen(patterns));
+}
+
+void UsiIndex::PrepareBatch(std::span<const PatternSpan> patterns) {
+  hasher_.ReservePowers(MaxPatternLen(patterns));
 }
 
 bool UsiIndex::BatchPrepared(std::span<const Text> patterns) const {
-  std::size_t max_len = 0;
-  for (const Text& pattern : patterns) {
-    max_len = std::max(max_len, pattern.size());
-  }
   // powers_.size() only grows, and growth happens under UsiService's
   // exclusive prepare lock — so a true answer here cannot be invalidated
   // by a concurrent batch.
-  return hasher_.PowersCover(max_len);
+  return hasher_.PowersCover(MaxPatternLen(patterns));
+}
+
+bool UsiIndex::BatchPrepared(std::span<const PatternSpan> patterns) const {
+  return hasher_.PowersCover(MaxPatternLen(patterns));
 }
 
 void UsiIndex::QueryBatch(std::span<const Text> patterns,
                           std::span<QueryResult> results,
                           QueryScratch* scratch) const {
+  QueryBatchImpl(patterns, results, scratch);
+}
+
+void UsiIndex::QueryBatch(std::span<const PatternSpan> patterns,
+                          std::span<QueryResult> results,
+                          QueryScratch* scratch) const {
+  QueryBatchImpl(patterns, results, scratch);
+}
+
+template <typename P>
+void UsiIndex::QueryBatchImpl(std::span<const P> patterns,
+                              std::span<QueryResult> results,
+                              QueryScratch* scratch) const {
   USI_CHECK(results.size() >= patterns.size());
   QueryScratch local;
   if (scratch == nullptr) scratch = &local;
@@ -128,7 +161,7 @@ void UsiIndex::QueryBatch(std::span<const Text> patterns,
 
   std::size_t max_len = 0;
   std::size_t total_len = 0;
-  for (const Text& pattern : patterns) {
+  for (const P& pattern : patterns) {
     max_len = std::max(max_len, pattern.size());
     total_len += pattern.size();
   }
@@ -184,9 +217,9 @@ void UsiIndex::QueryBatch(std::span<const Text> patterns,
     // Pair order (key, index): deterministic, and ties keep batch order.
     std::sort(cluster_order.begin(), cluster_order.end());
 
-    const Text* prev = nullptr;
+    const P* prev = nullptr;
     for (const auto& [packed, idx] : cluster_order) {
-      const Text& pattern = patterns[idx];
+      const P& pattern = patterns[idx];
       std::size_t lcp = 0;
       if (prev != nullptr) {
         const std::size_t bound = std::min(prev->size(), pattern.size());
@@ -214,9 +247,16 @@ void UsiIndex::QueryBatch(std::span<const Text> patterns,
   // Probe stage, answering in original order either way. The pipelined
   // VisitBatch exists to overlap out-of-cache line and TLB fetches; when H
   // is small enough to live in the fast cache levels its bookkeeping is
-  // pure overhead, so cache-resident tables take the plain loop.
+  // pure overhead, so cache-resident tables take the plain loop. Hits are
+  // answered in place; misses are STAGED (position + borrowed bytes) rather
+  // than resolved — the miss path is the expensive one, and deferring it
+  // lets the batched learned search overlap the SA probes of all misses.
+  std::vector<u32>& misses = scratch->misses;
+  std::vector<PatternSpan>& miss_patterns = scratch->miss_patterns;
+  misses.clear();
+  miss_patterns.clear();
   const auto answer = [&](std::size_t i, const TableValue* value) {
-    const Text& pattern = patterns[i];
+    const P& pattern = patterns[i];
     QueryResult result;
     if (pattern.empty() || pattern.size() > ws_->size()) {
       results[i] = result;
@@ -226,10 +266,11 @@ void UsiIndex::QueryBatch(std::span<const Text> patterns,
       result.utility = value->Finalize(kind_);
       result.occurrences = value->count;
       result.from_hash_table = true;
-    } else {
-      result = fallback_.Compute(pattern);
+      results[i] = result;
+      return;
     }
-    results[i] = result;
+    misses.push_back(static_cast<u32>(i));
+    miss_patterns.push_back(PatternSpan(pattern.data(), pattern.size()));
   };
   if (table_.SizeInBytes() >= kPipelinedProbeMinTableBytes) {
     table_.VisitBatch(std::span<const PatternKey>(keys.data(), batch),
@@ -237,6 +278,26 @@ void UsiIndex::QueryBatch(std::span<const Text> patterns,
   } else {
     for (std::size_t i = 0; i < batch; ++i) {
       answer(i, table_.Find(keys[i]));
+    }
+  }
+
+  // Miss stage. With a learned model and enough misses to fill the AMAC
+  // pipeline, resolve all SA intervals in one batched pass (probes of
+  // independent searches overlap) and aggregate each; otherwise the plain
+  // per-miss path. Either way the answers match per-pattern Query exactly.
+  if (misses.empty()) return;
+  if (!learned_.empty() && misses.size() >= kBatchedMissMin) {
+    std::vector<SaInterval>& intervals = scratch->miss_intervals;
+    intervals.resize(misses.size());
+    learned_.FindIntervalBatch(ws_->text(), sa_span_, miss_patterns,
+                               intervals);
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      results[misses[j]] = fallback_.Aggregate(
+          intervals[j], static_cast<index_t>(miss_patterns[j].size()));
+    }
+  } else {
+    for (std::size_t j = 0; j < misses.size(); ++j) {
+      results[misses[j]] = fallback_.Compute(miss_patterns[j]);
     }
   }
 }
@@ -283,7 +344,8 @@ std::size_t UsiIndex::SizeInBytes() const {
   // PrepareBatch grows it to the longest pattern ever served and it stays
   // resident for the index lifetime.
   return sa_span_.size() * sizeof(index_t) + psw_.SizeInBytes() +
-         table_.SizeInBytes() + sizeof(fallback_) + hasher_.SizeInBytes();
+         table_.SizeInBytes() + sizeof(fallback_) + hasher_.SizeInBytes() +
+         learned_.SizeInBytes();
 }
 
 UsiIndex::UsiIndex(LoadTag, const WeightedString& ws)
@@ -334,7 +396,8 @@ bool UsiIndex::SaveV2Body(BinaryWriter& writer) const {
   return writer.ok();
 }
 
-bool UsiIndex::SaveV3Body(BinaryWriter& writer) const {
+bool UsiIndex::SaveV3Body(BinaryWriter& writer,
+                          const SaveOptions& save_options) const {
   using namespace format_v3;
   using Table = FingerprintTable<TableValue>;
 
@@ -385,19 +448,59 @@ bool UsiIndex::SaveV3Body(BinaryWriter& writer) const {
   // the file size byte-for-byte.
   header.file_bytes = header.sections[kNumSections - 1].offset +
                       header.sections[kNumSections - 1].length;
+
+  // Optional learned-model section: a Serialize() image appended after the
+  // last core section, described by the extension entry in the header
+  // slack. When the index carries no model (legacy mapped image, or a build
+  // with learned_epsilon == 0) a default-ε model is fit for the save, so
+  // every default save of equal indexes emits equal bytes. The absent case
+  // writes an all-zero entry — byte-identical to the zero padding every
+  // pre-extension writer put there.
+  LearnedSectionEntry ext;
+  std::vector<u8> learned_payload;
+  if (save_options.learned_section) {
+    LearnedSa refit;
+    const LearnedSa* model = &learned_;
+    if (learned_.empty()) {
+      refit.Build(ws_->text(), sa_span_);
+      model = &refit;
+    }
+    if (!model->empty()) {
+      learned_payload = model->Serialize();
+      ext.ext_magic = kLearnedMagic;
+      ext.epsilon = model->epsilon();
+      ext.offset = AlignUp(header.file_bytes);
+      ext.length = learned_payload.size();
+      ext.checksum = Checksum64(learned_payload.data(), ext.length);
+      ext.num_segments = model->num_segments();
+      ext.entry_checksum =
+          Checksum64(&ext, offsetof(LearnedSectionEntry, entry_checksum));
+      header.file_bytes = ext.offset + ext.length;
+    }
+  }
   header.header_checksum =
       Checksum64(&header, offsetof(FileHeader, header_checksum));
 
   writer.WriteRaw(&header, sizeof(header));
+  writer.WriteRaw(&ext, sizeof(ext));  // Fills the slack at offset 208.
   for (std::size_t s = 0; s < kNumSections; ++s) {
     writer.PadTo(header.sections[s].offset);
     writer.WriteRaw(payloads[s], lengths[s]);
+  }
+  if (ext.ext_magic == kLearnedMagic) {
+    writer.PadTo(ext.offset);
+    writer.WriteRaw(learned_payload.data(), ext.length);
   }
   return writer.ok() && writer.bytes_written() == header.file_bytes;
 }
 
 bool UsiIndex::SaveToFile(const std::string& path,
                           IndexFileFormat format) const {
+  return SaveToFile(path, format, SaveOptions());
+}
+
+bool UsiIndex::SaveToFile(const std::string& path, IndexFileFormat format,
+                          const SaveOptions& save_options) const {
   // Atomic publish (util/mapped_file.hpp): the destination is replaced only
   // by a complete, flushed image. A crash — or a failed write, flush, or
   // fsync — leaves `path` untouched, holding whatever complete image it had
@@ -405,7 +508,7 @@ bool UsiIndex::SaveToFile(const std::string& path,
   const std::string staged = StageTempPath(path);
   BinaryWriter writer(staged);
   const bool body_ok = format == IndexFileFormat::kV3Mapped
-                           ? SaveV3Body(writer)
+                           ? SaveV3Body(writer, save_options)
                            : SaveV2Body(writer);
   // Close() before publish: its result covers the final buffer flush, so an
   // out-of-space truncation surfaces here instead of being renamed live.
@@ -478,6 +581,32 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
     }
     expected_offset = AlignUp(expected_offset + section.length);
   }
+  const u64 core_end = header.sections[kNumSections - 1].offset +
+                       header.sections[kNumSections - 1].length;
+
+  // Learned-model extension entry, read from the header slack. Legacy
+  // writers zero-padded the slack, so ext_magic == 0 cleanly means "no
+  // learned section". A nonzero entry that fails ANY check rejects the
+  // file: a present-but-corrupt extension is corruption like any other,
+  // not something to silently serve without.
+  LearnedSectionEntry ext;
+  std::memcpy(&ext, mapping->data() + sizeof(FileHeader), sizeof(ext));
+  if (ext.ext_magic != 0) {
+    if (ext.ext_magic != kLearnedMagic) return nullptr;
+    if (ext.entry_checksum !=
+        Checksum64(&ext, offsetof(LearnedSectionEntry, entry_checksum))) {
+      return nullptr;
+    }
+    if (ext.offset != AlignUp(core_end) || ext.length == 0 ||
+        ext.length > header.file_bytes - ext.offset ||
+        ext.offset + ext.length != header.file_bytes) {
+      return nullptr;
+    }
+  } else if (header.file_bytes != core_end) {
+    // No extension, yet bytes past the last core section: a doctored or
+    // concatenated file, not slack.
+    return nullptr;
+  }
 
   const u8* const base = mapping->data();
   if (options.deep_verify) {
@@ -498,6 +627,10 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
         base + header.sections[kSuffixArray].offset);
     for (u64 i = 0; i < header.n; ++i) {
       if (sa[i] >= header.n) return nullptr;
+    }
+    if (ext.ext_magic == kLearnedMagic &&
+        Checksum64(base + ext.offset, ext.length) != ext.checksum) {
+      return nullptr;
     }
   }
 
@@ -525,6 +658,19 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
       capacity, header.table_size);
   index->fallback_ = ExhaustiveQueryEngine(ws.text(), index->sa_span_,
                                            index->psw_, index->kind_);
+  if (ext.ext_magic == kLearnedMagic) {
+    // The payload is served in place (AdoptView) — the mapping outlives the
+    // model via mapping_. AdoptView re-validates the payload's own header
+    // and geometry; the entry's epsilon/num_segments must agree with the
+    // adopted model, or the file is inconsistent with itself.
+    if (!index->learned_.AdoptView(base + ext.offset, ext.length) ||
+        index->learned_.epsilon() != ext.epsilon ||
+        index->learned_.num_segments() != ext.num_segments ||
+        index->learned_.fit_n() != header.n) {
+      return nullptr;
+    }
+    index->fallback_.AttachLearned(&index->learned_);
+  }
   index->mapping_ = std::move(mapping);
   // Serving probes pages out of order; default readahead would fault in
   // neighbours pointlessly.
@@ -591,6 +737,15 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   index->psw_ = PrefixSumWeights(ws);
   index->fallback_ = ExhaustiveQueryEngine(ws.text(), index->sa_span_,
                                            index->psw_, index->kind_);
+  // The v2 stream predates the learned model and carries no ε, so refit at
+  // the default — one extra sequential pass on a path that already does a
+  // full O(n) read, and v2-loaded indexes serve misses as fast as built
+  // ones. (A v2 round-trip of an off-default-ε index refits at the
+  // default; the v3 learned section is the lossless carrier.)
+  index->learned_.Build(ws.text(), index->sa_span_);
+  if (!index->learned_.empty()) {
+    index->fallback_.AttachLearned(&index->learned_);
+  }
   return index;
 }
 

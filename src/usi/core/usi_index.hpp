@@ -32,6 +32,7 @@
 #include "usi/core/utility.hpp"
 #include "usi/hash/fingerprint_table.hpp"
 #include "usi/hash/karp_rabin.hpp"
+#include "usi/suffix/learned_sa.hpp"
 #include "usi/text/weighted_string.hpp"
 #include "usi/topk/approximate_topk.hpp"
 #include "usi/topk/topk_types.hpp"
@@ -58,6 +59,10 @@ struct UsiOptions {
   UsiMiner miner = UsiMiner::kExact;
   ApproximateTopKOptions approx = {};  ///< Used when miner == kApproximate.
   u64 hash_seed = 0x05111;             ///< Karp-Rabin base seed.
+  /// Error bound ε for the learned fallback model (the "learn" build
+  /// stage); 0 skips the stage and serves table misses by plain binary
+  /// search. learned_sa.hpp documents the contract.
+  u32 learned_epsilon = kDefaultLearnedEpsilon;
   /// Build parallelism: 1 = sequential (default), 0 = hardware concurrency,
   /// N > 1 = a pool of N threads. Any value yields byte-identical
   /// SaveToFile output; see UsiBuilder for the determinism contract.
@@ -72,6 +77,7 @@ struct UsiBuildInfo {
   double sa_seconds = 0;    ///< Stage 1: suffix-array construction.
   double mining_seconds = 0;  ///< Stage 2: phase (i) top-K mining.
   double table_seconds = 0;  ///< Stage 3: phase (ii) sliding-window tables.
+  double learn_seconds = 0;  ///< Stage 4: learned fallback-model fit.
   double total_seconds = 0;
   unsigned threads_used = 1;  ///< Pool width the build ran with.
   /// Process peak RSS (VmHWM) after the build, and how much each stage grew
@@ -82,6 +88,7 @@ struct UsiBuildInfo {
   std::size_t sa_rss_delta_bytes = 0;
   std::size_t mining_rss_delta_bytes = 0;
   std::size_t table_rss_delta_bytes = 0;
+  std::size_t learn_rss_delta_bytes = 0;
 };
 
 /// The USI_TOP-K index over a weighted string.
@@ -108,6 +115,22 @@ class UsiIndex : public QueryEngine {
   ///    same host class (index_format.hpp documents the layout).
   bool SaveToFile(const std::string& path,
                   IndexFileFormat format = IndexFileFormat::kV2Heap) const;
+
+  /// SaveToFile knobs.
+  struct SaveOptions {
+    /// kV3Mapped only: include the learned-model section. When true (the
+    /// default) and the index carries no model (legacy mapped image, or a
+    /// build with learned_epsilon == 0), a default-ε model is fit for the
+    /// save, so every default v3 image carries the section and equal
+    /// indexes keep serializing to equal bytes. False omits the section —
+    /// the image opens and serves fine, answering misses by plain binary
+    /// search (also the shape every pre-extension image has).
+    bool learned_section = true;
+  };
+
+  /// As above with explicit \p save_options.
+  bool SaveToFile(const std::string& path, IndexFileFormat format,
+                  const SaveOptions& save_options) const;
 
   /// Deep-verification knob for OpenMapped.
   struct OpenOptions {
@@ -155,6 +178,14 @@ class UsiIndex : public QueryEngine {
                   std::span<QueryResult> results,
                   QueryScratch* scratch) const;
 
+  /// Span-of-spans QueryBatch: identical behavior, patterns borrowed from
+  /// caller storage (UsiMultiService scatters pointers into request memory
+  /// instead of copying bytes into scratch Texts). Same concurrency
+  /// contract as the Text overload.
+  void QueryBatch(std::span<const PatternSpan> patterns,
+                  std::span<QueryResult> results,
+                  QueryScratch* scratch) const;
+
   /// Sliding-window workloads: answers U for every length-\p window_len
   /// window of \p document (results[i] = U(document[i..i+window_len-1]);
   /// results.size() must be document.size() - window_len + 1). One O(1)
@@ -169,8 +200,15 @@ class UsiIndex : public QueryEngine {
     return static_cast<const UsiIndex*>(this)->Query(pattern);
   }
   void PrepareBatch(std::span<const Text> patterns) override;
+  void PrepareBatch(std::span<const PatternSpan> patterns) override;
   bool BatchPrepared(std::span<const Text> patterns) const override;
+  bool BatchPrepared(std::span<const PatternSpan> patterns) const override;
   void QueryBatch(std::span<const Text> patterns,
+                  std::span<QueryResult> results,
+                  QueryScratch* scratch) override {
+    static_cast<const UsiIndex*>(this)->QueryBatch(patterns, results, scratch);
+  }
+  void QueryBatch(std::span<const PatternSpan> patterns,
                   std::span<QueryResult> results,
                   QueryScratch* scratch) override {
     static_cast<const UsiIndex*>(this)->QueryBatch(patterns, results, scratch);
@@ -187,6 +225,11 @@ class UsiIndex : public QueryEngine {
 
   /// Construction telemetry.
   const UsiBuildInfo& build_info() const { return build_info_; }
+
+  /// The learned fallback model. empty() when the build disabled it
+  /// (learned_epsilon == 0) or the opened image carries no learned section —
+  /// misses then go through plain binary search.
+  const LearnedSa& learned_sa() const { return learned_; }
 
   /// Number of precomputed entries in H.
   std::size_t HashTableEntries() const { return table_.size(); }
@@ -223,7 +266,13 @@ class UsiIndex : public QueryEngine {
   UsiIndex(BuildTag, const WeightedString& ws, const UsiOptions& options);
 
   bool SaveV2Body(BinaryWriter& writer) const;
-  bool SaveV3Body(BinaryWriter& writer) const;
+  bool SaveV3Body(BinaryWriter& writer, const SaveOptions& save_options) const;
+
+  /// Shared body of both QueryBatch overloads; P is Text or PatternSpan.
+  template <typename P>
+  void QueryBatchImpl(std::span<const P> patterns,
+                      std::span<QueryResult> results,
+                      QueryScratch* scratch) const;
 
   const WeightedString* ws_;
   GlobalUtilityKind kind_;
@@ -235,6 +284,10 @@ class UsiIndex : public QueryEngine {
   std::span<const index_t> sa_span_;
   PrefixSumWeights psw_;
   FingerprintTable<TableValue> table_;
+  /// Learned last-mile model for table misses. Owns its arrays for built /
+  /// v2-loaded indexes; views the mapped learned section for OpenMapped
+  /// ones (the mapping outlives the model).
+  LearnedSa learned_;
   ExhaustiveQueryEngine fallback_;
   UsiBuildInfo build_info_;
   /// Keeps the file image alive for mmap-backed indexes — sa_span_, psw_,

@@ -60,6 +60,19 @@ void UsiService::ReleaseScratch(std::unique_ptr<ScratchBlock> block) {
 void UsiService::QueryBatchInto(std::span<const Text> patterns,
                                 std::span<QueryResult> results,
                                 UsiBatchStats* stats) {
+  QueryBatchIntoImpl(patterns, results, stats);
+}
+
+void UsiService::QueryBatchInto(std::span<const PatternSpan> patterns,
+                                std::span<QueryResult> results,
+                                UsiBatchStats* stats) {
+  QueryBatchIntoImpl(patterns, results, stats);
+}
+
+template <typename P>
+void UsiService::QueryBatchIntoImpl(std::span<const P> patterns,
+                                    std::span<QueryResult> results,
+                                    UsiBatchStats* stats) {
   USI_CHECK(results.size() >= patterns.size());
   Timer timer;
   UsiBatchStats batch;

@@ -113,6 +113,14 @@ class UsiService {
                       std::span<QueryResult> results,
                       UsiBatchStats* stats = nullptr);
 
+  /// Span-of-spans QueryBatchInto: patterns are borrowed from caller
+  /// storage (bytes must stay alive and unchanged for the call), so gather
+  /// stages scatter pointers instead of copying pattern bytes. Identical
+  /// serving behavior and telemetry.
+  void QueryBatchInto(std::span<const PatternSpan> patterns,
+                      std::span<QueryResult> results,
+                      UsiBatchStats* stats = nullptr);
+
   /// Single-query passthrough.
   QueryResult Query(std::span<const Symbol> pattern) {
     return engine_->Query(pattern);
@@ -142,6 +150,13 @@ class UsiService {
 
   /// Returns a block to the free list.
   void ReleaseScratch(std::unique_ptr<ScratchBlock> block);
+
+  /// Shared body of both QueryBatchInto overloads; P is Text or
+  /// PatternSpan.
+  template <typename P>
+  void QueryBatchIntoImpl(std::span<const P> patterns,
+                          std::span<QueryResult> results,
+                          UsiBatchStats* stats);
 
   QueryEngine* engine_;
   ThreadPool* pool_ = nullptr;            ///< Borrowed, may be null.

@@ -53,24 +53,39 @@ double UtilityAccumulator::Finalize(GlobalUtilityKind kind) const {
   return value;
 }
 
+SaInterval ExhaustiveQueryEngine::Locate(
+    std::span<const Symbol> pattern) const {
+  USI_CHECK(wired());
+  if (learned_ != nullptr && !learned_->empty()) {
+    return learned_->FindInterval(*text_, sa_, pattern);
+  }
+  return FindSaInterval(*text_, sa_, pattern);
+}
+
+QueryResult ExhaustiveQueryEngine::Aggregate(SaInterval interval,
+                                             index_t m) const {
+  USI_CHECK(wired());
+  QueryResult result;
+  if (interval.IsEmpty()) return result;
+  UtilityAccumulator acc;
+  const GlobalUtilityKind kind = kind_;
+  const PrefixSumWeights* psw = psw_;
+  VisitSaInterval(sa_, interval, psw->data(), [&](index_t pos) {
+    acc.Add(psw->LocalUtility(pos, m), kind);
+  });
+  result.utility = acc.Finalize(kind);
+  result.occurrences = interval.Count();
+  return result;
+}
+
 QueryResult ExhaustiveQueryEngine::Compute(
     std::span<const Symbol> pattern) const {
   // A default-constructed engine has nothing to answer from; computing
   // through it is a wiring bug, not bad input — abort before the null
   // borrows are dereferenced.
   USI_CHECK(wired());
-  QueryResult result;
-  if (pattern.empty()) return result;
-  const SaInterval interval = FindSaInterval(*text_, sa_, pattern);
-  if (interval.IsEmpty()) return result;
-  UtilityAccumulator acc;
-  const index_t m = static_cast<index_t>(pattern.size());
-  for (index_t k = interval.lb; k <= interval.rb; ++k) {
-    acc.Add(psw_->LocalUtility(sa_[k], m), kind_);
-  }
-  result.utility = acc.Finalize(kind_);
-  result.occurrences = interval.Count();
-  return result;
+  if (pattern.empty()) return QueryResult{};
+  return Aggregate(Locate(pattern), static_cast<index_t>(pattern.size()));
 }
 
 std::size_t ExhaustiveQueryEngine::SizeInBytes() const {

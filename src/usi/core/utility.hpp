@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "usi/core/query_engine.hpp"
+#include "usi/suffix/learned_sa.hpp"
 #include "usi/suffix/sa_search.hpp"
 #include "usi/text/weighted_string.hpp"
 #include "usi/util/common.hpp"
@@ -143,8 +144,29 @@ class ExhaustiveQueryEngine : public QueryEngine {
                         const PrefixSumWeights& psw, GlobalUtilityKind kind)
       : text_(&text), sa_(sa), psw_(&psw), kind_(kind), wired_(true) {}
 
+  /// Attaches a learned last-mile model (borrowed, may be null to detach;
+  /// must outlive the engine). When present and non-empty, Compute locates
+  /// intervals through LearnedSa::FindInterval — byte-identical answers,
+  /// fewer cache-missing probes. Engines copied by value carry the pointer
+  /// with them, so the model must outlive every copy too.
+  void AttachLearned(const LearnedSa* learned) { learned_ = learned; }
+
+  /// The attached model (null when searching plain).
+  const LearnedSa* learned() const { return learned_; }
+
   /// Computes U(pattern) by full occurrence aggregation.
   QueryResult Compute(std::span<const Symbol> pattern) const;
+
+  /// Locates the pattern's SA interval — through the learned model when one
+  /// is attached, plain binary search otherwise. Identical answers.
+  SaInterval Locate(std::span<const Symbol> pattern) const;
+
+  /// Aggregates a located interval into U(P) for a pattern of length \p m
+  /// (the occurrence-aggregation half of Compute; the batched fallback path
+  /// resolves intervals in bulk and aggregates them through this). SA and
+  /// PSW reads run with software prefetch — occurrence walks are SA-ordered
+  /// random access into both arrays.
+  QueryResult Aggregate(SaInterval interval, index_t m) const;
 
   /// QueryEngine interface. Stateless per query, so concurrent calls are
   /// safe once the engine is wired.
@@ -164,6 +186,7 @@ class ExhaustiveQueryEngine : public QueryEngine {
   const Text* text_ = nullptr;
   std::span<const index_t> sa_;
   const PrefixSumWeights* psw_ = nullptr;
+  const LearnedSa* learned_ = nullptr;  ///< Borrowed; null = plain search.
   GlobalUtilityKind kind_ = GlobalUtilityKind::kSum;
   bool wired_ = false;
 };

@@ -1,0 +1,726 @@
+#include "usi/suffix/learned_sa.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace usi {
+namespace {
+
+/// Payload magic ("LSA1").
+constexpr u32 kPayloadMagic = 0x4C534131;
+
+/// Radix-table sizing: enough buckets that a bucket holds only a handful of
+/// segments, capped so the table never dominates the model's footprint.
+constexpr u32 kMaxRadixBits = 18;
+
+/// Serialized payload header. Written and read raw; every field is
+/// fixed-width and the struct is padded to a multiple of 8 so the segment
+/// array that follows the (8-padded) radix table stays 8-byte aligned in
+/// the mapped file.
+struct PayloadHeader {
+  u32 magic = kPayloadMagic;
+  u32 epsilon = 0;
+  u64 n = 0;
+  u64 num_radix = 0;       ///< Shared by both radix tables.
+  u64 num_segments = 0;    ///< Lower (first-occurrence) model.
+  u64 min_key = 0;
+  u64 max_key = 0;
+  u32 shift = 0;
+  u32 key_bits = 0;            ///< Bits per packed symbol; chars = 64 / bits.
+  u64 num_upper_segments = 0;  ///< Upper (end-of-run) model.
+};
+static_assert(sizeof(PayloadHeader) == 64);
+
+u64 ToBigEndian64(u64 raw) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap64(raw);
+  }
+  return raw;
+}
+
+/// Pack of the first min(kp.chars, m) pattern symbols, plus the key of the
+/// largest packed prefix still starting with the pattern: for
+/// m >= kp.chars both collapse to one key; for shorter patterns the
+/// pattern owns the key range [qlo, qhi] (its unset low bits run from
+/// all-zero to all-one). A pattern symbol outside the packed alphabet
+/// (possible — queries are arbitrary bytes, the text is compact-coded)
+/// matches nothing; both seeds collapse onto the position past every
+/// suffix sharing the preceding prefix, and the last-mile search confirms
+/// the empty interval there.
+void PatternKeyRange(std::span<const Symbol> pattern, const KeyPacking& kp,
+                     u64* qlo, u64* qhi) {
+  const u32 max_symbol = (u32{1} << kp.bits) - 1;
+  const std::size_t take = std::min<std::size_t>(kp.chars, pattern.size());
+  u64 key = 0;
+  for (std::size_t j = 0; j < take; ++j) {
+    if (pattern[j] > max_symbol) {
+      if (j == 0) {
+        *qlo = *qhi = ~u64{0};
+        return;
+      }
+      const u32 rem = 64 - kp.bits * static_cast<u32>(j);
+      *qlo = *qhi = (key << rem) | ((u64{1} << rem) - 1);
+      return;
+    }
+    key = (key << kp.bits) | pattern[j];
+  }
+  const u32 rem = 64 - kp.bits * static_cast<u32>(take);
+  key <<= rem;
+  *qlo = key;
+  *qhi = take == kp.chars ? key : key | ((u64{1} << rem) - 1);
+}
+
+/// Sign of suffix text[pos..) vs \p pattern on the first m characters
+/// (0 = the pattern is a prefix of the suffix; an exhausted suffix sorts
+/// below the pattern), plus the matched prefix length. The first \p skip
+/// characters are known equal and never re-read (llcp/rlcp contract); the
+/// rest compares word-at-a-time, locating the first mismatching byte with
+/// one XOR + count-trailing-zeros instead of a byte loop.
+struct SuffixCmp {
+  int sign;
+  std::size_t lcp;
+};
+
+SuffixCmp CompareSuffix(const Symbol* text, std::size_t n, index_t pos,
+                        const Symbol* pattern, std::size_t m,
+                        std::size_t skip) {
+  const Symbol* s = text + pos;
+  const std::size_t limit = std::min<std::size_t>(m, n - pos);
+  std::size_t k = skip;
+  while (k + 8 <= limit) {
+    u64 a;
+    u64 b;
+    std::memcpy(&a, s + k, 8);
+    std::memcpy(&b, pattern + k, 8);
+    if (a != b) {
+      const u64 diff = a ^ b;
+      const std::size_t byte =
+          std::endian::native == std::endian::little
+              ? static_cast<std::size_t>(std::countr_zero(diff)) >> 3
+              : static_cast<std::size_t>(std::countl_zero(diff)) >> 3;
+      k += byte;
+      return {s[k] < pattern[k] ? -1 : 1, k};
+    }
+    k += 8;
+  }
+  for (; k < limit; ++k) {
+    if (s[k] != pattern[k]) return {s[k] < pattern[k] ? -1 : 1, k};
+  }
+  if (k < m) return {-1, k};  // Suffix exhausted: suffix < pattern.
+  return {0, m};
+}
+
+/// Finds the first i in [0, sa_n] with CompareSuffix(sa[i]).sign >= t
+/// (t = 0 locates lb, t = 1 locates rb + 1), starting from the predicted
+/// window [wlo, whi]. The window edges are verified first — galloping
+/// outward with doubling steps when the boundary lies outside (the ε
+/// contract's escape hatch) — then a Manber-Myers binary search with
+/// llcp/rlcp skipping finishes inside the bracket.
+std::size_t SearchBoundary(const Symbol* text, std::size_t n,
+                           const index_t* sa, std::size_t sa_n,
+                           const Symbol* pattern, std::size_t m, int t,
+                           u64 wlo, u64 whi) {
+  std::size_t lo = static_cast<std::size_t>(std::min<u64>(wlo, sa_n));
+  std::size_t hi = static_cast<std::size_t>(std::min<u64>(whi, sa_n));
+  std::size_t llcp = 0;
+  std::size_t rlcp = 0;
+  bool right_ok = hi == sa_n;
+
+  // Left edge: establish lo == 0 or sa[lo-1] left of the boundary.
+  u64 step = 1;
+  while (lo > 0) {
+    const SuffixCmp c = CompareSuffix(text, n, sa[lo - 1], pattern, m, 0);
+    if (c.sign < t) {
+      llcp = c.lcp;
+      break;
+    }
+    // The probe is right of the boundary: it becomes the right fence and
+    // the window slides left, doubling.
+    hi = lo - 1;
+    rlcp = c.lcp;
+    right_ok = true;
+    lo = lo > step ? lo - step : 0;
+    step <<= 1;
+  }
+  // Right edge: establish hi == sa_n or sa[hi] right of the boundary.
+  step = 1;
+  while (!right_ok && hi < sa_n) {
+    const SuffixCmp c = CompareSuffix(text, n, sa[hi], pattern, m, 0);
+    if (c.sign >= t) {
+      rlcp = c.lcp;
+      break;
+    }
+    lo = hi + 1;
+    llcp = c.lcp;
+    hi = std::min<std::size_t>(sa_n, hi + step);
+    step <<= 1;
+  }
+
+  // Bracketed last mile: probes start at min(llcp, rlcp) matched
+  // characters — any suffix between two fences shares at least that prefix
+  // with the pattern, so those bytes are never re-read.
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const SuffixCmp c =
+        CompareSuffix(text, n, sa[mid], pattern, m, std::min(llcp, rlcp));
+    if (c.sign < t) {
+      lo = mid + 1;
+      llcp = c.lcp;
+    } else {
+      hi = mid;
+      rlcp = c.lcp;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+KeyPacking KeyPacking::ForSigma(u32 sigma) {
+  const u32 bits = std::max<u32>(
+      1, static_cast<u32>(std::bit_width(std::max(sigma, 1u) - 1)));
+  return KeyPacking{bits, 64 / bits};
+}
+
+KeyPacking KeyPacking::ForText(const Text& text) {
+  Symbol max_symbol = 0;
+  for (const Symbol c : text) max_symbol = std::max(max_symbol, c);
+  return ForSigma(static_cast<u32>(max_symbol) + 1);
+}
+
+u64 PackSuffixKey(const Text& text, index_t pos, const KeyPacking& kp) {
+  const std::size_t n = text.size();
+  USI_DCHECK(pos < n);
+  if (kp.bits == 8 && pos + 8 <= n) {
+    u64 raw;
+    std::memcpy(&raw, text.data() + pos, 8);
+    return ToBigEndian64(raw);
+  }
+  const std::size_t take = std::min<std::size_t>(kp.chars, n - pos);
+  u64 key = 0;
+  for (std::size_t j = 0; j < take; ++j) {
+    USI_DCHECK(text[pos + j] < (u32{1} << kp.bits));
+    key = (key << kp.bits) | text[pos + j];
+  }
+  return key << (64 - kp.bits * static_cast<u32>(take));
+}
+
+namespace {
+
+/// Greedy shrinking-cone PLA fitter. The cone keeps the feasible slope
+/// interval of a line anchored at the open segment's first point; a point
+/// that empties it closes the segment and anchors the next one. Closing
+/// verifies every covered point against the STORED coefficients with the
+/// same arithmetic Predict uses, so the recorded ε stays honest even where
+/// double rounding nudges a prediction past the cone's bound.
+class ConeFitter {
+ public:
+  explicit ConeFitter(double eps) : eps_(eps) {}
+
+  void Add(u64 x, u64 y) {
+    if (seg_pts_.empty()) {
+      Open(x, y);
+      return;
+    }
+    const Pt& p0 = seg_pts_.front();
+    const double dx = static_cast<double>(x - p0.x);
+    const double dy = static_cast<double>(y) - static_cast<double>(p0.y);
+    const double nlo = std::max(slope_lo_, (dy - eps_) / dx);
+    const double nhi = std::min(slope_hi_, (dy + eps_) / dx);
+    if (nlo > nhi) {
+      Close();
+      Open(x, y);
+    } else {
+      slope_lo_ = nlo;
+      slope_hi_ = nhi;
+      seg_pts_.push_back({x, y});
+    }
+  }
+
+  void Finish() {
+    if (!seg_pts_.empty()) Close();
+  }
+
+  std::vector<LearnedSa::Segment>& segments() { return segments_; }
+  double max_err() const { return max_err_; }
+
+ private:
+  struct Pt {
+    u64 x;
+    u64 y;
+  };
+
+  void Open(u64 x, u64 y) {
+    seg_pts_.assign(1, Pt{x, y});
+    slope_lo_ = -std::numeric_limits<double>::infinity();
+    slope_hi_ = std::numeric_limits<double>::infinity();
+  }
+
+  void Close() {
+    const Pt& p0 = seg_pts_.front();
+    const double slope =
+        seg_pts_.size() == 1 ? 0.0 : 0.5 * (slope_lo_ + slope_hi_);
+    const LearnedSa::Segment seg{p0.x, slope, static_cast<double>(p0.y)};
+    for (const Pt& pt : seg_pts_) {
+      const double pred =
+          seg.intercept + seg.slope * static_cast<double>(pt.x - seg.first_key);
+      const double err = std::fabs(pred - static_cast<double>(pt.y));
+      if (err > max_err_) max_err_ = err;
+    }
+    segments_.push_back(seg);
+    seg_pts_.clear();
+  }
+
+  double eps_;
+  std::vector<Pt> seg_pts_;  // Points of the open segment, for verification.
+  double slope_lo_ = 0;
+  double slope_hi_ = 0;
+  double max_err_ = 0;
+  std::vector<LearnedSa::Segment> segments_;
+};
+
+/// radix[b] = first segment whose anchor key lands in bucket >= b, so a
+/// lookup binary-searches only within one bucket's segments.
+std::vector<u32> BuildRadix(const std::vector<LearnedSa::Segment>& segments,
+                            u64 min_key, u32 shift, u64 num_buckets) {
+  std::vector<u32> radix(static_cast<std::size_t>(num_buckets) + 1, 0);
+  u64 b = 0;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const u64 sb = (segments[s].first_key - min_key) >> shift;
+    while (b <= sb) radix[b++] = static_cast<u32>(s);
+  }
+  const u32 nseg = static_cast<u32>(segments.size());
+  while (b <= num_buckets) radix[b++] = nseg;
+  return radix;
+}
+
+}  // namespace
+
+void LearnedSa::Build(const Text& text, std::span<const index_t> sa,
+                      const Options& options) {
+  *this = LearnedSa();
+  if (sa.empty() || options.epsilon == 0) return;
+  n_ = sa.size();
+  epsilon_ = options.epsilon;
+  packing_ = KeyPacking::ForText(text);
+  const double eps = static_cast<double>(options.epsilon);
+
+  // One deterministic pass streams the distinct keys off the SA into both
+  // fits: the lower model gets (key, first occurrence), the upper model
+  // gets (key, first position after the key's run) — both x sequences are
+  // identical, so the two models share the radix geometry below.
+  ConeFitter lower_fit(eps);
+  ConeFitter upper_fit(eps);
+  u64 prev_key = 0;
+  bool have_prev = false;
+  for (u64 i = 0; i < n_; ++i) {
+    const u64 key = PackSuffixKey(text, sa[i], packing_);
+    USI_DCHECK(!have_prev || key >= prev_key);
+    if (have_prev && key == prev_key) continue;
+    if (have_prev) upper_fit.Add(prev_key, i);
+    lower_fit.Add(key, i);
+    prev_key = key;
+    have_prev = true;
+  }
+  upper_fit.Add(prev_key, n_);
+  lower_fit.Finish();
+  upper_fit.Finish();
+  lower_own_ = std::move(lower_fit.segments());
+  upper_own_ = std::move(upper_fit.segments());
+  const double max_err = std::max(lower_fit.max_err(), upper_fit.max_err());
+  if (max_err > static_cast<double>(epsilon_)) {
+    epsilon_ = static_cast<u32>(std::min<double>(
+        std::ceil(max_err), std::numeric_limits<u32>::max()));
+  }
+  min_key_ = lower_own_.front().first_key;
+  max_key_ = prev_key;
+
+  // Shared radix root: bucket(q) = (q - min_key) >> shift over the
+  // populated key range, one table per model.
+  const u64 range = max_key_ - min_key_;
+  const u32 range_bits = static_cast<u32>(std::bit_width(range | 1));
+  const u32 want_bits = std::min<u32>(
+      kMaxRadixBits,
+      static_cast<u32>(std::bit_width(
+          std::max(lower_own_.size(), upper_own_.size()))) + 2);
+  const u32 bits = std::min(std::max(want_bits, 1u), range_bits);
+  shift_ = range_bits - bits;
+  const u64 num_buckets = (range >> shift_) + 1;
+  radix_lower_own_ = BuildRadix(lower_own_, min_key_, shift_, num_buckets);
+  radix_upper_own_ = BuildRadix(upper_own_, min_key_, shift_, num_buckets);
+
+  radix_lower_ = radix_lower_own_;
+  radix_upper_ = radix_upper_own_;
+  lower_ = lower_own_;
+  upper_ = upper_own_;
+}
+
+u64 LearnedSa::Predict(std::span<const u32> radix,
+                       std::span<const Segment> segments, u64 q) const {
+  if (q <= min_key_) return 0;
+  if (q > max_key_) return n_;
+  const u64 bucket = (q - min_key_) >> shift_;
+  // Clamps rather than trusting the (possibly view-adopted) table blindly:
+  // a corrupt radix entry can only mislead the prediction — which the
+  // gallop correction absorbs — never read out of bounds.
+  const std::size_t nseg = segments.size();
+  const std::size_t b =
+      std::min<std::size_t>(static_cast<std::size_t>(bucket),
+                            radix.size() - 2);
+  std::size_t lo = std::min<std::size_t>(radix[b], nseg);
+  std::size_t hi = std::min<std::size_t>(radix[b + 1], nseg);
+  if (hi < lo) hi = lo;
+  // Last segment with first_key <= q (upper_bound - 1).
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (segments[mid].first_key <= q) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const Segment& seg = segments[lo == 0 ? 0 : lo - 1];
+  const u64 dx = q >= seg.first_key ? q - seg.first_key : 0;
+  double pred = seg.intercept + seg.slope * static_cast<double>(dx);
+  // Clamp to the surrounding anchors. The ε bound only covers fitted keys;
+  // a query key in the gap past a segment's last fitted point would
+  // otherwise ride the line arbitrarily far (64-bit key gaps are huge), and
+  // the gallop correction would pay log2(n) probes for what is actually a
+  // position between this anchor and the next.
+  if (pred < seg.intercept) pred = seg.intercept;
+  if (lo < nseg && pred > segments[lo].intercept) {
+    pred = segments[lo].intercept;
+  }
+  // The !(pred > 0) form also routes NaN (corrupt coefficients) to 0.
+  if (!(pred > 0)) return 0;
+  if (pred >= static_cast<double>(n_)) return n_;
+  return static_cast<u64>(pred);
+}
+
+SaInterval LearnedSa::FindInterval(const Text& text,
+                                   std::span<const index_t> sa,
+                                   std::span<const Symbol> pattern) const {
+  if (sa.empty()) return SaInterval{};
+  if (pattern.empty()) {
+    return SaInterval{0, static_cast<index_t>(sa.size()) - 1};
+  }
+  if (pattern.size() > text.size()) return SaInterval{};
+  if (empty()) return FindSaInterval(text, sa, pattern);
+  USI_DCHECK(n_ == sa.size());
+
+  u64 qlo;
+  u64 qhi;
+  PatternKeyRange(pattern, packing_, &qlo, &qhi);
+  const u64 slack = Slack();
+  const u64 plo = Predict(radix_lower_, lower_, qlo);
+  // The upper model predicts the first position past qhi's run — exactly
+  // the rb + 1 boundary when the pattern fits in the packed key.
+  const u64 phi = Predict(radix_upper_, upper_, qhi);
+
+  // For patterns longer than the packed key the lb boundary can sit
+  // anywhere inside the key's run, which only [plo, phi] is guaranteed to
+  // bracket; for patterns that fit it is the run's start, so the tight
+  // lower window suffices.
+  const u64 lb_hi = pattern.size() > packing_.chars ? std::max(plo, phi) : plo;
+  const Symbol* text_p = text.data();
+  const std::size_t n = text.size();
+  const std::size_t first = SearchBoundary(
+      text_p, n, sa.data(), sa.size(), pattern.data(), pattern.size(),
+      /*t=*/0, plo > slack ? plo - slack : 0, lb_hi + slack);
+  // The upper boundary can never precede the lower one; clamping its window
+  // up to `first` saves the gallop a wasted left probe.
+  const u64 up_lo = std::max<u64>(first, phi > slack ? phi - slack : 0);
+  const std::size_t last1 = SearchBoundary(
+      text_p, n, sa.data(), sa.size(), pattern.data(), pattern.size(),
+      /*t=*/1, up_lo, std::max<u64>(up_lo, phi + slack));
+  if (last1 <= first) return SaInterval{};
+  return SaInterval{static_cast<index_t>(first),
+                    static_cast<index_t>(last1 - 1)};
+}
+
+void LearnedSa::FindIntervalBatch(
+    const Text& text, std::span<const index_t> sa,
+    std::span<const std::span<const Symbol>> patterns,
+    std::span<SaInterval> out) const {
+  USI_CHECK(out.size() >= patterns.size());
+  if (empty() || sa.empty()) {
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      out[i] = FindInterval(text, sa, patterns[i]);
+    }
+    return;
+  }
+  USI_DCHECK(n_ == sa.size());
+  const Symbol* text_p = text.data();
+  const std::size_t n = text.size();
+  const index_t* sa_p = sa.data();
+  const std::size_t sa_n = sa.size();
+  const u64 slack = Slack();
+
+  // One in-flight search per pattern: stage-machine state mirroring
+  // SearchBoundary (gallop-verified window, then bracketed binary search),
+  // resolving the lb boundary first and the rb+1 boundary second. A group
+  // of kGroup searches advances in lock-step rounds of three passes —
+  // pick probe + prefetch &sa[probe], load sa[probe] + prefetch the suffix
+  // bytes, compare + update — so every SA and text cache miss overlaps
+  // kGroup-wide instead of stalling one search at a time.
+  enum Stage : u8 { kLeft, kRight, kBinary, kDone };
+  struct Search {
+    const Symbol* p;
+    std::size_t m;
+    u32 idx;         ///< Index into patterns / out.
+    u8 t;            ///< Boundary being located: 0 = lb, 1 = rb + 1.
+    Stage stage;
+    bool right_ok;
+    std::size_t lo, hi;
+    std::size_t llcp, rlcp;
+    u64 step;
+    u64 phi;         ///< Predicted rb + 1 position (second boundary seed).
+    std::size_t first;  ///< Resolved lb boundary.
+    std::size_t probe;  ///< SA slot probed this round.
+    index_t pos;        ///< sa[probe], loaded in pass B.
+  };
+  constexpr std::size_t kGroup = 16;
+  Search group[kGroup];
+
+  const auto start_boundary = [&](Search& s, u64 seed_lo, u64 seed_hi) {
+    s.lo = static_cast<std::size_t>(std::min<u64>(seed_lo, sa_n));
+    s.hi = static_cast<std::size_t>(std::min<u64>(seed_hi, sa_n));
+    s.llcp = 0;
+    s.rlcp = 0;
+    s.step = 1;
+    s.right_ok = s.hi == sa_n;
+    s.stage = kLeft;
+  };
+
+  // Runs probe-free transitions; true when s needs a probe, false when the
+  // search completed (out[s.idx] written).
+  const auto advance = [&](Search& s) -> bool {
+    for (;;) {
+      switch (s.stage) {
+        case kLeft:
+          if (s.lo == 0) {
+            s.stage = s.right_ok ? kBinary : kRight;
+            s.step = 1;
+            continue;
+          }
+          s.probe = s.lo - 1;
+          return true;
+        case kRight:
+          if (s.hi == sa_n) {
+            s.stage = kBinary;
+            continue;
+          }
+          s.probe = s.hi;
+          return true;
+        case kBinary:
+          if (s.lo < s.hi) {
+            s.probe = s.lo + (s.hi - s.lo) / 2;
+            return true;
+          }
+          if (s.t == 0) {
+            s.first = s.lo;
+            s.t = 1;
+            const u64 up_lo = std::max<u64>(
+                s.first, s.phi > slack ? s.phi - slack : 0);
+            start_boundary(s, up_lo, std::max<u64>(up_lo, s.phi + slack));
+            continue;
+          }
+          out[s.idx] = s.lo <= s.first
+                           ? SaInterval{}
+                           : SaInterval{static_cast<index_t>(s.first),
+                                        static_cast<index_t>(s.lo - 1)};
+          s.stage = kDone;
+          return false;
+        case kDone:
+          return false;
+      }
+    }
+  };
+
+  const auto apply = [&](Search& s, const SuffixCmp& c) {
+    const int t = s.t;
+    switch (s.stage) {
+      case kLeft:
+        if (c.sign < t) {
+          s.llcp = c.lcp;
+          s.stage = s.right_ok ? kBinary : kRight;
+          s.step = 1;
+        } else {
+          s.hi = s.lo - 1;
+          s.rlcp = c.lcp;
+          s.right_ok = true;
+          s.lo = s.lo > s.step ? s.lo - s.step : 0;
+          s.step <<= 1;
+        }
+        break;
+      case kRight:
+        if (c.sign >= t) {
+          s.rlcp = c.lcp;
+          s.stage = kBinary;
+        } else {
+          s.lo = s.hi + 1;
+          s.llcp = c.lcp;
+          s.hi = std::min<std::size_t>(sa_n, s.hi + s.step);
+          s.step <<= 1;
+        }
+        break;
+      case kBinary:
+        if (c.sign < t) {
+          s.lo = s.probe + 1;
+          s.llcp = c.lcp;
+        } else {
+          s.hi = s.probe;
+          s.rlcp = c.lcp;
+        }
+        break;
+      case kDone:
+        break;
+    }
+  };
+
+  for (std::size_t base = 0; base < patterns.size(); base += kGroup) {
+    const std::size_t count = std::min(kGroup, patterns.size() - base);
+    std::size_t live = 0;
+    for (std::size_t g = 0; g < count; ++g) {
+      const std::size_t i = base + g;
+      const std::span<const Symbol> pattern = patterns[i];
+      if (pattern.empty()) {
+        out[i] = SaInterval{0, static_cast<index_t>(sa_n) - 1};
+        continue;
+      }
+      if (pattern.size() > n) {
+        out[i] = SaInterval{};
+        continue;
+      }
+      Search& s = group[live++];
+      s.p = pattern.data();
+      s.m = pattern.size();
+      s.idx = static_cast<u32>(i);
+      s.t = 0;
+      u64 qlo;
+      u64 qhi;
+      PatternKeyRange(pattern, packing_, &qlo, &qhi);
+      const u64 plo = Predict(radix_lower_, lower_, qlo);
+      s.phi = Predict(radix_upper_, upper_, qhi);
+      // Same lb-window widening as FindInterval: boundaries inside a key
+      // run (m > chars) are only bracketed by [plo, phi].
+      const u64 lb_hi = s.m > packing_.chars ? std::max(plo, s.phi) : plo;
+      start_boundary(s, plo > slack ? plo - slack : 0, lb_hi + slack);
+    }
+
+    while (live > 0) {
+      // Pass A: pick each search's next probe, prefetch the SA slot.
+      std::size_t active = 0;
+      for (std::size_t g = 0; g < live; ++g) {
+        Search& s = group[g];
+        if (advance(s)) {
+          group[active++] = s;
+          __builtin_prefetch(sa_p + group[active - 1].probe);
+        }
+      }
+      live = active;
+      // Pass B: load the (now resident) SA entry, prefetch suffix bytes.
+      for (std::size_t g = 0; g < live; ++g) {
+        Search& s = group[g];
+        s.pos = sa_p[s.probe];
+        __builtin_prefetch(text_p + s.pos);
+      }
+      // Pass C: compare and update.
+      for (std::size_t g = 0; g < live; ++g) {
+        Search& s = group[g];
+        const std::size_t skip =
+            s.stage == kBinary ? std::min(s.llcp, s.rlcp) : 0;
+        apply(s, CompareSuffix(text_p, n, s.pos, s.p, s.m, skip));
+      }
+    }
+  }
+}
+
+std::vector<u8> LearnedSa::Serialize() const {
+  if (empty()) return {};
+  PayloadHeader header;
+  header.epsilon = epsilon_;
+  header.n = n_;
+  header.num_radix = radix_lower_.size();
+  header.num_segments = lower_.size();
+  header.num_upper_segments = upper_.size();
+  header.min_key = min_key_;
+  header.max_key = max_key_;
+  header.shift = shift_;
+  header.key_bits = packing_.bits;
+  // Layout: header | lower radix (8-padded) | lower segments | upper radix
+  // (8-padded) | upper segments. Pad gaps stay zero (vector value-init) —
+  // deterministic bytes.
+  const u64 radix_bytes = (radix_lower_.size_bytes() + 7) & ~u64{7};
+  std::vector<u8> payload(sizeof(header) + 2 * radix_bytes +
+                          lower_.size_bytes() + upper_.size_bytes());
+  u8* out = payload.data();
+  std::memcpy(out, &header, sizeof(header));
+  out += sizeof(header);
+  std::memcpy(out, radix_lower_.data(), radix_lower_.size_bytes());
+  out += radix_bytes;
+  std::memcpy(out, lower_.data(), lower_.size_bytes());
+  out += lower_.size_bytes();
+  std::memcpy(out, radix_upper_.data(), radix_upper_.size_bytes());
+  out += radix_bytes;
+  std::memcpy(out, upper_.data(), upper_.size_bytes());
+  return payload;
+}
+
+bool LearnedSa::AdoptView(const u8* data, u64 length) {
+  *this = LearnedSa();
+  if (data == nullptr || length < sizeof(PayloadHeader)) return false;
+  if ((reinterpret_cast<std::uintptr_t>(data) & 7) != 0) return false;
+  PayloadHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kPayloadMagic) return false;
+  if (header.epsilon == 0 || header.num_segments == 0) return false;
+  if (header.num_upper_segments == 0) return false;
+  if (header.key_bits == 0 || header.key_bits > 8) return false;
+  if (header.num_radix < 2 || header.shift >= 64) return false;
+  if (header.min_key > header.max_key) return false;
+  if (header.n == 0 || header.n > kInvalidIndex) return false;
+  if (header.num_segments > header.n) return false;
+  if (header.num_upper_segments > header.n) return false;
+  // Geometry must account for every byte: a short or oversized payload is
+  // corruption, not slack.
+  const u64 radix_bytes = (header.num_radix * sizeof(u32) + 7) & ~u64{7};
+  const u64 expected = sizeof(PayloadHeader) + 2 * radix_bytes +
+                       header.num_segments * sizeof(Segment) +
+                       header.num_upper_segments * sizeof(Segment);
+  if (header.num_radix > (u64{1} << (kMaxRadixBits + 1)) ||
+      expected != length) {
+    return false;
+  }
+  n_ = header.n;
+  epsilon_ = header.epsilon;
+  packing_ = KeyPacking{header.key_bits, 64 / header.key_bits};
+  min_key_ = header.min_key;
+  max_key_ = header.max_key;
+  shift_ = header.shift;
+  const u8* p = data + sizeof(PayloadHeader);
+  radix_lower_ = {reinterpret_cast<const u32*>(p),
+                  static_cast<std::size_t>(header.num_radix)};
+  p += radix_bytes;
+  lower_ = {reinterpret_cast<const Segment*>(p),
+            static_cast<std::size_t>(header.num_segments)};
+  p += header.num_segments * sizeof(Segment);
+  radix_upper_ = {reinterpret_cast<const u32*>(p),
+                  static_cast<std::size_t>(header.num_radix)};
+  p += radix_bytes;
+  upper_ = {reinterpret_cast<const Segment*>(p),
+            static_cast<std::size_t>(header.num_upper_segments)};
+  return true;
+}
+
+std::size_t LearnedSa::SizeInBytes() const {
+  if (empty()) return 0;
+  return sizeof(PayloadHeader) +
+         2 * ((radix_lower_.size_bytes() + 7) & ~u64{7}) +
+         lower_.size_bytes() + upper_.size_bytes();
+}
+
+}  // namespace usi

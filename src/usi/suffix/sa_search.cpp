@@ -1,32 +1,33 @@
 #include "usi/suffix/sa_search.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace usi {
 namespace {
 
 /// Compares suffix text[pos..) against \p pattern, but only on the first
 /// |pattern| characters: returns 0 if the pattern is a prefix of the suffix.
+/// The in-bounds run is one contiguous memcmp; only a suffix shorter than
+/// the pattern needs the exhaustion rule (shorter sorts below).
 int ComparePrefix(const Text& text, index_t pos,
                   std::span<const Symbol> pattern) {
-  const std::size_t n = text.size();
-  for (std::size_t k = 0; k < pattern.size(); ++k) {
-    if (pos + k >= n) return -1;  // Suffix exhausted: suffix < pattern.
-    if (text[pos + k] != pattern[k]) {
-      return text[pos + k] < pattern[k] ? -1 : 1;
-    }
-  }
-  return 0;
+  const std::size_t avail = text.size() - pos;
+  const std::size_t limit = std::min(pattern.size(), avail);
+  const int cmp = std::memcmp(text.data() + pos, pattern.data(), limit);
+  if (cmp != 0) return cmp < 0 ? -1 : 1;
+  return limit < pattern.size() ? -1 : 0;  // Suffix exhausted: suffix < pattern.
 }
 
 }  // namespace
 
 SaInterval FindSaInterval(const Text& text, std::span<const index_t> sa,
                           std::span<const Symbol> pattern) {
+  if (sa.empty()) return SaInterval{};
   if (pattern.empty()) {
     return SaInterval{0, static_cast<index_t>(sa.size()) - 1};
   }
-  if (sa.empty() || pattern.size() > text.size()) return SaInterval{};
+  if (pattern.size() > text.size()) return SaInterval{};
   // First suffix with prefix-compare >= 0.
   std::size_t lo = 0;
   std::size_t hi = sa.size();
@@ -58,11 +59,9 @@ std::vector<index_t> CollectOccurrences(const Text& text,
                                         std::span<const Symbol> pattern) {
   const SaInterval interval = FindSaInterval(text, sa, pattern);
   std::vector<index_t> occurrences;
-  if (interval.IsEmpty()) return occurrences;
   occurrences.reserve(interval.Count());
-  for (index_t k = interval.lb; k <= interval.rb; ++k) {
-    occurrences.push_back(sa[k]);
-  }
+  VisitSaInterval(sa, interval, nullptr,
+                  [&](index_t pos) { occurrences.push_back(pos); });
   return occurrences;
 }
 

@@ -16,13 +16,18 @@
 
 namespace usi {
 
-/// Half-open result of a pattern search: occurrences are SA[lb..rb]
-/// inclusive; empty when rb < lb.
+/// Result of a pattern search: occurrences are SA[lb..rb] inclusive.
+///
+/// The canonical empty interval is the default state {lb = 1, rb = 0} —
+/// every empty result constructs SaInterval{}, and emptiness is exactly
+/// rb < lb. No other representation (sentinel values included) is produced
+/// or recognized; code that builds intervals by hand must keep lb <= rb for
+/// non-empty ones.
 struct SaInterval {
   index_t lb = 1;
   index_t rb = 0;
 
-  bool IsEmpty() const { return rb < lb || lb == kInvalidIndex; }
+  bool IsEmpty() const { return rb < lb; }
   index_t Count() const { return IsEmpty() ? 0 : rb - lb + 1; }
 };
 
@@ -31,6 +36,32 @@ struct SaInterval {
 /// (vector) and mmap-backed (format v3) arrays search identically.
 SaInterval FindSaInterval(const Text& text, std::span<const index_t> sa,
                           std::span<const Symbol> pattern);
+
+/// Calls fn(sa[k]) for every k in \p interval, in SA order — the one
+/// occurrence-walk shared by utility aggregation and occurrence collection.
+/// SA reads run with software prefetch a few entries ahead, and when
+/// \p indexed_prefetch is non-null, indexed_prefetch[sa[k]] is prefetched
+/// one short lead ahead too (the PSW lookup the aggregation loop is about
+/// to perform); occurrence lists are in SA order, so both streams would
+/// otherwise miss on nearly every iteration of a large interval.
+template <typename Fn>
+inline void VisitSaInterval(std::span<const index_t> sa, SaInterval interval,
+                            const double* indexed_prefetch, Fn&& fn) {
+  if (interval.IsEmpty()) return;
+  // Two leads: the SA stream is sequential (long lead, cheap to hide), the
+  // dependent indexed stream needs the SA value first (short lead).
+  constexpr index_t kSaLead = 16;
+  constexpr index_t kIndexedLead = 4;
+  const index_t lb = interval.lb;
+  const index_t rb = interval.rb;
+  for (index_t k = lb; k <= rb; ++k) {
+    if (k + kSaLead <= rb) __builtin_prefetch(&sa[k + kSaLead]);
+    if (indexed_prefetch != nullptr && k + kIndexedLead <= rb) {
+      __builtin_prefetch(indexed_prefetch + sa[k + kIndexedLead]);
+    }
+    fn(sa[k]);
+  }
+}
 
 /// Collects the occurrence start positions of \p pattern (unsorted, SA
 /// order). Convenience for tests and examples.

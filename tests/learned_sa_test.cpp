@@ -1,0 +1,314 @@
+// Tests for the learned last-mile fallback (LearnedSa): differential parity
+// against plain binary search and brute force on adversarial text shapes,
+// batch == per-query parity (including through UsiService at several thread
+// counts), serialization, and the v3 learned-section round-trip.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/core/usi_service.hpp"
+#include "usi/suffix/learned_sa.hpp"
+#include "usi/suffix/sa_search.hpp"
+#include "usi/suffix/suffix_array.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+/// The text shapes the ε contract calls out: uniform random (model-friendly),
+/// periodic and all-equal (equal-key runs of unbounded length — the model's
+/// predictions are unboundedly wrong and the gallop must correct), and a
+/// full-256-alphabet text (keys spread over the whole u64 axis).
+std::vector<std::pair<std::string, Text>> AdversarialTexts() {
+  std::vector<std::pair<std::string, Text>> texts;
+  texts.emplace_back("random", testing::RandomText(2000, 4, 0xA1));
+  Text periodic;
+  for (int i = 0; i < 1800; ++i) {
+    periodic.push_back(static_cast<Symbol>("abc"[i % 3]));
+  }
+  texts.emplace_back("periodic", periodic);
+  texts.emplace_back("all-equal", Text(1500, static_cast<Symbol>('a')));
+  Rng rng(0xB2);
+  Text full;
+  for (int i = 0; i < 2000; ++i) {
+    full.push_back(static_cast<Symbol>(rng.UniformBelow(256)));
+  }
+  texts.emplace_back("full-alphabet", full);
+  return texts;
+}
+
+/// Query mix for one text: existing fragments both shorter and longer than
+/// the packed-key prefix, mutated (mostly absent, often outside the compact
+/// alphabet) patterns, the empty pattern, and a pattern longer than the
+/// text.
+std::vector<Text> PatternMix(const Text& text, u64 seed) {
+  Rng rng(seed);
+  std::vector<Text> patterns;
+  patterns.push_back({});  // Empty.
+  patterns.push_back(Text(text.size() + 3, static_cast<Symbol>('a')));
+  for (int q = 0; q < 160; ++q) {
+    // Lengths straddle the packed-key prefix of byte-like texts (8 chars):
+    // short patterns resolve inside the key, longer ones force last-mile
+    // compares past it. (Low-σ texts pack deeper and keep them all inside.)
+    const index_t len = 1 + static_cast<index_t>(rng.UniformBelow(14));
+    Text pattern(len);
+    if (len <= text.size() && q % 3 != 2) {
+      const index_t start =
+          static_cast<index_t>(rng.UniformBelow(text.size() - len + 1));
+      std::copy(text.begin() + start, text.begin() + start + len,
+                pattern.begin());
+      if (q % 3 == 1) {
+        // Mutate one byte: usually absent, lands between stored keys.
+        pattern[rng.UniformBelow(len)] =
+            static_cast<Symbol>(rng.UniformBelow(256));
+      }
+    } else {
+      for (auto& c : pattern) c = static_cast<Symbol>(rng.UniformBelow(256));
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  return patterns;
+}
+
+TEST(LearnedSa, PackSuffixKeyIsMonotoneInSaOrder) {
+  for (const auto& [name, text] : AdversarialTexts()) {
+    const std::vector<index_t> sa = BuildSuffixArray(text);
+    // Both the alphabet-fitted packing (what Build uses) and plain byte
+    // packing must order keys like the SA orders suffixes.
+    for (const KeyPacking kp : {KeyPacking::ForText(text), KeyPacking{}}) {
+      for (std::size_t k = 1; k < sa.size(); ++k) {
+        ASSERT_LE(PackSuffixKey(text, sa[k - 1], kp),
+                  PackSuffixKey(text, sa[k], kp))
+            << name << " at rank " << k << " bits " << kp.bits;
+      }
+    }
+  }
+}
+
+TEST(LearnedSa, IntervalParityOnAdversarialTexts) {
+  for (const auto& [name, text] : AdversarialTexts()) {
+    const std::vector<index_t> sa = BuildSuffixArray(text);
+    for (const u32 epsilon : {4u, 32u, 256u}) {
+      LearnedSa model;
+      model.Build(text, sa, {epsilon});
+      ASSERT_FALSE(model.empty()) << name;
+      EXPECT_GE(model.epsilon(), epsilon);
+      u64 seed = 0xC0FFEE ^ epsilon;
+      for (const Text& pattern : PatternMix(text, seed)) {
+        const SaInterval plain = FindSaInterval(text, sa, pattern);
+        const SaInterval learned = model.FindInterval(text, sa, pattern);
+        // Byte-identical intervals, not just equal counts.
+        ASSERT_EQ(plain.lb, learned.lb) << name << " eps=" << epsilon;
+        ASSERT_EQ(plain.rb, learned.rb) << name << " eps=" << epsilon;
+        const std::vector<index_t> brute =
+            testing::BruteOccurrences(text, pattern);
+        if (!pattern.empty()) {
+          ASSERT_EQ(learned.Count(), brute.size()) << name;
+        }
+      }
+    }
+  }
+}
+
+TEST(LearnedSa, BatchMatchesPerQuery) {
+  for (const auto& [name, text] : AdversarialTexts()) {
+    const std::vector<index_t> sa = BuildSuffixArray(text);
+    LearnedSa model;
+    model.Build(text, sa);
+    ASSERT_FALSE(model.empty()) << name;
+    const std::vector<Text> patterns = PatternMix(text, 0xBEEF);
+    std::vector<PatternSpan> spans;
+    for (const Text& p : patterns) spans.emplace_back(p.data(), p.size());
+    // Every batch size exercises a different AMAC group fill (1 = degenerate,
+    // 16 = exactly one group, 173 = ragged tail).
+    for (const std::size_t take : {std::size_t{1}, std::size_t{16},
+                                   spans.size()}) {
+      std::vector<SaInterval> batch(take);
+      model.FindIntervalBatch(
+          text, sa, std::span<const PatternSpan>(spans.data(), take),
+          std::span<SaInterval>(batch.data(), take));
+      for (std::size_t i = 0; i < take; ++i) {
+        const SaInterval one = model.FindInterval(text, sa, spans[i]);
+        ASSERT_EQ(one.lb, batch[i].lb) << name << " i=" << i;
+        ASSERT_EQ(one.rb, batch[i].rb) << name << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(LearnedSa, DisabledAndDegenerateInputs) {
+  const Text text = testing::T("abracadabra");
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  LearnedSa disabled;
+  disabled.Build(text, sa, {0});  // ε = 0 disables the model.
+  EXPECT_TRUE(disabled.empty());
+  LearnedSa empty_sa;
+  empty_sa.Build({}, {});
+  EXPECT_TRUE(empty_sa.empty());
+  // FindInterval on an empty model still answers (plain search fallback).
+  const SaInterval got = disabled.FindInterval(text, sa, testing::T("abra"));
+  const SaInterval want = FindSaInterval(text, sa, testing::T("abra"));
+  EXPECT_EQ(got.lb, want.lb);
+  EXPECT_EQ(got.rb, want.rb);
+}
+
+TEST(LearnedSa, SerializeAdoptRoundTrip) {
+  const Text text = testing::RandomText(3000, 5, 0xD4);
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  LearnedSa model;
+  model.Build(text, sa);
+  ASSERT_FALSE(model.empty());
+  const std::vector<u8> payload = model.Serialize();
+  EXPECT_EQ(payload.size(), model.SizeInBytes());
+
+  LearnedSa adopted;
+  ASSERT_TRUE(adopted.AdoptView(payload.data(), payload.size()));
+  EXPECT_EQ(adopted.epsilon(), model.epsilon());
+  EXPECT_EQ(adopted.num_segments(), model.num_segments());
+  EXPECT_EQ(adopted.fit_n(), model.fit_n());
+  for (const Text& pattern : PatternMix(text, 0xE5)) {
+    const SaInterval a = model.FindInterval(text, sa, pattern);
+    const SaInterval b = adopted.FindInterval(text, sa, pattern);
+    ASSERT_EQ(a.lb, b.lb);
+    ASSERT_EQ(a.rb, b.rb);
+  }
+  // An adopted model re-serializes to the same bytes.
+  EXPECT_EQ(adopted.Serialize(), payload);
+
+  // Malformed payloads are rejected, never adopted: truncation, a flipped
+  // magic, and a geometry lie.
+  LearnedSa bad;
+  EXPECT_FALSE(bad.AdoptView(payload.data(), payload.size() - 1));
+  EXPECT_TRUE(bad.empty());
+  std::vector<u8> flipped = payload;
+  flipped[0] ^= 0xFF;
+  EXPECT_FALSE(bad.AdoptView(flipped.data(), flipped.size()));
+  std::vector<u8> lying = payload;
+  lying[24] ^= 0x01;  // num_segments: length no longer matches geometry.
+  EXPECT_FALSE(bad.AdoptView(lying.data(), lying.size()));
+}
+
+TEST(LearnedSa, IndexMissPathParityThroughServiceThreads) {
+  // End-to-end: a small hash table forces most queries onto the fallback,
+  // and the service fans batches across 1/2/4/8 threads. Batched answers
+  // must equal per-pattern Query at every width — the concurrency contract
+  // the TSan job runs under.
+  const WeightedString ws = testing::RandomWeighted(6000, 4, 0xF7);
+  UsiOptions options;
+  options.k = 32;  // Tiny table: the miss path dominates.
+  UsiIndex index(ws, options);
+  ASSERT_FALSE(index.learned_sa().empty());
+
+  Rng rng(0x11);
+  std::vector<Text> patterns;
+  for (int i = 0; i < 700; ++i) {
+    const index_t len = 1 + static_cast<index_t>(rng.UniformBelow(12));
+    Text p(len);
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+    std::copy(ws.text().begin() + start, ws.text().begin() + start + len,
+              p.begin());
+    if (i % 4 == 3) p[len / 2] = static_cast<Symbol>(rng.UniformBelow(256));
+    patterns.push_back(std::move(p));
+  }
+  std::vector<QueryResult> expected(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    expected[i] = static_cast<const UsiIndex&>(index).Query(patterns[i]);
+  }
+
+  std::vector<PatternSpan> spans;
+  for (const Text& p : patterns) spans.emplace_back(p.data(), p.size());
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    UsiServiceOptions service_options;
+    service_options.threads = threads;
+    service_options.min_shard_size = 16;
+    UsiService service(index, service_options);
+    // Both batch surfaces: owned Texts and borrowed spans.
+    const std::vector<QueryResult> via_texts = service.QueryBatch(patterns);
+    std::vector<QueryResult> via_spans(patterns.size());
+    service.QueryBatchInto(std::span<const PatternSpan>(spans),
+                           std::span<QueryResult>(via_spans));
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      ASSERT_DOUBLE_EQ(expected[i].utility, via_texts[i].utility)
+          << "threads=" << threads;
+      ASSERT_EQ(expected[i].occurrences, via_texts[i].occurrences);
+      ASSERT_EQ(expected[i].from_hash_table, via_texts[i].from_hash_table);
+      ASSERT_DOUBLE_EQ(expected[i].utility, via_spans[i].utility)
+          << "threads=" << threads;
+      ASSERT_EQ(expected[i].occurrences, via_spans[i].occurrences);
+      ASSERT_EQ(expected[i].from_hash_table, via_spans[i].from_hash_table);
+    }
+  }
+}
+
+TEST(LearnedSa, V3RoundTripWithAndWithoutLearnedSection) {
+  const std::string dir = P_tmpdir;
+  const std::string with_path = dir + "/learned_sa_test_with.bin";
+  const std::string without_path = dir + "/learned_sa_test_without.bin";
+  const WeightedString ws = testing::RandomWeighted(4000, 4, 0x2A);
+  UsiOptions options;
+  options.k = 64;
+  UsiIndex index(ws, options);
+  ASSERT_FALSE(index.learned_sa().empty());
+
+  ASSERT_TRUE(index.SaveToFile(with_path, IndexFileFormat::kV3Mapped));
+  UsiIndex::SaveOptions no_learned;
+  no_learned.learned_section = false;
+  ASSERT_TRUE(index.SaveToFile(without_path, IndexFileFormat::kV3Mapped,
+                               no_learned));
+
+  const std::unique_ptr<UsiIndex> with = UsiIndex::OpenMapped(ws, with_path);
+  ASSERT_NE(with, nullptr);
+  EXPECT_FALSE(with->learned_sa().empty());
+  EXPECT_EQ(with->learned_sa().epsilon(), index.learned_sa().epsilon());
+  EXPECT_EQ(with->learned_sa().num_segments(),
+            index.learned_sa().num_segments());
+
+  // A v3 image without the learned section — the exact shape of every
+  // pre-extension file — opens and serves identically.
+  const std::unique_ptr<UsiIndex> without =
+      UsiIndex::OpenMapped(ws, without_path);
+  ASSERT_NE(without, nullptr);
+  EXPECT_TRUE(without->learned_sa().empty());
+
+  // And v2 load refits: same answers again.
+  const std::string v2_path = dir + "/learned_sa_test_v2.bin";
+  ASSERT_TRUE(index.SaveToFile(v2_path, IndexFileFormat::kV2Heap));
+  const std::unique_ptr<UsiIndex> v2 = UsiIndex::LoadFromFile(ws, v2_path);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_FALSE(v2->learned_sa().empty());
+
+  Rng rng(0x3B);
+  for (int q = 0; q < 400; ++q) {
+    const index_t len = 1 + static_cast<index_t>(rng.UniformBelow(12));
+    Text p(len);
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(ws.size() - len));
+    std::copy(ws.text().begin() + start, ws.text().begin() + start + len,
+              p.begin());
+    if (q % 5 == 4) p[0] = static_cast<Symbol>(rng.UniformBelow(256));
+    const QueryResult a = index.Query(p);
+    const QueryResult b = with->Query(p);
+    const QueryResult c = without->Query(p);
+    const QueryResult d = v2->Query(p);
+    ASSERT_DOUBLE_EQ(a.utility, b.utility);
+    ASSERT_EQ(a.occurrences, b.occurrences);
+    ASSERT_DOUBLE_EQ(a.utility, c.utility);
+    ASSERT_EQ(a.occurrences, c.occurrences);
+    ASSERT_DOUBLE_EQ(a.utility, d.utility);
+    ASSERT_EQ(a.occurrences, d.occurrences);
+  }
+  std::remove(with_path.c_str());
+  std::remove(without_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+}  // namespace
+}  // namespace usi

@@ -188,11 +188,12 @@ TEST(ParallelBuild, BuilderReportsStages) {
   UsiBuilder builder(ws, options);
   const std::unique_ptr<UsiIndex> index = builder.Build();
   ASSERT_NE(index, nullptr);
-  ASSERT_EQ(builder.stages().size(), 4u);
+  ASSERT_EQ(builder.stages().size(), 5u);
   EXPECT_STREQ(builder.stages()[0].name, "sa");
   EXPECT_STREQ(builder.stages()[1].name, "mine");
   EXPECT_STREQ(builder.stages()[2].name, "table");
-  EXPECT_STREQ(builder.stages()[3].name, "finalize");
+  EXPECT_STREQ(builder.stages()[3].name, "learn");
+  EXPECT_STREQ(builder.stages()[4].name, "finalize");
   EXPECT_EQ(index->build_info().threads_used, 2u);
   EXPECT_GT(index->build_info().total_seconds, 0.0);
   EXPECT_GT(index->HashTableEntries(), 0u);

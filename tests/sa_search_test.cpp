@@ -39,6 +39,65 @@ TEST(SaSearch, EmptyPatternMatchesEverywhere) {
   EXPECT_EQ(interval.Count(), 3u);
 }
 
+TEST(SaInterval, CanonicalEmptyRepresentation) {
+  // The default state IS the canonical empty interval: {lb = 1, rb = 0},
+  // empty, count 0.
+  const SaInterval empty;
+  EXPECT_EQ(empty.lb, 1u);
+  EXPECT_EQ(empty.rb, 0u);
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_EQ(empty.Count(), 0u);
+  // Non-empty intervals: lb <= rb, inclusive count.
+  const SaInterval one{5, 5};
+  EXPECT_FALSE(one.IsEmpty());
+  EXPECT_EQ(one.Count(), 1u);
+  const SaInterval many{2, 7};
+  EXPECT_FALSE(many.IsEmpty());
+  EXPECT_EQ(many.Count(), 6u);
+}
+
+TEST(SaInterval, SearchesProduceTheCanonicalEmpty) {
+  const Text text = testing::T("abracadabra");
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  // Every empty search result is the canonical {1, 0} — not merely "some
+  // empty-looking" interval (callers may memcmp or switch on the fields).
+  const SaInterval missing = FindSaInterval(text, sa, testing::T("zzz"));
+  EXPECT_EQ(missing.lb, 1u);
+  EXPECT_EQ(missing.rb, 0u);
+  const SaInterval too_long =
+      FindSaInterval(text, sa, testing::T("abracadabraabracadabra"));
+  EXPECT_EQ(too_long.lb, 1u);
+  EXPECT_EQ(too_long.rb, 0u);
+  // Empty SA: canonical empty for every pattern, INCLUDING the empty
+  // pattern (there are no suffixes for it to match).
+  const Text no_text;
+  const std::vector<index_t> no_sa;
+  const SaInterval empty_sa = FindSaInterval(no_text, no_sa, testing::T("a"));
+  EXPECT_EQ(empty_sa.lb, 1u);
+  EXPECT_EQ(empty_sa.rb, 0u);
+  const SaInterval empty_both = FindSaInterval(no_text, no_sa, {});
+  EXPECT_EQ(empty_both.lb, 1u);
+  EXPECT_EQ(empty_both.rb, 0u);
+  EXPECT_EQ(empty_both.Count(), 0u);
+}
+
+TEST(SaSearch, VisitSaIntervalWalksInSaOrder) {
+  const Text text = testing::T("abracadabra");
+  const std::vector<index_t> sa = BuildSuffixArray(text);
+  const SaInterval interval = FindSaInterval(text, sa, testing::T("a"));
+  ASSERT_FALSE(interval.IsEmpty());
+  std::vector<index_t> visited;
+  VisitSaInterval(sa, interval, nullptr,
+                  [&](index_t pos) { visited.push_back(pos); });
+  ASSERT_EQ(visited.size(), interval.Count());
+  for (index_t k = 0; k < visited.size(); ++k) {
+    EXPECT_EQ(visited[k], sa[interval.lb + k]);
+  }
+  // An empty interval visits nothing.
+  VisitSaInterval(sa, SaInterval{}, nullptr,
+                  [&](index_t) { FAIL() << "visited an empty interval"; });
+}
+
 TEST(SaSearch, RandomizedAgainstBruteForce) {
   Rng rng(44);
   for (int round = 0; round < 20; ++round) {

@@ -112,6 +112,18 @@ int InfoV3(const std::string& path, bool deep) {
                 static_cast<unsigned long long>(section.length),
                 static_cast<unsigned long long>(section.checksum));
   }
+  LearnedSectionEntry ext;
+  std::memcpy(&ext, mapping->data() + sizeof(FileHeader), sizeof(ext));
+  if (ext.ext_magic == 0) {
+    std::printf("learned:       absent (misses answered by plain binary "
+                "search)\n");
+  } else {
+    std::printf("learned:       present (epsilon %u, %llu segments, %llu B "
+                "at offset %llu)\n",
+                ext.epsilon, static_cast<unsigned long long>(ext.num_segments),
+                static_cast<unsigned long long>(ext.length),
+                static_cast<unsigned long long>(ext.offset));
+  }
 
   // Validation, mirroring OpenMapped's order and severity.
   if (header.header_checksum !=
@@ -135,6 +147,21 @@ int InfoV3(const std::string& path, bool deep) {
     }
     expected_offset = AlignUp(section.offset + section.length);
   }
+  const u64 core_end = header.sections[kNumSections - 1].offset +
+                       header.sections[kNumSections - 1].length;
+  if (ext.ext_magic != 0) {
+    if (ext.ext_magic != kLearnedMagic ||
+        ext.entry_checksum !=
+            Checksum64(&ext, offsetof(LearnedSectionEntry, entry_checksum)) ||
+        ext.offset != AlignUp(core_end) || ext.length == 0 ||
+        ext.offset + ext.length != header.file_bytes) {
+      std::printf("verdict:       CORRUPT (learned extension entry)\n");
+      return 1;
+    }
+  } else if (header.file_bytes != core_end) {
+    std::printf("verdict:       CORRUPT (trailing bytes past last section)\n");
+    return 1;
+  }
   if (deep) {
     mapping->AdviseWillNeed();
     for (std::size_t s = 0; s < kNumSections; ++s) {
@@ -145,6 +172,11 @@ int InfoV3(const std::string& path, bool deep) {
                     SectionName(section.id));
         return 1;
       }
+    }
+    if (ext.ext_magic == kLearnedMagic &&
+        Checksum64(mapping->data() + ext.offset, ext.length) != ext.checksum) {
+      std::printf("verdict:       CORRUPT (learned payload checksum)\n");
+      return 1;
     }
     std::printf("verdict:       OK (deep: all section payloads verified)\n");
   } else {
@@ -278,11 +310,13 @@ int Selftest() {
   const std::string v3_path = dir + "/usi_inspect_selftest_v3.bin";
   const std::string v2_path = dir + "/usi_inspect_selftest_v2.bin";
   const std::string rt_path = dir + "/usi_inspect_selftest_rt.bin";
+  const std::string nolearn_path = dir + "/usi_inspect_selftest_nolearn.bin";
   const auto fail = [&](const char* what) {
     std::fprintf(stderr, "selftest FAILED: %s\n", what);
     std::remove(v3_path.c_str());
     std::remove(v2_path.c_str());
     std::remove(rt_path.c_str());
+    std::remove(nolearn_path.c_str());
     return 1;
   };
 
@@ -307,20 +341,38 @@ int Selftest() {
   }
   if (ReadAll(rt_path) != ReadAll(v3_path)) return fail("v2->v3 bytes");
 
-  // The reopened mapped image answers like the freshly built index.
+  // The reopened mapped image answers like the freshly built index; so
+  // does a v3 image saved WITHOUT the learned section (the shape every
+  // pre-extension file has — it opens, serves misses by plain binary
+  // search, and must agree byte-for-byte on every answer).
   const std::unique_ptr<UsiIndex> mapped = UsiIndex::OpenMapped(ws, rt_path);
   if (mapped == nullptr) return fail("reopen");
+  if (mapped->learned_sa().empty()) return fail("mapped learned absent");
+  UsiIndex::SaveOptions no_learned;
+  no_learned.learned_section = false;
+  if (!index.SaveToFile(nolearn_path, IndexFileFormat::kV3Mapped,
+                        no_learned)) {
+    return fail("no-learned save");
+  }
+  if (Info(nolearn_path, /*deep=*/true) != 0) return fail("no-learned info");
+  const std::unique_ptr<UsiIndex> plain =
+      UsiIndex::OpenMapped(ws, nolearn_path);
+  if (plain == nullptr) return fail("no-learned reopen");
+  if (!plain->learned_sa().empty()) return fail("no-learned not plain");
   for (index_t i = 0; i + 6 <= ws.size(); i += 503) {
     const Text pattern = ws.Fragment(i, 6);
     const QueryResult a = index.Query(pattern);
     const QueryResult b = mapped->Query(pattern);
-    if (a.utility != b.utility || a.occurrences != b.occurrences) {
+    const QueryResult c = plain->Query(pattern);
+    if (a.utility != b.utility || a.occurrences != b.occurrences ||
+        a.utility != c.utility || a.occurrences != c.occurrences) {
       return fail("query parity");
     }
   }
   std::remove(v3_path.c_str());
   std::remove(v2_path.c_str());
   std::remove(rt_path.c_str());
+  std::remove(nolearn_path.c_str());
   std::printf("selftest OK\n");
   return 0;
 }
