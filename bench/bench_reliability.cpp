@@ -1,0 +1,262 @@
+// Reliability layer, quantified: (a) saturation goodput of cost-aware
+// admission vs the plain in-flight count cap — the cost model must shed
+// load at least as well as the old cap, i.e. served-query throughput at
+// saturation is no worse — and (b) deadline adherence: when a batch hits
+// its cooperative deadline, how far past it does it run? The contract is
+// "no more than one checkpoint interval of engine work"; the bench reports
+// the p50/p99 overshoot so regressions in checkpoint placement show up as
+// a trajectory change. --json PATH emits BENCH_reliability.json for the CI
+// artifact.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "usi/core/multi_service.hpp"
+#include "usi/parallel/thread_pool.hpp"
+#include "usi/text/dataset.hpp"
+#include "usi/util/rng.hpp"
+#include "usi/util/table_printer.hpp"
+
+namespace usi {
+namespace {
+
+/// Frequent-leaning fragments plus a tail of misses (the misses exercise
+/// the SA fallback, whose chunked loop hosts the deadline poll).
+std::vector<Text> MakePatterns(const WeightedString& ws, u64 seed) {
+  Rng rng(seed);
+  std::vector<Text> distinct;
+  for (int i = 0; i < 40; ++i) {
+    const index_t start = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t max_len = std::min<index_t>(12, ws.size() - start);
+    distinct.push_back(ws.Fragment(
+        start, static_cast<index_t>(rng.UniformInRange(2, max_len))));
+  }
+  std::vector<Text> patterns;
+  for (int i = 0; i < 360; ++i) {
+    patterns.push_back(distinct[rng.UniformBelow(distinct.size())]);
+  }
+  for (int i = 0; i < 40; ++i) {
+    patterns.push_back(Text(static_cast<std::size_t>(rng.UniformInRange(2, 8)),
+                            static_cast<Symbol>(200 + i)));
+  }
+  return patterns;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+struct SaturationResult {
+  u64 served_batches = 0;
+  u64 shed_batches = 0;
+  double goodput_qps = 0;  ///< Answered queries per second (admitted only).
+};
+
+/// Hammers the service with \p threads concurrent clients for ~\p seconds
+/// and reports goodput (served queries/s) plus admitted/shed counts.
+SaturationResult Saturate(UsiMultiService& service,
+                          const std::vector<MultiQuery>& queries,
+                          int threads, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<u64> ok{0};
+  std::atomic<u64> shed{0};
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < threads; ++t) {
+    hammers.emplace_back([&] {
+      std::vector<QueryResult> results(queries.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ServeStatus status = service.QueryBatchInto(queries, results);
+        (status == ServeStatus::kOk ? ok : shed).fetch_add(1);
+      }
+    });
+  }
+  Timer timer;
+  while (timer.ElapsedSeconds() < seconds) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& hammer : hammers) hammer.join();
+  SaturationResult result;
+  result.served_batches = ok.load();
+  result.shed_batches = shed.load();
+  result.goodput_qps = static_cast<double>(ok.load() * queries.size()) /
+                       timer.ElapsedSeconds();
+  return result;
+}
+
+/// (a) Saturation goodput: the same hammer workload against the plain
+/// in-flight count cap and against cost-aware admission with an equivalent
+/// budget (two average batches' worth of estimated serving cost).
+void RunAdmissionComparison(const WeightedString& ws,
+                            const std::vector<MultiQuery>& queries,
+                            bench::BenchJson& json) {
+  constexpr int kHammerThreads = 4;
+  constexpr double kWindow = 0.25;
+
+  // Calibrate one batch's serving time (used to express the cost cap in the
+  // same units the count cap implies: ~2 concurrent batches).
+  double batch_ms;
+  {
+    UsiMultiServiceOptions options;
+    UsiMultiService service(options);
+    service.SubmitText("t", ws);
+    service.WaitForBuilds();
+    std::vector<QueryResult> results(queries.size());
+    service.QueryBatchInto(queries, results);  // Warm-up.
+    Timer timer;
+    for (int i = 0; i < 8; ++i) service.QueryBatchInto(queries, results);
+    batch_ms = timer.ElapsedSeconds() / 8 * 1e3;
+  }
+
+  SaturationResult by_count, by_cost;
+  {
+    UsiMultiServiceOptions options;
+    options.max_inflight_batches = 2;
+    UsiMultiService service(options);
+    service.SubmitText("t", ws);
+    service.WaitForBuilds();
+    by_count = Saturate(service, queries, kHammerThreads, kWindow);
+  }
+  {
+    UsiMultiServiceOptions options;
+    options.max_inflight_cost_ms = 2 * batch_ms;
+    UsiMultiService service(options);
+    service.SubmitText("t", ws);
+    service.WaitForBuilds();
+    by_cost = Saturate(service, queries, kHammerThreads, kWindow);
+  }
+
+  TablePrinter table(
+      "Admission at saturation — " + std::to_string(kHammerThreads) +
+      " hammer threads, batch=" + TablePrinter::Int(queries.size()) +
+      " (cost cap = 2 avg batches = " +
+      TablePrinter::Int(static_cast<long long>(2 * batch_ms * 1000)) + " us)");
+  table.SetHeader({"admission", "goodput qps", "served", "shed"});
+  const auto row = [&](const char* name, const SaturationResult& r) {
+    table.AddRow({name,
+                  TablePrinter::Int(static_cast<long long>(r.goodput_qps)),
+                  TablePrinter::Int(static_cast<long long>(r.served_batches)),
+                  TablePrinter::Int(static_cast<long long>(r.shed_batches))});
+  };
+  row("count cap (=2)", by_count);
+  row("cost-aware", by_cost);
+  table.Print();
+  std::printf("  goodput ratio (cost-aware / count cap): %.2f\n\n",
+              by_count.goodput_qps == 0
+                  ? 0
+                  : by_cost.goodput_qps / by_count.goodput_qps);
+
+  json.Add("saturation", "goodput_count_cap", by_count.goodput_qps, "qps");
+  json.Add("saturation", "goodput_cost_cap", by_cost.goodput_qps, "qps");
+  json.Add("saturation", "shed_count_cap",
+           static_cast<double>(by_count.shed_batches), "count");
+  json.Add("saturation", "shed_cost_cap",
+           static_cast<double>(by_cost.shed_batches), "count");
+}
+
+/// (b) Deadline adherence: run the batch under a deadline shorter than its
+/// unconstrained serving time and measure how far past the deadline the
+/// call returns (the cooperative-checkpoint overshoot).
+void RunDeadlineAdherence(const WeightedString& ws,
+                          const std::vector<MultiQuery>& queries,
+                          bench::BenchJson& json) {
+  UsiMultiServiceOptions options;
+  UsiMultiService service(options);
+  service.SubmitText("t", ws);
+  service.WaitForBuilds();
+  std::vector<QueryResult> results(queries.size());
+  service.QueryBatchInto(queries, results);  // Warm-up.
+
+  // Unconstrained batch time -> pick a deadline that expires mid-batch.
+  Timer calibrate;
+  for (int i = 0; i < 8; ++i) service.QueryBatchInto(queries, results);
+  const double batch_seconds = calibrate.ElapsedSeconds() / 8;
+  const auto budget = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(batch_seconds / 2));
+
+  constexpr int kRounds = 200;
+  int expired = 0;
+  std::vector<double> overshoot_us;
+  for (int round = 0; round < kRounds; ++round) {
+    MultiBatchOptions batch_options;
+    const auto start = std::chrono::steady_clock::now();
+    batch_options.deadline = start + budget;
+    const ServeStatus status =
+        service.QueryBatchInto(queries, results, batch_options);
+    const auto end = std::chrono::steady_clock::now();
+    if (status == ServeStatus::kDeadlineExceeded) {
+      ++expired;
+      const auto past = end - (start + budget);
+      overshoot_us.push_back(
+          std::chrono::duration<double, std::micro>(past).count());
+    }
+  }
+
+  const double p50 = Percentile(overshoot_us, 0.50);
+  const double p99 = Percentile(overshoot_us, 0.99);
+  TablePrinter table(
+      "Deadline adherence — budget = half the batch time (" +
+      TablePrinter::Int(static_cast<long long>(batch_seconds * 5e5)) +
+      " us), " + std::to_string(kRounds) + " rounds");
+  table.SetHeader({"metric", "value"});
+  table.AddRow({"expired batches",
+                TablePrinter::Int(expired) + " / " +
+                    TablePrinter::Int(kRounds)});
+  table.AddRow({"overshoot p50 (us)",
+                TablePrinter::Int(static_cast<long long>(p50))});
+  table.AddRow({"overshoot p99 (us)",
+                TablePrinter::Int(static_cast<long long>(p99))});
+  table.Print();
+
+  json.Add("deadline", "expired_fraction",
+           static_cast<double>(expired) / kRounds, "fraction");
+  json.Add("deadline", "overshoot_p50_us", p50, "us");
+  json.Add("deadline", "overshoot_p99_us", p99, "us");
+}
+
+int Main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintBanner("bench_reliability",
+                     "reliability layer: admission + deadlines");
+
+  const DatasetSpec* xml = nullptr;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.name == "XML") xml = &spec;
+  }
+  if (xml == nullptr) {
+    std::fprintf(stderr, "XML dataset spec missing\n");
+    return 1;
+  }
+  const WeightedString ws = MakeDataset(
+      *xml, std::min<index_t>(bench::ScaledLength(*xml), 60'000));
+  const std::vector<Text> patterns = MakePatterns(ws, 0xBEEF);
+  std::vector<MultiQuery> queries;
+  for (const Text& p : patterns) queries.push_back({"t", p});
+
+  bench::BenchJson json;
+  RunAdmissionComparison(ws, queries, json);
+  RunDeadlineAdherence(ws, queries, json);
+
+  if (!args.json_path.empty() &&
+      !json.WriteTo(args.json_path, "reliability")) {
+    std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace usi
+
+int main(int argc, char** argv) { return usi::Main(argc, argv); }

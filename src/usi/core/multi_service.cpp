@@ -1,22 +1,36 @@
 #include "usi/core/multi_service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "usi/core/usi_builder.hpp"
 #include "usi/parallel/thread_pool.hpp"
+#include "usi/util/failpoint.hpp"
+#include "usi/util/mapped_file.hpp"
+#include "usi/util/timer.hpp"
 
 namespace usi {
 
-const char* ServeStatusName(ServeStatus status) {
-  switch (status) {
-    case ServeStatus::kOk: return "ok";
-    case ServeStatus::kBusy: return "busy";
-    case ServeStatus::kUnknownText: return "unknown-text";
-    case ServeStatus::kNotReady: return "not-ready";
+const char* BuildStateName(BuildState state) {
+  switch (state) {
+    case BuildState::kUnknown: return "unknown";
+    case BuildState::kPending: return "pending";
+    case BuildState::kBuilding: return "building";
+    case BuildState::kReady: return "ready";
+    case BuildState::kFailed: return "failed";
   }
   return "?";
 }
+
+namespace {
+
+/// A text's serving-cost telemetry calibrates once it has served this many
+/// pattern bytes; below the threshold the configured prior is used.
+constexpr u64 kCostCalibrationBytes = 1024;
+
+}  // namespace
 
 /// One immutable index generation. The weighted string lives here because
 /// UsiIndex borrows it; the shared_ptr holding the Generation keeps both
@@ -26,6 +40,12 @@ struct UsiMultiService::Generation {
   WeightedString ws;
   std::unique_ptr<UsiIndex> index;    ///< Borrows ws.
   std::unique_ptr<UsiService> service;  ///< Borrows index + the shared pool.
+  /// Serving straight out of an mmap'd file (RegisterTextFromFile). A
+  /// mapped generation that faults mid-serve (SIGBUS on a truncated or
+  /// revoked backing file) is demoted and recovered; heap generations
+  /// cannot lose their backing, so a serve failure there is reported but
+  /// never demotes.
+  bool mapped = false;
 };
 
 /// Registry slot for one named text. `current` is the generation pointer
@@ -37,17 +57,31 @@ struct UsiMultiService::TextEntry {
   std::string id;
 
   std::mutex mu;  ///< Guards current, build_options, scheduled, completed,
-                  ///< published.
+                  ///< published, building, last_failed, last_error,
+                  ///< failed_builds, retries, source_path.
   std::condition_variable cv;  ///< Signals per-text build completions.
   std::shared_ptr<const Generation> current;  ///< Null until first publish.
   UsiOptions build_options;
   u64 scheduled = 0;  ///< Generation numbers handed out so far.
-  u64 completed = 0;  ///< Builds finished (published or superseded).
+  u64 completed = 0;  ///< Builds finished (published, superseded or failed).
   u64 published = 0;  ///< Highest generation number stored in `current`.
+  bool building = false;     ///< The build lane is on (or retrying) a job.
+  bool last_failed = false;  ///< The newest terminal build outcome failed.
+  std::string last_error;    ///< Cause of the most recent build failure.
+  u64 failed_builds = 0;     ///< Terminal failures (quarantines).
+  u64 retries = 0;           ///< Failed attempts that were re-armed.
+  /// Backing file of mapped generations (RegisterTextFromFile); recovery
+  /// after a mapped fault re-loads from here when the file is still good.
+  std::string source_path;
 
   std::atomic<u64> batches{0};
   std::atomic<u64> queries{0};
   std::atomic<u64> hash_hits{0};
+  /// Cost-model telemetry: cumulative pattern bytes served to completion
+  /// and the wall time they took. Their ratio is this text's calibrated
+  /// ns-per-byte estimate once past kCostCalibrationBytes.
+  std::atomic<u64> served_bytes{0};
+  std::atomic<u64> served_ns{0};
 
   /// The reader-side pin: a shared_ptr copy taken under `mu`. The lock is
   /// held for a refcount increment — not for the batch — so a rebuild
@@ -60,13 +94,28 @@ struct UsiMultiService::TextEntry {
     std::lock_guard<std::mutex> lock(mu);
     return current;
   }
+
+  /// Build-lane state; caller holds `mu`.
+  BuildState StateLocked() const {
+    if (completed >= scheduled) {
+      return last_failed ? BuildState::kFailed : BuildState::kReady;
+    }
+    return building ? BuildState::kBuilding : BuildState::kPending;
+  }
 };
 
-/// One queued rebuild.
+/// One queued rebuild (or recovery) job.
 struct UsiMultiService::BuildJob {
   EntryPtr entry;
   WeightedString ws;
   u64 generation = 0;
+  unsigned attempt = 0;  ///< Failed attempts so far.
+  /// Earliest start time; retry jobs carry their backoff here. The default
+  /// (epoch) is always ready.
+  std::chrono::steady_clock::time_point not_before{};
+  /// Non-empty marks a recovery job: try a heap load of this index file
+  /// before paying for a full rebuild.
+  std::string recover_path;
 };
 
 /// Leased per-batch routing buffers: the per-text groups (with their pinned
@@ -152,6 +201,11 @@ u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws) {
 u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
                                           WeightedString ws,
                                           const std::string& path) {
+  // Registration is the natural startup sweep point: a writer that crashed
+  // mid-publish left only `path.tmp.*` siblings, which never affect the
+  // published file but do leak disk until someone removes them.
+  RemoveStaleTemps(path);
+
   // The generation owns the weighted string (the index borrows it), so the
   // text moves in before the open. Open BEFORE touching the registry: a
   // bad file must not register an id or burn a generation number.
@@ -160,6 +214,7 @@ u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
   std::unique_ptr<UsiIndex> index = UsiIndex::OpenMapped(gen->ws, path);
   if (index == nullptr) return 0;
   gen->index = std::move(index);
+  gen->mapped = true;
   UsiServiceOptions service_options;
   service_options.min_shard_size = options_.min_shard_size;
   gen->service =
@@ -169,6 +224,7 @@ u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
   {
     std::lock_guard<std::mutex> lock(entry->mu);
     gen->number = ++entry->scheduled;
+    entry->source_path = path;
   }
   // Account the instant publish as a scheduled-and-completed build so
   // WaitForText/WaitForBuilds targets stay consistent with SubmitText's.
@@ -186,6 +242,7 @@ u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
     if (gen->number > entry->published) {
       entry->published = gen->number;
       entry->current = std::move(gen);
+      entry->last_failed = false;
     }
   }
   entry->cv.notify_all();
@@ -230,15 +287,21 @@ std::vector<std::string> UsiMultiService::TextIds() const {
 }
 
 void UsiMultiService::ScheduleBuild(EntryPtr entry, WeightedString ws,
-                                    u64 generation) {
+                                    u64 generation,
+                                    std::string recover_path) {
   if (pool_ == nullptr) {
-    // Degenerate no-pool configuration: build synchronously, right here.
-    BuildJob job{std::move(entry), std::move(ws), generation};
+    // Degenerate no-pool configuration: build synchronously, right here —
+    // retries included (the backoff is a sleep on the caller's thread).
+    BuildJob job{std::move(entry), std::move(ws), generation, 0,
+                 std::chrono::steady_clock::time_point{},
+                 std::move(recover_path)};
     {
       std::lock_guard<std::mutex> lock(build_mu_);
       ++builds_scheduled_;
     }
-    BuildOne(job);
+    while (!BuildOne(job)) {
+      std::this_thread::sleep_until(job.not_before);
+    }
     {
       std::lock_guard<std::mutex> lock(build_mu_);
       ++builds_completed_;
@@ -249,8 +312,10 @@ void UsiMultiService::ScheduleBuild(EntryPtr entry, WeightedString ws,
   bool start_lane = false;
   {
     std::lock_guard<std::mutex> lock(build_mu_);
-    build_queue_.push_back(
-        BuildJob{std::move(entry), std::move(ws), generation});
+    build_queue_.push_back(BuildJob{std::move(entry), std::move(ws),
+                                    generation, 0,
+                                    std::chrono::steady_clock::time_point{},
+                                    std::move(recover_path)});
     ++builds_scheduled_;
     if (!build_lane_active_) {
       build_lane_active_ = true;
@@ -264,69 +329,171 @@ void UsiMultiService::BuildLane() {
   for (;;) {
     BuildJob job;
     {
-      std::lock_guard<std::mutex> lock(build_mu_);
-      if (build_queue_.empty()) {
-        build_lane_active_ = false;
-        // Notify while still holding the lock: a destructor waiting on
-        // build_cv_ can only resume after we release it, by which point
-        // this task no longer touches the service.
-        build_cv_.notify_all();
-        return;
+      std::unique_lock<std::mutex> lock(build_mu_);
+      for (;;) {
+        if (build_queue_.empty()) {
+          build_lane_active_ = false;
+          // Notify while still holding the lock: a destructor waiting on
+          // build_cv_ can only resume after we release it, by which point
+          // this task no longer touches the service.
+          build_cv_.notify_all();
+          return;
+        }
+        // FIFO among ready jobs; retry jobs whose backoff has not elapsed
+        // are skipped over (a delayed retry must not stall the lane for
+        // every other text).
+        const auto now = std::chrono::steady_clock::now();
+        auto ready = std::find_if(
+            build_queue_.begin(), build_queue_.end(),
+            [&](const BuildJob& j) { return j.not_before <= now; });
+        if (ready != build_queue_.end()) {
+          job = std::move(*ready);
+          build_queue_.erase(ready);
+          break;
+        }
+        const auto earliest = std::min_element(
+            build_queue_.begin(), build_queue_.end(),
+            [](const BuildJob& a, const BuildJob& b) {
+              return a.not_before < b.not_before;
+            });
+        build_cv_.wait_until(lock, earliest->not_before);
       }
-      job = std::move(build_queue_.front());
-      build_queue_.pop_front();
     }
-    BuildOne(job);
-    {
+    if (BuildOne(job)) {
+      {
+        std::lock_guard<std::mutex> lock(build_mu_);
+        ++builds_completed_;
+      }
+      build_cv_.notify_all();
+    } else {
+      // Failed attempt, retries remain: the job went back into the queue
+      // with its backoff; it is still the same scheduled build, so the
+      // completion counters do not move.
       std::lock_guard<std::mutex> lock(build_mu_);
-      ++builds_completed_;
+      build_queue_.push_back(std::move(job));
     }
-    build_cv_.notify_all();
   }
 }
 
-void UsiMultiService::BuildOne(BuildJob& job) {
+bool UsiMultiService::BuildOne(BuildJob& job) {
+  TextEntry& entry = *job.entry;
   auto gen = std::make_shared<Generation>();
   gen->number = job.generation;
   gen->ws = std::move(job.ws);
   UsiOptions build_options;
   {
-    std::lock_guard<std::mutex> lock(job.entry->mu);
-    build_options = job.entry->build_options;
+    std::lock_guard<std::mutex> lock(entry.mu);
+    entry.building = true;
+    build_options = entry.build_options;
   }
   // The lane occupies one pool worker, and a task must not ParallelFor on
   // its own pool — so each generation builds through the sequential staged
   // pipeline, leaving the remaining workers to the query fan-out.
   build_options.threads = 1;
-  UsiBuilder builder(gen->ws, build_options);
-  gen->index = builder.Build();
+  // Containment boundary: anything a build can throw — bad_alloc from the
+  // O(n) stage arrays, an armed failpoint, an I/O error surfacing as an
+  // exception — lands here, never on the pool worker. The text is re-armed
+  // for retry or quarantined; other texts and in-flight queries are
+  // untouched.
+  try {
+    USI_FAILPOINT("multi.build");
+    if (!job.recover_path.empty()) {
+      // Recovery after a mapped-generation fault: a heap load of the source
+      // file is much cheaper than a rebuild — but only a HEAP load is
+      // acceptable (re-mapping the file that just faulted would fault
+      // again); a v3 file, whose load path is OpenMapped, falls through to
+      // the rebuild.
+      std::unique_ptr<UsiIndex> loaded =
+          UsiIndex::LoadFromFile(gen->ws, job.recover_path);
+      if (loaded != nullptr && !loaded->IsMapped()) {
+        gen->index = std::move(loaded);
+      }
+    }
+    if (gen->index == nullptr) {
+      UsiBuilder builder(gen->ws, build_options);
+      gen->index = builder.Build();
+    }
+  } catch (const std::bad_alloc&) {
+    job.ws = std::move(gen->ws);
+    return HandleBuildFailure(job, "out of memory (std::bad_alloc)");
+  } catch (const std::exception& e) {
+    job.ws = std::move(gen->ws);
+    return HandleBuildFailure(job, e.what());
+  } catch (...) {
+    job.ws = std::move(gen->ws);
+    return HandleBuildFailure(job, "unknown exception");
+  }
   UsiServiceOptions service_options;
   service_options.min_shard_size = options_.min_shard_size;
   gen->service =
       std::make_unique<UsiService>(*gen->index, pool_, service_options);
 
-  TextEntry& entry = *job.entry;
   {
     std::lock_guard<std::mutex> lock(entry.mu);
     ++entry.completed;
+    entry.building = false;
     // Monotonic publish: a stale build can never clobber a newer
     // generation. Readers that pinned the previous generation keep it
     // alive until their batch completes; the store reclaims nothing.
     if (gen->number > entry.published) {
       entry.published = gen->number;
       entry.current = std::move(gen);
+      entry.last_failed = false;
     }
   }
   entry.cv.notify_all();
+  return true;
 }
 
-bool UsiMultiService::WaitForText(std::string_view id) {
+bool UsiMultiService::HandleBuildFailure(BuildJob& job,
+                                         const std::string& what) {
+  TextEntry& entry = *job.entry;
+  if (job.attempt < options_.max_build_retries) {
+    // Re-arm with capped exponential backoff: base, 2x, 4x, 8x, 16x.
+    const unsigned shift = std::min(job.attempt, 4u);
+    const auto delay = std::chrono::milliseconds(
+        static_cast<u64>(options_.build_retry_backoff_ms) << shift);
+    ++job.attempt;
+    job.not_before = std::chrono::steady_clock::now() + delay;
+    {
+      std::lock_guard<std::mutex> lock(entry.mu);
+      ++entry.retries;
+      entry.last_error = what;
+    }
+    return false;
+  }
+  // Retries exhausted: quarantine. The build counts as completed — a
+  // WaitForText must terminate and report kFailed, not hang — and the
+  // previous generation, if any, keeps serving untouched. The service-wide
+  // counter bumps before the state publish wakes waiters, so a caller woken
+  // by WaitForText never reads a stats() snapshot missing this failure.
+  builds_failed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(entry.mu);
+    ++entry.completed;
+    ++entry.failed_builds;
+    entry.last_error = what;
+    entry.building = false;
+    if (job.generation > entry.published) entry.last_failed = true;
+  }
+  entry.cv.notify_all();
+  return true;
+}
+
+BuildState UsiMultiService::WaitForText(std::string_view id) {
   EntryPtr entry = FindEntry(id);
-  if (entry == nullptr) return false;
+  if (entry == nullptr) return BuildState::kUnknown;
   std::unique_lock<std::mutex> lock(entry->mu);
   const u64 target = entry->scheduled;
   entry->cv.wait(lock, [&] { return entry->completed >= target; });
-  return true;
+  return entry->last_failed ? BuildState::kFailed : BuildState::kReady;
+}
+
+BuildState UsiMultiService::TextState(std::string_view id) const {
+  EntryPtr entry = FindEntry(id);
+  if (entry == nullptr) return BuildState::kUnknown;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->StateLocked();
 }
 
 void UsiMultiService::WaitForBuilds() {
@@ -355,12 +522,14 @@ void UsiMultiService::ReleaseBatchScratch(
 }
 
 ServeStatus UsiMultiService::QueryBatchInto(
-    std::span<const MultiQuery> queries, std::span<QueryResult> results) {
+    std::span<const MultiQuery> queries, std::span<QueryResult> results,
+    const MultiBatchOptions& batch_options) {
   USI_CHECK(results.size() >= queries.size());
   if (queries.empty()) return ServeStatus::kOk;
 
-  // Admission control: a counter, not a queue — overload is shed with kBusy
-  // immediately instead of building an unbounded backlog.
+  // Admission, stage 1 — the in-flight count cap: a counter, not a queue,
+  // so overload is shed with kBusy immediately instead of building an
+  // unbounded backlog.
   const u64 cap = static_cast<u64>(options_.max_inflight_batches);
   const u64 inflight =
       inflight_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -373,6 +542,84 @@ ServeStatus UsiMultiService::QueryBatchInto(
     std::atomic<u64>& counter;
     ~InflightRelease() { counter.fetch_sub(1, std::memory_order_release); }
   } inflight_release{inflight_batches_};
+
+  // Admission, stage 2 — the cost cap, checked BEFORE routing and scratch
+  // acquisition: at saturation most batches are shed, and a rejection that
+  // pays for pinning and group-building contends with the batches actually
+  // serving (rejection itself becomes the overload). The pre-pass only
+  // accumulates pattern bytes per distinct text id and prices them with
+  // that text's calibrated ns-per-byte (the prior until a text has served
+  // kCostCalibrationBytes). Unknown ids contribute nothing here; routing
+  // below still reports them as kUnknownText before any query executes.
+  // A lone batch (nothing else in flight) always admits, whatever its
+  // estimate — the cap bounds concurrency pile-up, it must not make a big
+  // batch unservable.
+  const u64 cost_cap_ns =
+      static_cast<u64>(options_.max_inflight_cost_ms * 1e6);
+  u64 est_cost_ns = 0;
+  bool cost_charged = false;
+  if (cost_cap_ns != 0) {
+    struct IdBytes {
+      std::string_view id;
+      double bytes;
+    };
+    // Reused across calls: zero steady-state allocation, thread-confined.
+    thread_local std::vector<IdBytes> per_id;
+    per_id.clear();
+    for (const MultiQuery& q : queries) {
+      IdBytes* found = nullptr;
+      for (IdBytes& entry : per_id) {
+        if (entry.id == q.text_id) {
+          found = &entry;
+          break;
+        }
+      }
+      if (found == nullptr) {
+        per_id.push_back({q.text_id, 0});
+        found = &per_id.back();
+      }
+      found->bytes += static_cast<double>(q.pattern.size_bytes());
+    }
+    double est = 0;
+    for (const IdBytes& id_bytes : per_id) {
+      const EntryPtr entry = FindEntry(id_bytes.id);
+      if (entry == nullptr) continue;
+      const u64 served_bytes =
+          entry->served_bytes.load(std::memory_order_relaxed);
+      const double per_byte =
+          served_bytes >= kCostCalibrationBytes
+              ? static_cast<double>(
+                    entry->served_ns.load(std::memory_order_relaxed)) /
+                    static_cast<double>(served_bytes)
+              : options_.default_cost_ns_per_byte;
+      est += id_bytes.bytes * per_byte;
+    }
+    est_cost_ns = static_cast<u64>(est);
+    // Admit while the cost already in flight is under the budget; the last
+    // admit may overshoot, exactly as a count cap of N admits the Nth batch
+    // regardless of the others' progress. (Charging `prev + est > cap`
+    // instead would reject the second batch whenever its estimate drifts a
+    // hair past half the budget — effectively halving concurrency relative
+    // to the count cap it replaces.) prev == 0 admits unconditionally: a
+    // lone batch must serve whatever its estimate.
+    const u64 prev =
+        inflight_cost_ns_.fetch_add(est_cost_ns, std::memory_order_acq_rel);
+    if (prev >= cost_cap_ns) {
+      inflight_cost_ns_.fetch_sub(est_cost_ns, std::memory_order_release);
+      overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+      return ServeStatus::kOverloaded;
+    }
+    cost_charged = true;
+  }
+  struct CostRelease {
+    std::atomic<u64>* counter;
+    u64 charge;
+    ~CostRelease() {
+      if (counter != nullptr) {
+        counter->fetch_sub(charge, std::memory_order_release);
+      }
+    }
+  } cost_release{cost_charged ? &inflight_cost_ns_ : nullptr, est_cost_ns};
 
   std::unique_ptr<BatchScratch> scratch = AcquireBatchScratch();
   std::size_t used_groups = 0;
@@ -426,30 +673,106 @@ ServeStatus UsiMultiService::QueryBatchInto(
   // Serve each group through its generation's UsiService: gather the
   // group's patterns contiguously, answer (sharded across the shared pool
   // for batches worth fanning out), scatter back to the callers' slots.
+  // The deadline checkpoint sits between groups (and, via the forwarded
+  // batch options, between shards inside each group); once it trips, the
+  // remaining groups' result slots are default-filled, honoring the
+  // partial-status contract that every slot is written.
+  const bool has_deadline = batch_options.deadline.has_value();
+  bool expired = false;
+  bool unavailable = false;
+  std::size_t answered = 0;
   for (std::size_t k = 0; k < used_groups; ++k) {
     BatchScratch::Group& group = scratch->groups[k];
     const std::size_t n = group.indices.size();
+    if (expired ||
+        (has_deadline &&
+         std::chrono::steady_clock::now() >= *batch_options.deadline)) {
+      expired = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        results[group.indices[j]] = QueryResult{};
+      }
+      continue;
+    }
     if (scratch->patterns.size() < n) scratch->patterns.resize(n);
     if (scratch->results.size() < n) scratch->results.resize(n);
+    u64 group_bytes = 0;
     for (std::size_t j = 0; j < n; ++j) {
       scratch->patterns[j] = queries[group.indices[j]].pattern;
+      group_bytes += scratch->patterns[j].size_bytes();
     }
     UsiBatchStats batch_stats;
-    group.gen->service->QueryBatchInto(
+    UsiBatchOptions sub_options;
+    sub_options.deadline = batch_options.deadline;
+    Timer group_timer;
+    const ServeStatus group_status = group.gen->service->QueryBatchInto(
         std::span<const PatternSpan>(scratch->patterns.data(), n),
-        std::span<QueryResult>(scratch->results.data(), n), &batch_stats);
+        std::span<QueryResult>(scratch->results.data(), n), &batch_stats,
+        sub_options);
     for (std::size_t j = 0; j < n; ++j) {
       results[group.indices[j]] = scratch->results[j];
     }
+    answered += batch_stats.answered;
     group.entry->batches.fetch_add(1, std::memory_order_relaxed);
-    group.entry->queries.fetch_add(n, std::memory_order_relaxed);
+    group.entry->queries.fetch_add(batch_stats.answered,
+                                   std::memory_order_relaxed);
     group.entry->hash_hits.fetch_add(batch_stats.hash_hits,
                                      std::memory_order_relaxed);
+    if (group_status == ServeStatus::kOk) {
+      // Cost-model calibration: only fully-served groups feed the estimate
+      // (a partial group's bytes/time ratio is not the text's). Wall time
+      // under a shared pool scales with the number of concurrent batches,
+      // so charge the CPU share instead: otherwise saturation inflates the
+      // calibrated ns/byte and the cost cap under-admits against a budget
+      // expressed in intrinsic (unloaded) serving cost.
+      const u64 concurrent = std::max<u64>(
+          1, static_cast<u64>(
+                 inflight_batches_.load(std::memory_order_relaxed)));
+      group.entry->served_bytes.fetch_add(group_bytes,
+                                          std::memory_order_relaxed);
+      group.entry->served_ns.fetch_add(
+          static_cast<u64>(group_timer.ElapsedSeconds() * 1e9) / concurrent,
+          std::memory_order_relaxed);
+    } else if (group_status == ServeStatus::kDeadlineExceeded) {
+      expired = true;
+    } else if (group_status == ServeStatus::kIndexUnavailable) {
+      unavailable = true;
+      if (group.gen->mapped) {
+        // A mapped generation faulted (truncated or revoked backing file):
+        // demote it so no later batch serves from the bad mapping, and
+        // schedule a recovery build — heap load of the source file when it
+        // is still good, full rebuild otherwise. Only the first batch to
+        // observe the fault demotes (the pointer compare); concurrent
+        // failures of the same generation are no-ops here.
+        TextEntry& entry = *group.entry;
+        bool demoted = false;
+        u64 generation = 0;
+        std::string recover_path;
+        {
+          std::lock_guard<std::mutex> lock(entry.mu);
+          if (entry.current == group.gen) {
+            entry.current = nullptr;
+            generation = ++entry.scheduled;
+            recover_path = entry.source_path;
+            demoted = true;
+          }
+        }
+        if (demoted) {
+          ScheduleBuild(group.entry, WeightedString(group.gen->ws),
+                        generation, std::move(recover_path));
+        }
+      }
+    }
   }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
-  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  queries_.fetch_add(answered, std::memory_order_relaxed);
+  if (expired) deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+  if (unavailable) {
+    index_unavailable_.fetch_add(1, std::memory_order_relaxed);
+  }
   cleanup();
+  if (unavailable) return ServeStatus::kIndexUnavailable;
+  if (expired) return ServeStatus::kDeadlineExceeded;
   return ServeStatus::kOk;
 }
 
@@ -458,7 +781,13 @@ MultiBatchResult UsiMultiService::QueryBatch(
   MultiBatchResult out;
   out.results.resize(queries.size());
   out.status = QueryBatchInto(queries, out.results);
-  if (out.status != ServeStatus::kOk) out.results.clear();
+  // The partial statuses return written (if partly default) slots; only the
+  // all-or-nothing rejections leave nothing worth returning.
+  if (out.status != ServeStatus::kOk &&
+      out.status != ServeStatus::kDeadlineExceeded &&
+      out.status != ServeStatus::kIndexUnavailable) {
+    out.results.clear();
+  }
   return out;
 }
 
@@ -483,10 +812,21 @@ std::optional<UsiTextStats> UsiMultiService::StatsFor(
     std::lock_guard<std::mutex> lock(entry->mu);
     stats.builds_scheduled = entry->scheduled;
     stats.builds_completed = entry->completed;
+    stats.builds_failed = entry->failed_builds;
+    stats.build_retries = entry->retries;
+    stats.build_state = entry->StateLocked();
+    stats.last_build_error = entry->last_error;
   }
   stats.batches = entry->batches.load(std::memory_order_relaxed);
   stats.queries = entry->queries.load(std::memory_order_relaxed);
   stats.hash_hits = entry->hash_hits.load(std::memory_order_relaxed);
+  const u64 served_bytes =
+      entry->served_bytes.load(std::memory_order_relaxed);
+  if (served_bytes >= kCostCalibrationBytes) {
+    stats.cost_ns_per_byte =
+        static_cast<double>(entry->served_ns.load(std::memory_order_relaxed)) /
+        static_cast<double>(served_bytes);
+  }
   return stats;
 }
 
@@ -495,6 +835,13 @@ UsiMultiStats UsiMultiService::stats() const {
   stats.batches = batches_.load(std::memory_order_relaxed);
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.busy_rejected = busy_rejected_.load(std::memory_order_relaxed);
+  stats.overload_rejected =
+      overload_rejected_.load(std::memory_order_relaxed);
+  stats.deadline_expired =
+      deadline_expired_.load(std::memory_order_relaxed);
+  stats.index_unavailable =
+      index_unavailable_.load(std::memory_order_relaxed);
+  stats.builds_failed = builds_failed_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(build_mu_);
     stats.builds_scheduled = builds_scheduled_;

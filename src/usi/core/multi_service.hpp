@@ -64,6 +64,7 @@
 /// builds to finish draining.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -83,24 +84,28 @@ namespace usi {
 
 class ThreadPool;
 
-/// Outcome of a UsiMultiService batch. Statuses other than kOk reject the
-/// whole batch before any query executes, so results are all-or-nothing.
-enum class ServeStatus : u8 {
-  kOk = 0,
-  kBusy,         ///< Admission control: over max_inflight_batches.
-  kUnknownText,  ///< A query named a text id that is not registered.
-  kNotReady,     ///< A referenced text has no built generation yet.
-};
-
-/// Display name of a ServeStatus ("ok", "busy", ...).
-const char* ServeStatusName(ServeStatus status);
-
 /// One routed query: which text to ask, and the pattern. The referenced
 /// storage is borrowed for the duration of the QueryBatch call.
+/// (ServeStatus — the shared status taxonomy — lives in usi_service.hpp.)
 struct MultiQuery {
   std::string_view text_id;
   std::span<const Symbol> pattern;
 };
+
+/// Lifecycle of a text's index builds. Terminal states are kReady and
+/// kFailed; WaitForText returns one of them (or kUnknown) instead of
+/// hanging on a quarantined text.
+enum class BuildState : u8 {
+  kUnknown = 0,  ///< No such text registered.
+  kPending,      ///< A build is queued but has not started.
+  kBuilding,     ///< The build lane is running (or retrying) a build.
+  kReady,        ///< The latest scheduled build published its generation.
+  kFailed,       ///< The latest build failed terminally (retries exhausted);
+                 ///< the previous generation, if any, keeps serving.
+};
+
+/// Display name of a BuildState ("unknown", "pending", ...).
+const char* BuildStateName(BuildState state);
 
 /// Tuning for UsiMultiService.
 struct UsiMultiServiceOptions {
@@ -113,9 +118,36 @@ struct UsiMultiServiceOptions {
   /// Admission control: max concurrently executing QueryBatch calls.
   /// 0 = unbounded. Batches over the cap return ServeStatus::kBusy.
   std::size_t max_inflight_batches = 0;
+  /// Cost-aware admission: cap on the estimated cost (in milliseconds of
+  /// serving work) of all in-flight batches. 0 = off. A batch whose
+  /// estimated cost would push the in-flight total over the cap is rejected
+  /// with kOverloaded — unless nothing is in flight, so a lone expensive
+  /// batch always serves. Cost is estimated from per-text ns-per-pattern-byte
+  /// telemetry calibrated by served batches (default_cost_ns_per_byte until
+  /// a text has served enough bytes).
+  double max_inflight_cost_ms = 0;
+  /// Cost-model prior: assumed serving cost per pattern byte before a
+  /// text's own telemetry has calibrated it.
+  double default_cost_ns_per_byte = 50.0;
+  /// Build-lane failure containment: how many times a failed build is
+  /// retried (with capped exponential backoff) before the text is
+  /// quarantined as BuildState::kFailed.
+  unsigned max_build_retries = 2;
+  /// Base backoff before the first retry; doubles per attempt, capped at
+  /// 16x. Kept small by default so test suites and shutdown stay fast.
+  unsigned build_retry_backoff_ms = 10;
   /// Build options applied when SubmitText is called without explicit
   /// options. threads is overridden to 1 inside the build lane.
   UsiOptions default_build = {};
+};
+
+/// Per-batch knobs for UsiMultiService::QueryBatchInto.
+struct MultiBatchOptions {
+  /// Cooperative deadline, checked between per-text groups and threaded
+  /// into each group's UsiService (between shards) and engine (between
+  /// batch stages). Expired batches return kDeadlineExceeded with partial
+  /// results. nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Per-text lifetime telemetry, aggregated across generations.
@@ -123,26 +155,42 @@ struct UsiTextStats {
   u64 generation = 0;        ///< Generation currently served (0 = none yet).
   u64 builds_scheduled = 0;  ///< SubmitText/UpdateText calls for this text.
   u64 builds_completed = 0;
+  u64 builds_failed = 0;     ///< Terminal build failures (quarantines).
+  u64 build_retries = 0;     ///< Failed attempts that were retried.
   u64 batches = 0;    ///< Batches that touched this text.
   u64 queries = 0;    ///< Queries routed to this text.
   u64 hash_hits = 0;  ///< Of those, answered from the precomputed table.
+  BuildState build_state = BuildState::kUnknown;
+  std::string last_build_error;  ///< Cause of the last build failure.
+  /// Calibrated serving cost (ns per pattern byte); 0 until this text has
+  /// served enough bytes to calibrate. Feeds cost-aware admission.
+  double cost_ns_per_byte = 0;
   UsiBuildInfo last_build;  ///< build_info() of the served generation.
 };
 
 /// Service-wide telemetry.
 struct UsiMultiStats {
-  u64 batches = 0;         ///< Batches admitted (status kOk).
+  u64 batches = 0;         ///< Batches admitted (served to completion or
+                           ///< partially — kOk/kDeadlineExceeded/
+                           ///< kIndexUnavailable).
   u64 queries = 0;
-  u64 busy_rejected = 0;   ///< Batches shed by admission control.
+  u64 busy_rejected = 0;   ///< Batches shed by the in-flight count cap.
+  u64 overload_rejected = 0;  ///< Batches shed by cost-aware admission.
+  u64 deadline_expired = 0;   ///< Batches that hit their deadline.
+  u64 index_unavailable = 0;  ///< Batches that lost an index mid-serve.
   u64 builds_scheduled = 0;
   u64 builds_completed = 0;
+  u64 builds_failed = 0;      ///< Terminal build failures (quarantines).
   std::size_t texts = 0;   ///< Registered texts right now.
 };
 
 /// Convenience return form of QueryBatch.
 struct MultiBatchResult {
   ServeStatus status = ServeStatus::kOk;
-  std::vector<QueryResult> results;  ///< Valid only when status == kOk.
+  /// Populated on kOk and on the partial statuses (kDeadlineExceeded /
+  /// kIndexUnavailable — unreached slots are default QueryResult{});
+  /// cleared on the all-or-nothing rejections.
+  std::vector<QueryResult> results;
 };
 
 /// One service fronting many named texts, each with asynchronously rebuilt
@@ -204,9 +252,15 @@ class UsiMultiService {
   /// Registered ids, sorted.
   std::vector<std::string> TextIds() const;
 
-  /// Blocks until every build scheduled for \p id so far has completed.
-  /// Returns false if \p id is not registered.
-  bool WaitForText(std::string_view id);
+  /// Blocks until every build scheduled for \p id so far has reached a
+  /// terminal state, then reports it: kReady when the latest build
+  /// published, kFailed when it was quarantined (retries exhausted — the
+  /// text keeps serving its previous generation, if any), kUnknown when
+  /// \p id is not registered. Never hangs on a failed build.
+  BuildState WaitForText(std::string_view id);
+
+  /// Build-lane state of \p id right now, without waiting.
+  BuildState TextState(std::string_view id) const;
 
   /// Blocks until every build scheduled so far (all texts) has completed.
   void WaitForBuilds();
@@ -214,10 +268,14 @@ class UsiMultiService {
   /// Answers queries[i] into results[i] (results.size() must be >=
   /// queries.size()). Routes by text id, pins one generation per referenced
   /// text for the whole batch, then serves each per-text group through that
-  /// generation's UsiService (sharded across the shared pool). On any
-  /// status other than kOk no query executes and results are untouched.
+  /// generation's UsiService (sharded across the shared pool). On the
+  /// all-or-nothing statuses (kBusy / kOverloaded / kUnknownText /
+  /// kNotReady) no query executes and results are untouched; the partial
+  /// statuses (kDeadlineExceeded / kIndexUnavailable) return with every
+  /// result slot written — unreached queries carry default QueryResult{}.
   ServeStatus QueryBatchInto(std::span<const MultiQuery> queries,
-                             std::span<QueryResult> results);
+                             std::span<QueryResult> results,
+                             const MultiBatchOptions& batch_options = {});
 
   /// As QueryBatchInto, returning owned results.
   MultiBatchResult QueryBatch(std::span<const MultiQuery> queries);
@@ -251,15 +309,26 @@ class UsiMultiService {
   EntryPtr EnsureEntry(std::string_view id);
 
   /// Registers the job in the build queue and wakes the build lane (or, with
-  /// no pool, builds synchronously).
-  void ScheduleBuild(EntryPtr entry, WeightedString ws, u64 generation);
+  /// no pool, builds synchronously — including synchronous retries).
+  /// \p recover_path non-empty marks a recovery job: BuildOne first tries a
+  /// heap LoadFromFile of that path before falling back to a full rebuild.
+  void ScheduleBuild(EntryPtr entry, WeightedString ws, u64 generation,
+                     std::string recover_path = {});
 
   /// Body of the build-lane pool task: drains the queue FIFO, one job at a
-  /// time, then retires.
+  /// time (delayed retry jobs wait out their backoff), then retires.
   void BuildLane();
 
-  /// Builds one generation and publishes it (monotonic swap).
-  void BuildOne(BuildJob& job);
+  /// Runs one build attempt and publishes on success (monotonic swap).
+  /// Returns true when the job reached a terminal state (published or
+  /// quarantined); false when it failed and was re-armed for retry — the
+  /// caller requeues it (build lane) or sleeps and retries (no-pool path).
+  bool BuildOne(BuildJob& job);
+
+  /// Failure bookkeeping for BuildOne: re-arms \p job with backoff and
+  /// returns false while retries remain, else quarantines the text
+  /// (BuildState::kFailed) and returns true.
+  bool HandleBuildFailure(BuildJob& job, const std::string& what);
 
   std::unique_ptr<BatchScratch> AcquireBatchScratch();
   void ReleaseBatchScratch(std::unique_ptr<BatchScratch> scratch);
@@ -285,6 +354,13 @@ class UsiMultiService {
   std::atomic<u64> batches_{0};
   std::atomic<u64> queries_{0};
   std::atomic<u64> busy_rejected_{0};
+  /// Cost-aware admission: estimated serving cost (ns) of all in-flight
+  /// batches; compared against options_.max_inflight_cost_ms.
+  std::atomic<u64> inflight_cost_ns_{0};
+  std::atomic<u64> overload_rejected_{0};
+  std::atomic<u64> deadline_expired_{0};
+  std::atomic<u64> index_unavailable_{0};
+  std::atomic<u64> builds_failed_{0};
 };
 
 }  // namespace usi

@@ -17,6 +17,8 @@
 /// results using caller-owned QueryScratch buffers — the hot path allocates
 /// nothing once the scratch has warmed up to the workload's pattern lengths.
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <span>
 #include <utility>
@@ -43,6 +45,29 @@ struct QueryResult {
   bool from_hash_table = false;  ///< Answered from a precomputed/cached table.
 };
 
+/// Cooperative cancellation state shared by every worker of one batch.
+///
+/// The serving layer (UsiService) creates one per deadline-carrying batch
+/// and threads a pointer through QueryScratch; engines with long batch
+/// stages (UsiIndex's staged miss resolution) poll Expired() at checkpoint
+/// boundaries and stop early. The expiry flag LATCHES: once any checkpoint
+/// observes the deadline passed, every later check is a single relaxed load
+/// — no worker re-reads the clock, and all of them agree the batch expired.
+struct BatchControl {
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  mutable std::atomic<bool> expired{false};
+
+  /// Checkpoint poll: true once the deadline has passed (latched).
+  bool Expired() const {
+    if (!has_deadline) return false;
+    if (expired.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() < deadline) return false;
+    expired.store(true, std::memory_order_relaxed);
+    return true;
+  }
+};
+
 /// Reusable per-worker buffers for QueryBatch.
 ///
 /// \par Reuse rules
@@ -67,6 +92,11 @@ struct QueryScratch {
   std::vector<u32> misses;
   std::vector<PatternSpan> miss_patterns;
   std::vector<SaInterval> miss_intervals;
+  /// Cancellation state of the in-flight batch (null = no deadline). Set by
+  /// the serving layer for the duration of one QueryBatch call; engines
+  /// poll it at checkpoint boundaries and leave unreached results
+  /// default-constructed. Never owned by the scratch.
+  const BatchControl* control = nullptr;
 };
 
 /// Abstract answer path for global-utility queries.

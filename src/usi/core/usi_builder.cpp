@@ -7,6 +7,7 @@
 #include "usi/suffix/suffix_array.hpp"
 #include "usi/topk/substring_stats.hpp"
 #include "usi/util/bit_vector.hpp"
+#include "usi/util/failpoint.hpp"
 #include "usi/util/memory.hpp"
 #include "usi/util/timer.hpp"
 
@@ -68,6 +69,7 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   // array itself.
   Timer sa_timer;
   std::size_t rss_before = ReadPeakRssBytes();
+  USI_FAILPOINT("build.sa");
   std::vector<index_t> sa = BuildSuffixArray(text, pool);
   index.build_info_.sa_seconds = sa_timer.ElapsedSeconds();
   index.build_info_.sa_rss_delta_bytes = PeakRssDelta(rss_before);
@@ -80,6 +82,7 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   // intermediates are resident while the table stage runs.
   Timer mining_timer;
   rss_before = ReadPeakRssBytes();
+  USI_FAILPOINT("build.mine");
   TopKList mined;
   if (options_.miner == UsiMiner::kExact && n > 0) {
     SubstringStats stats(text, std::move(sa), pool);
@@ -104,6 +107,7 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   // Stage "table": phases (ii)+(iii), parallel over distinct lengths.
   Timer table_timer;
   rss_before = ReadPeakRssBytes();
+  USI_FAILPOINT("build.table");
   PopulateTable(index, mined, pool);
   mined = TopKList{};  // The mined list fed the table; release it now.
   index.build_info_.table_seconds = table_timer.ElapsedSeconds();
@@ -119,6 +123,7 @@ void UsiBuilder::BuildInto(UsiIndex& index) {
   // fit stays valid across it.
   Timer learn_timer;
   rss_before = ReadPeakRssBytes();
+  USI_FAILPOINT("build.learn");
   if (options_.learned_epsilon > 0 && n > 0) {
     index.learned_.Build(text, index.sa_, {options_.learned_epsilon});
   }

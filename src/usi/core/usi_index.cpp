@@ -1,14 +1,41 @@
 #include "usi/core/usi_index.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "usi/core/usi_builder.hpp"
 #include "usi/util/binary_io.hpp"
+#include "usi/util/failpoint.hpp"
 
 namespace usi {
+
+const char* LoadErrorCodeName(LoadErrorCode code) {
+  switch (code) {
+    case LoadErrorCode::kOk: return "ok";
+    case LoadErrorCode::kNotFound: return "not-found";
+    case LoadErrorCode::kIo: return "io-error";
+    case LoadErrorCode::kBadFormat: return "bad-format";
+    case LoadErrorCode::kCorrupt: return "corrupt";
+    case LoadErrorCode::kTextMismatch: return "text-mismatch";
+    case LoadErrorCode::kHostMismatch: return "host-mismatch";
+  }
+  return "?";
+}
+
 namespace {
+
+/// Loader failure funnel: records the typed error (when the caller asked
+/// for one) and yields the null index every load path returns on refusal.
+std::unique_ptr<UsiIndex> LoadFail(LoadError* error, LoadErrorCode code,
+                                   std::string message) {
+  if (error != nullptr) {
+    error->code = code;
+    error->message = std::move(message);
+  }
+  return nullptr;
+}
 
 // The v2 stream format's magic + version (index_format.hpp).
 constexpr u32 kIndexMagic = format_v2::kMagic;
@@ -285,18 +312,51 @@ void UsiIndex::QueryBatchImpl(std::span<const P> patterns,
   // pipeline, resolve all SA intervals in one batched pass (probes of
   // independent searches overlap) and aggregate each; otherwise the plain
   // per-miss path. Either way the answers match per-pattern Query exactly.
+  //
+  // This is the expensive stage (O(m log n + occ) per miss), so the
+  // batch's cooperative deadline is checkpointed here: with a BatchControl
+  // attached the batched pass runs in chunks, and expiry default-fills the
+  // unreached miss slots and returns early (hits were already answered in
+  // place above). Overshoot past the deadline is bounded by one chunk.
   if (misses.empty()) return;
+  USI_FAILPOINT("query.fallback");
+  const BatchControl* control = scratch->control;
+  const auto expire_from = [&](std::size_t j) {
+    for (; j < misses.size(); ++j) results[misses[j]] = QueryResult{};
+  };
   if (!learned_.empty() && misses.size() >= kBatchedMissMin) {
     std::vector<SaInterval>& intervals = scratch->miss_intervals;
     intervals.resize(misses.size());
-    learned_.FindIntervalBatch(ws_->text(), sa_span_, miss_patterns,
-                               intervals);
-    for (std::size_t j = 0; j < misses.size(); ++j) {
-      results[misses[j]] = fallback_.Aggregate(
-          intervals[j], static_cast<index_t>(miss_patterns[j].size()));
+    // Without a deadline the whole miss set goes through one batched pass
+    // (maximum probe overlap); with one, chunked so checkpoints exist.
+    constexpr std::size_t kDeadlineChunk = 64;
+    const std::size_t chunk = (control != nullptr && control->has_deadline)
+                                  ? kDeadlineChunk
+                                  : misses.size();
+    for (std::size_t begin = 0; begin < misses.size(); begin += chunk) {
+      if (control != nullptr && control->Expired()) {
+        expire_from(begin);
+        return;
+      }
+      const std::size_t end = std::min(misses.size(), begin + chunk);
+      learned_.FindIntervalBatch(
+          ws_->text(), sa_span_,
+          std::span<const PatternSpan>(miss_patterns.data() + begin,
+                                       end - begin),
+          std::span<SaInterval>(intervals.data() + begin, end - begin));
+      for (std::size_t j = begin; j < end; ++j) {
+        results[misses[j]] = fallback_.Aggregate(
+            intervals[j], static_cast<index_t>(miss_patterns[j].size()));
+      }
     }
   } else {
+    constexpr std::size_t kDeadlinePollStride = 16;
     for (std::size_t j = 0; j < misses.size(); ++j) {
+      if (control != nullptr && j % kDeadlinePollStride == 0 &&
+          control->Expired()) {
+        expire_from(j);
+        return;
+      }
       results[misses[j]] = fallback_.Compute(miss_patterns[j]);
     }
   }
@@ -507,12 +567,19 @@ bool UsiIndex::SaveToFile(const std::string& path, IndexFileFormat format,
   // before.
   const std::string staged = StageTempPath(path);
   BinaryWriter writer(staged);
-  const bool body_ok = format == IndexFileFormat::kV3Mapped
-                           ? SaveV3Body(writer, save_options)
-                           : SaveV2Body(writer);
+  bool body_ok = format == IndexFileFormat::kV3Mapped
+                     ? SaveV3Body(writer, save_options)
+                     : SaveV2Body(writer);
+  // Chaos hooks for the two failure classes the publish protocol must
+  // contain: a write/flush error while staging (save.body) and a failed
+  // rename/fsync at publish time (save.publish). Either way the
+  // destination keeps its previous complete image and the staged temp is
+  // removed here — exactly the real-failure path.
+  if (USI_FAILPOINT_FIRED("save.body")) body_ok = false;
   // Close() before publish: its result covers the final buffer flush, so an
   // out-of-space truncation surfaces here instead of being renamed live.
-  if (!(writer.Close() && body_ok) || !PublishFile(staged, path)) {
+  if (!(writer.Close() && body_ok) || USI_FAILPOINT_FIRED("save.publish") ||
+      !PublishFile(staged, path)) {
     std::remove(staged.c_str());
     return false;
   }
@@ -521,51 +588,95 @@ bool UsiIndex::SaveToFile(const std::string& path, IndexFileFormat format,
 
 std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
                                                const std::string& path) {
-  return OpenMapped(ws, path, OpenOptions());
+  return OpenMapped(ws, path, OpenOptions(), nullptr);
 }
 
 std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
                                                const std::string& path,
                                                const OpenOptions& options) {
+  return OpenMapped(ws, path, options, nullptr);
+}
+
+std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
+                                               const std::string& path,
+                                               const OpenOptions& options,
+                                               LoadError* error) {
   using namespace format_v3;
   using Table = FingerprintTable<TableValue>;
   using Slot = Table::Slot;
+  if (error != nullptr) *error = LoadError{};
 
-  std::unique_ptr<MappedFile> mapping = MappedFile::OpenReadOnly(path);
-  if (mapping == nullptr || mapping->size() < sizeof(FileHeader)) {
-    return nullptr;
+  if (USI_FAILPOINT_FIRED("open.mapped")) {
+    return LoadFail(error, LoadErrorCode::kIo, "failpoint open.mapped");
+  }
+  int open_errno = 0;
+  std::unique_ptr<MappedFile> mapping =
+      MappedFile::OpenReadOnly(path, &open_errno);
+  if (mapping == nullptr) {
+    return open_errno == ENOENT
+               ? LoadFail(error, LoadErrorCode::kNotFound,
+                          "cannot open " + path)
+               : LoadFail(error, LoadErrorCode::kIo,
+                          "open/stat/mmap failed: " + path);
+  }
+  if (mapping->size() < sizeof(FileHeader)) {
+    return LoadFail(error, LoadErrorCode::kBadFormat,
+                    "file shorter than a v3 header");
   }
   // Copy the header out of the mapping before validating: one place to
   // reason about alignment, and the checks below read stable memory even
   // if the file is concurrently replaced.
   FileHeader header;
   std::memcpy(&header, mapping->data(), sizeof(header));
-  if (header.magic != kMagic || header.version != kVersion) return nullptr;
+  if (header.magic != kMagic || header.version != kVersion) {
+    return LoadFail(error, LoadErrorCode::kBadFormat,
+                    "not a v3 index file (magic/version mismatch)");
+  }
   // The checksum covers every header byte including the section directory,
   // so a flipped offset/length/checksum in the directory is caught here in
   // O(1) without touching any payload.
   if (header.header_checksum !=
       Checksum64(&header, offsetof(FileHeader, header_checksum))) {
-    return nullptr;
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "header checksum mismatch");
   }
   // file_bytes pins the exact size: truncated AND extended files both fail
   // (a prefix of a valid file passes every other header check).
-  if (header.file_bytes != mapping->size()) return nullptr;
-  if (header.n != ws.size()) return nullptr;
-  if (header.kind >= kNumGlobalUtilityKinds) return nullptr;
-  if (header.miner >= kNumUsiMiners) return nullptr;
-  if (!KarpRabinHasher::IsValidBase(header.base)) return nullptr;
+  if (header.file_bytes != mapping->size()) {
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "file size differs from header file_bytes (truncated "
+                    "or extended image)");
+  }
+  if (header.n != ws.size()) {
+    return LoadFail(error, LoadErrorCode::kTextMismatch,
+                    "index was saved over a text of different length");
+  }
+  if (header.kind >= kNumGlobalUtilityKinds) {
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "invalid utility kind byte");
+  }
+  if (header.miner >= kNumUsiMiners) {
+    return LoadFail(error, LoadErrorCode::kCorrupt, "invalid miner byte");
+  }
+  if (!KarpRabinHasher::IsValidBase(header.base)) {
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "invalid Karp-Rabin base");
+  }
   // Host-layout guard: a slot written with a different value layout (or a
   // different index_t width, checked via the SA section length below) must
   // not be reinterpreted.
-  if (header.slot_bytes != sizeof(Slot)) return nullptr;
+  if (header.slot_bytes != sizeof(Slot)) {
+    return LoadFail(error, LoadErrorCode::kHostMismatch,
+                    "table slot layout differs from this host");
+  }
   // Same invariants AdoptView asserts, but as load failures: a corrupt
   // capacity/size pair must reject the file, not abort the process.
   const u64 capacity = header.table_capacity;
   if (capacity < Table::kMinCapacity ||
       (capacity & (capacity - 1)) != 0 ||
       header.table_size * Table::kMaxLoadDen > capacity * Table::kMaxLoadNum) {
-    return nullptr;
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "invalid table capacity/size pair");
   }
   const u64 expected_lengths[kNumSections] = {
       static_cast<u64>(header.n) * sizeof(index_t),
@@ -577,7 +688,8 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
     if (section.id != s || section.offset != expected_offset ||
         section.length != expected_lengths[s] ||
         section.offset + section.length > header.file_bytes) {
-      return nullptr;
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "section directory geometry mismatch");
     }
     expected_offset = AlignUp(expected_offset + section.length);
   }
@@ -592,20 +704,26 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
   LearnedSectionEntry ext;
   std::memcpy(&ext, mapping->data() + sizeof(FileHeader), sizeof(ext));
   if (ext.ext_magic != 0) {
-    if (ext.ext_magic != kLearnedMagic) return nullptr;
+    if (ext.ext_magic != kLearnedMagic) {
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "unknown extension magic in header slack");
+    }
     if (ext.entry_checksum !=
         Checksum64(&ext, offsetof(LearnedSectionEntry, entry_checksum))) {
-      return nullptr;
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "learned extension entry checksum mismatch");
     }
     if (ext.offset != AlignUp(core_end) || ext.length == 0 ||
         ext.length > header.file_bytes - ext.offset ||
         ext.offset + ext.length != header.file_bytes) {
-      return nullptr;
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "learned extension geometry mismatch");
     }
   } else if (header.file_bytes != core_end) {
     // No extension, yet bytes past the last core section: a doctored or
     // concatenated file, not slack.
-    return nullptr;
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "trailing bytes after last section");
   }
 
   const u8* const base = mapping->data();
@@ -620,17 +738,22 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
       const SectionEntry& section = header.sections[s];
       if (Checksum64(base + section.offset, section.length) !=
           section.checksum) {
-        return nullptr;
+        return LoadFail(error, LoadErrorCode::kCorrupt,
+                        "section payload checksum mismatch");
       }
     }
     const auto* sa = reinterpret_cast<const index_t*>(
         base + header.sections[kSuffixArray].offset);
     for (u64 i = 0; i < header.n; ++i) {
-      if (sa[i] >= header.n) return nullptr;
+      if (sa[i] >= header.n) {
+        return LoadFail(error, LoadErrorCode::kCorrupt,
+                        "suffix-array position out of range");
+      }
     }
     if (ext.ext_magic == kLearnedMagic &&
         Checksum64(base + ext.offset, ext.length) != ext.checksum) {
-      return nullptr;
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "learned section checksum mismatch");
     }
   }
 
@@ -667,7 +790,8 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
         index->learned_.epsilon() != ext.epsilon ||
         index->learned_.num_segments() != ext.num_segments ||
         index->learned_.fit_n() != header.n) {
-      return nullptr;
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "learned section payload inconsistent with entry");
     }
     index->fallback_.AttachLearned(&index->learned_);
   }
@@ -680,13 +804,28 @@ std::unique_ptr<UsiIndex> UsiIndex::OpenMapped(const WeightedString& ws,
 
 std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
                                                  const std::string& path) {
+  return LoadFromFile(ws, path, nullptr);
+}
+
+std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
+                                                 const std::string& path,
+                                                 LoadError* error) {
+  if (error != nullptr) *error = LoadError{};
   {
     // Magic dispatch: the first u32 names the format. v3 files are opened
     // by mmap, everything else falls through to the v2 stream loader.
     BinaryReader sniff(path);
     u32 magic = 0;
-    if (!sniff.Read(&magic)) return nullptr;
-    if (magic == format_v3::kMagic) return OpenMapped(ws, path);
+    if (!sniff.Read(&magic)) {
+      return LoadFail(error, LoadErrorCode::kNotFound,
+                      "cannot open or read " + path);
+    }
+    if (magic == format_v3::kMagic) {
+      return OpenMapped(ws, path, OpenOptions(), error);
+    }
+  }
+  if (USI_FAILPOINT_FIRED("load.v2")) {
+    return LoadFail(error, LoadErrorCode::kIo, "failpoint load.v2");
   }
   BinaryReader reader(path);
   u32 magic = 0;
@@ -695,13 +834,28 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   u8 kind = 0;
   u8 miner = 0;
   u64 base = 0;
-  if (!reader.Read(&magic) || magic != kIndexMagic) return nullptr;
-  if (!reader.Read(&version) || version != kIndexVersion) return nullptr;
-  if (!reader.Read(&n) || n != ws.size()) return nullptr;
-  if (!reader.Read(&kind) || kind >= kNumGlobalUtilityKinds) return nullptr;
-  if (!reader.Read(&miner) || miner >= kNumUsiMiners) return nullptr;
+  if (!reader.Read(&magic) || magic != kIndexMagic) {
+    return LoadFail(error, LoadErrorCode::kBadFormat,
+                    "not an index file (unknown magic)");
+  }
+  if (!reader.Read(&version) || version != kIndexVersion) {
+    return LoadFail(error, LoadErrorCode::kBadFormat,
+                    "unsupported v2 version");
+  }
+  if (!reader.Read(&n) || n != ws.size()) {
+    return LoadFail(error, LoadErrorCode::kTextMismatch,
+                    "index was saved over a text of different length");
+  }
+  if (!reader.Read(&kind) || kind >= kNumGlobalUtilityKinds) {
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "invalid utility kind byte");
+  }
+  if (!reader.Read(&miner) || miner >= kNumUsiMiners) {
+    return LoadFail(error, LoadErrorCode::kCorrupt, "invalid miner byte");
+  }
   if (!reader.Read(&base) || !KarpRabinHasher::IsValidBase(base)) {
-    return nullptr;
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "invalid Karp-Rabin base");
   }
 
   std::unique_ptr<UsiIndex> index(new UsiIndex(LoadTag{}, ws));
@@ -711,22 +865,33 @@ std::unique_ptr<UsiIndex> UsiIndex::LoadFromFile(const WeightedString& ws,
   if (!reader.Read(&index->build_info_.k) ||
       !reader.Read(&index->build_info_.tau_k) ||
       !reader.Read(&index->build_info_.num_lengths)) {
-    return nullptr;
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "truncated build-info block");
   }
   if (!reader.ReadVector(&index->sa_) || index->sa_.size() != ws.size()) {
-    return nullptr;
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "suffix-array payload truncated or wrong length");
   }
   // Corrupted SA payload bytes must not become out-of-bounds positions that
   // query-time PSW lookups would dereference.
   for (const index_t pos : index->sa_) {
-    if (pos >= ws.size()) return nullptr;
+    if (pos >= ws.size()) {
+      return LoadFail(error, LoadErrorCode::kCorrupt,
+                      "suffix-array position out of range");
+    }
   }
   std::vector<SerializedEntry> entries;
-  if (!reader.ReadVector(&entries)) return nullptr;
+  if (!reader.ReadVector(&entries)) {
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "hash-table payload truncated");
+  }
   // The entry vector is the file's last payload: anything after it is not
   // slack, it is corruption (a concatenated or doctored file), and a loader
   // that shrugged it off would serve whatever prefix happened to parse.
-  if (!reader.ExactlyConsumed()) return nullptr;
+  if (!reader.ExactlyConsumed()) {
+    return LoadFail(error, LoadErrorCode::kCorrupt,
+                    "trailing bytes after last payload");
+  }
   for (const SerializedEntry& entry : entries) {
     TableValue value;
     value.value = entry.value;

@@ -50,6 +50,30 @@ enum class UsiMiner : u8 {
   kApproximate,  ///< UAT.
 };
 
+/// Why LoadFromFile / OpenMapped refused a file. The nullptr-returning
+/// entry points collapse every failure into "no index"; the LoadError
+/// out-param overloads keep the distinction, so operators (usi_inspect) and
+/// supervising layers can tell a missing file from a corrupt one.
+enum class LoadErrorCode : u8 {
+  kOk = 0,
+  kNotFound,      ///< The file does not exist (or cannot be opened).
+  kIo,            ///< Read/stat/mmap failed on an existing file.
+  kBadFormat,     ///< Unrecognized magic or version — not an index file.
+  kCorrupt,       ///< Checksum, geometry, or consistency check failed.
+  kTextMismatch,  ///< Saved over a text of a different length than \p ws.
+  kHostMismatch,  ///< Host layout differs (slot bytes / index width).
+};
+
+/// Display name of a LoadErrorCode ("ok", "not-found", ...).
+const char* LoadErrorCodeName(LoadErrorCode code);
+
+/// Typed load/open failure: the machine-readable code plus a one-line
+/// human-readable message naming the check that failed.
+struct LoadError {
+  LoadErrorCode code = LoadErrorCode::kOk;
+  std::string message;
+};
+
 /// Construction options for UsiIndex.
 struct UsiOptions {
   /// Number of top-K frequent substrings to precompute; 0 means n/100, the
@@ -154,6 +178,13 @@ class UsiIndex : public QueryEngine {
   static std::unique_ptr<UsiIndex> OpenMapped(const WeightedString& ws,
                                               const std::string& path);
 
+  /// As above, reporting WHY a file was refused through \p error (always
+  /// written: kOk on success). \p error may be null.
+  static std::unique_ptr<UsiIndex> OpenMapped(const WeightedString& ws,
+                                              const std::string& path,
+                                              const OpenOptions& options,
+                                              LoadError* error);
+
   /// Restores an index previously saved over the same weighted string,
   /// dispatching on the file's magic word: v2 files are heap-deserialized
   /// (with an exact-consumption check — trailing bytes are corruption), v3
@@ -161,6 +192,12 @@ class UsiIndex : public QueryEngine {
   /// or if \p ws has a different length than the saved index.
   static std::unique_ptr<UsiIndex> LoadFromFile(const WeightedString& ws,
                                                 const std::string& path);
+
+  /// As above, reporting WHY a file was refused through \p error (always
+  /// written: kOk on success). \p error may be null.
+  static std::unique_ptr<UsiIndex> LoadFromFile(const WeightedString& ws,
+                                                const std::string& path,
+                                                LoadError* error);
 
   /// Answers U(P): hash-table hit in O(m), otherwise SA + PSW fallback.
   /// Safe to call concurrently (the index is immutable after construction).

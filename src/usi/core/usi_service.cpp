@@ -1,12 +1,28 @@
 #include "usi/core/usi_service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "usi/parallel/thread_pool.hpp"
+#include "usi/util/failpoint.hpp"
+#include "usi/util/mapped_file.hpp"
 #include "usi/util/timer.hpp"
 
 namespace usi {
+
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kBusy: return "busy";
+    case ServeStatus::kUnknownText: return "unknown-text";
+    case ServeStatus::kNotReady: return "not-ready";
+    case ServeStatus::kOverloaded: return "overloaded";
+    case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case ServeStatus::kIndexUnavailable: return "index-unavailable";
+  }
+  return "?";
+}
 
 UsiService::UsiService(QueryEngine& engine, const UsiServiceOptions& options)
     : engine_(&engine), options_(options) {
@@ -57,32 +73,64 @@ void UsiService::ReleaseScratch(std::unique_ptr<ScratchBlock> block) {
   scratch_free_.push_back(std::move(block));
 }
 
-void UsiService::QueryBatchInto(std::span<const Text> patterns,
-                                std::span<QueryResult> results,
-                                UsiBatchStats* stats) {
-  QueryBatchIntoImpl(patterns, results, stats);
+ServeStatus UsiService::QueryBatchInto(std::span<const Text> patterns,
+                                       std::span<QueryResult> results,
+                                       UsiBatchStats* stats,
+                                       const UsiBatchOptions& batch_options) {
+  return QueryBatchIntoImpl(patterns, results, stats, batch_options);
 }
 
-void UsiService::QueryBatchInto(std::span<const PatternSpan> patterns,
-                                std::span<QueryResult> results,
-                                UsiBatchStats* stats) {
-  QueryBatchIntoImpl(patterns, results, stats);
+ServeStatus UsiService::QueryBatchInto(std::span<const PatternSpan> patterns,
+                                       std::span<QueryResult> results,
+                                       UsiBatchStats* stats,
+                                       const UsiBatchOptions& batch_options) {
+  return QueryBatchIntoImpl(patterns, results, stats, batch_options);
 }
 
 template <typename P>
-void UsiService::QueryBatchIntoImpl(std::span<const P> patterns,
-                                    std::span<QueryResult> results,
-                                    UsiBatchStats* stats) {
+ServeStatus UsiService::QueryBatchIntoImpl(
+    std::span<const P> patterns, std::span<QueryResult> results,
+    UsiBatchStats* stats, const UsiBatchOptions& batch_options) {
   USI_CHECK(results.size() >= patterns.size());
   Timer timer;
   UsiBatchStats batch;
   batch.patterns = patterns.size();
+
+  // Backpressure: the in-flight cap is checked before ANY work — a rejected
+  // batch touches no scratch, no results, and none of the served totals
+  // (only the rejected counter).
+  const u64 cap = static_cast<u64>(options_.max_inflight_batches);
+  if (cap != 0) {
+    const u64 inflight =
+        inflight_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (inflight > cap) {
+      inflight_batches_.fetch_sub(1, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      totals_.rejected += 1;
+      return ServeStatus::kBusy;
+    }
+  }
+  struct InflightRelease {
+    std::atomic<u64>* counter;
+    ~InflightRelease() {
+      if (counter != nullptr) {
+        counter->fetch_sub(1, std::memory_order_release);
+      }
+    }
+  } inflight_release{cap != 0 ? &inflight_batches_ : nullptr};
+
   if (patterns.empty()) {
     std::lock_guard<std::mutex> lock(stats_mu_);
     last_batch_ = batch;
     totals_.batches += 1;
     if (stats != nullptr) *stats = batch;
-    return;
+    return ServeStatus::kOk;
+  }
+
+  BatchControl control;
+  if (batch_options.deadline.has_value()) {
+    control.has_deadline = true;
+    control.deadline = *batch_options.deadline;
   }
   std::unique_ptr<ScratchBlock> scratch = AcquireScratch();
 
@@ -106,17 +154,72 @@ void UsiService::QueryBatchIntoImpl(std::span<const P> patterns,
     serving.lock();
   }
 
+  // The batch's cancellation state rides through the leased scratch (one
+  // pointer per worker slot); it MUST be cleared before the block returns
+  // to the free list — `control` lives on this stack frame.
+  for (QueryScratch& s : *scratch) s.control = &control;
+
+  // Containment wrapper around every engine call: a SIGBUS on a registered
+  // mapped range (MappedFaultGuard), a simulated fault (the
+  // serve.mapped_fault failpoint, the TSan-safe chaos path), or an
+  // exception escaping the engine all turn into "this span failed" —
+  // default results, batch reported kIndexUnavailable — instead of killing
+  // the process or the pool worker.
+  std::atomic<bool> unavailable{false};
+  std::atomic<std::size_t> answered{0};
+  const auto serve_span = [&](std::span<const P> span_patterns,
+                              std::span<QueryResult> span_results,
+                              QueryScratch* span_scratch) {
+    bool ok = false;
+    try {
+      if (USI_FAILPOINT_FIRED("serve.mapped_fault")) {
+        ok = false;
+      } else {
+        ok = MappedFaultGuard::Run([&] {
+          engine_->QueryBatch(span_patterns, span_results, span_scratch);
+        });
+      }
+    } catch (...) {
+      ok = false;
+    }
+    if (ok) {
+      answered.fetch_add(span_patterns.size(), std::memory_order_relaxed);
+    } else {
+      std::fill(span_results.begin(), span_results.end(), QueryResult{});
+      unavailable.store(true, std::memory_order_relaxed);
+    }
+  };
+
   const unsigned workers = threads();
   const std::size_t min_shard = std::max<std::size_t>(1, options_.min_shard_size);
   if (workers <= 1 || patterns.size() < 2 * min_shard) {
     // Sequential serving, in batch order (also the only correct mode for
-    // caching engines, whose answers depend on query order).
-    engine_->QueryBatch(patterns, results, &(*scratch)[0]);
+    // caching engines, whose answers depend on query order). With a
+    // deadline the batch runs in min_shard-sized chunks so the cooperative
+    // checkpoints exist here too; without one it stays a single engine call.
+    if (!control.has_deadline) {
+      serve_span(patterns, results.first(patterns.size()), &(*scratch)[0]);
+    } else {
+      for (std::size_t begin = 0; begin < patterns.size();
+           begin += min_shard) {
+        const std::size_t end =
+            std::min(patterns.size(), begin + min_shard);
+        if (control.Expired()) {
+          std::fill(results.begin() + begin,
+                    results.begin() + patterns.size(), QueryResult{});
+          break;
+        }
+        serve_span(patterns.subspan(begin, end - begin),
+                   results.subspan(begin, end - begin), &(*scratch)[0]);
+      }
+    }
   } else {
     // Contiguous shards, a few per worker so uneven per-pattern costs (hash
     // hit vs SA fallback) balance out. Every pattern writes its own result
     // slot, so the output is schedule-independent. Each shard runs the
     // engine's batch path with the scratch of the worker it landed on.
+    // The deadline checkpoint sits between shards: an expired shard writes
+    // defaults and returns, so overshoot is bounded by one shard of work.
     const std::size_t target_shards = static_cast<std::size_t>(workers) * 4;
     const std::size_t shard_size = std::max(
         min_shard, (patterns.size() + target_shards - 1) / target_shards);
@@ -124,9 +227,13 @@ void UsiService::QueryBatchIntoImpl(std::span<const P> patterns,
     ParallelFor(pool_, shards, [&](std::size_t s, unsigned worker) {
       const std::size_t begin = s * shard_size;
       const std::size_t end = std::min(patterns.size(), begin + shard_size);
-      engine_->QueryBatch(patterns.subspan(begin, end - begin),
-                          results.subspan(begin, end - begin),
-                          &(*scratch)[worker]);
+      if (control.Expired()) {
+        std::fill(results.begin() + begin, results.begin() + end,
+                  QueryResult{});
+        return;
+      }
+      serve_span(patterns.subspan(begin, end - begin),
+                 results.subspan(begin, end - begin), &(*scratch)[worker]);
     });
     batch.shards = shards;
     // Fewer shards than workers means only that many bodies ever ran
@@ -134,8 +241,13 @@ void UsiService::QueryBatchIntoImpl(std::span<const P> patterns,
     batch.threads_used =
         static_cast<unsigned>(std::min<std::size_t>(workers, shards));
   }
+  for (QueryScratch& s : *scratch) s.control = nullptr;
   ReleaseScratch(std::move(scratch));
 
+  batch.answered = answered.load(std::memory_order_relaxed);
+  batch.deadline_expired =
+      control.has_deadline && control.expired.load(std::memory_order_relaxed);
+  const bool failed = unavailable.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < patterns.size(); ++i) {
     batch.hash_hits += results[i].from_hash_table ? 1 : 0;
   }
@@ -145,9 +257,14 @@ void UsiService::QueryBatchIntoImpl(std::span<const P> patterns,
     std::lock_guard<std::mutex> lock(stats_mu_);
     last_batch_ = batch;
     totals_.batches += 1;
-    totals_.queries += batch.patterns;
+    totals_.queries += batch.answered;
     totals_.hash_hits += batch.hash_hits;
+    totals_.deadline_expired += batch.deadline_expired ? 1 : 0;
+    totals_.serve_failures += failed ? 1 : 0;
   }
+  if (failed) return ServeStatus::kIndexUnavailable;
+  if (batch.deadline_expired) return ServeStatus::kDeadlineExceeded;
+  return ServeStatus::kOk;
 }
 
 UsiServiceTotals UsiService::totals() const {

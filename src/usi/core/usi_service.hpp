@@ -39,8 +39,11 @@
 /// concurrent; concurrent callers should read per-batch telemetry via the
 /// UsiBatchStats out-parameter of QueryBatchInto instead.
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <vector>
@@ -52,6 +55,25 @@ namespace usi {
 
 class ThreadPool;
 
+/// Outcome of a serving-layer batch (UsiService and UsiMultiService share
+/// the taxonomy). kOk / kBusy / kOverloaded / kUnknownText / kNotReady are
+/// all-or-nothing: no query executed, results untouched. The two partial
+/// statuses — kDeadlineExceeded and kIndexUnavailable — return with every
+/// result slot WRITTEN (answered queries carry real answers, unreached ones
+/// are default QueryResult{}), so callers can use what was served.
+enum class ServeStatus : u8 {
+  kOk = 0,
+  kBusy,          ///< Admission: over the in-flight batch cap.
+  kUnknownText,   ///< A query named a text id that is not registered.
+  kNotReady,      ///< A referenced text has no built generation yet.
+  kOverloaded,    ///< Admission: estimated batch cost over the cost cap.
+  kDeadlineExceeded,  ///< Deadline hit mid-batch; partial results.
+  kIndexUnavailable,  ///< Index backing failed (mmap fault / exception).
+};
+
+/// Display name of a ServeStatus ("ok", "busy", ...).
+const char* ServeStatusName(ServeStatus status);
+
 /// Tuning for UsiService.
 struct UsiServiceOptions {
   /// Pool width when the service owns its pool: 0 = hardware concurrency,
@@ -60,25 +82,46 @@ struct UsiServiceOptions {
   /// Floor on patterns per shard; small batches stay on one thread rather
   /// than paying fan-out overhead.
   std::size_t min_shard_size = 16;
+  /// Backpressure: max concurrently executing QueryBatchInto calls; 0 =
+  /// unbounded. A batch over the cap is rejected with kBusy before any
+  /// query executes (and before scratch is touched).
+  std::size_t max_inflight_batches = 0;
+};
+
+/// Per-batch serving knobs.
+struct UsiBatchOptions {
+  /// Cooperative deadline: serving checks it between shards (and the engine
+  /// between batch stages) and stops early, returning kDeadlineExceeded
+  /// with partial results. A batch never overshoots the deadline by more
+  /// than one checkpoint interval of engine work. nullopt = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 /// Telemetry of one QueryBatch.
 struct UsiBatchStats {
   std::size_t patterns = 0;
+  std::size_t answered = 0;   ///< Queries actually served (== patterns
+                              ///< unless the batch expired or failed).
   std::size_t hash_hits = 0;  ///< Answers served from a precomputed table.
   std::size_t shards = 1;
   unsigned threads_used = 1;
   double seconds = 0;
+  bool deadline_expired = false;  ///< The batch hit its deadline.
 };
 
 /// Cumulative serving telemetry, accumulated across every batch since the
 /// service was constructed. Unlike last_batch(), these survive batch
 /// boundaries, so a supervising layer (UsiMultiService) can report per-text
 /// lifetime totals; reading them is safe concurrently with serving.
+/// `queries` counts ANSWERED queries; rejected batches touch only
+/// `rejected` (a shed batch must not corrupt the served totals).
 struct UsiServiceTotals {
   u64 batches = 0;
   u64 queries = 0;
   u64 hash_hits = 0;
+  u64 rejected = 0;           ///< Batches shed by the in-flight cap.
+  u64 deadline_expired = 0;   ///< Batches that returned kDeadlineExceeded.
+  u64 serve_failures = 0;     ///< Batches that returned kIndexUnavailable.
 };
 
 /// Serves batches of utility queries through one QueryEngine.
@@ -109,17 +152,26 @@ class UsiService {
   /// batch shape performs zero heap allocations on the sequential path.
   /// When \p stats is non-null it receives this batch's telemetry — the
   /// race-free way to observe per-batch stats from concurrent callers.
-  void QueryBatchInto(std::span<const Text> patterns,
-                      std::span<QueryResult> results,
-                      UsiBatchStats* stats = nullptr);
+  ///
+  /// Returns kOk when every query was answered; kBusy when the in-flight
+  /// cap rejected the batch (results untouched); kDeadlineExceeded when
+  /// \p batch_options.deadline expired mid-batch (partial results, see
+  /// ServeStatus); kIndexUnavailable when the engine faulted (a truncated
+  /// mapped index, or an exception out of the fallback path) — the process
+  /// survives and the batch reports the failure instead.
+  ServeStatus QueryBatchInto(std::span<const Text> patterns,
+                             std::span<QueryResult> results,
+                             UsiBatchStats* stats = nullptr,
+                             const UsiBatchOptions& batch_options = {});
 
   /// Span-of-spans QueryBatchInto: patterns are borrowed from caller
   /// storage (bytes must stay alive and unchanged for the call), so gather
   /// stages scatter pointers instead of copying pattern bytes. Identical
   /// serving behavior and telemetry.
-  void QueryBatchInto(std::span<const PatternSpan> patterns,
-                      std::span<QueryResult> results,
-                      UsiBatchStats* stats = nullptr);
+  ServeStatus QueryBatchInto(std::span<const PatternSpan> patterns,
+                             std::span<QueryResult> results,
+                             UsiBatchStats* stats = nullptr,
+                             const UsiBatchOptions& batch_options = {});
 
   /// Single-query passthrough.
   QueryResult Query(std::span<const Symbol> pattern) {
@@ -154,9 +206,10 @@ class UsiService {
   /// Shared body of both QueryBatchInto overloads; P is Text or
   /// PatternSpan.
   template <typename P>
-  void QueryBatchIntoImpl(std::span<const P> patterns,
-                          std::span<QueryResult> results,
-                          UsiBatchStats* stats);
+  ServeStatus QueryBatchIntoImpl(std::span<const P> patterns,
+                                 std::span<QueryResult> results,
+                                 UsiBatchStats* stats,
+                                 const UsiBatchOptions& batch_options);
 
   QueryEngine* engine_;
   ThreadPool* pool_ = nullptr;            ///< Borrowed, may be null.
@@ -169,6 +222,8 @@ class UsiService {
 
   std::mutex scratch_mu_;  ///< Guards scratch_free_.
   std::vector<std::unique_ptr<ScratchBlock>> scratch_free_;
+
+  std::atomic<u64> inflight_batches_{0};  ///< For max_inflight_batches.
 
   mutable std::mutex stats_mu_;  ///< Guards last_batch_ and totals_.
   UsiBatchStats last_batch_;

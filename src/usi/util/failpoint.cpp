@@ -1,0 +1,254 @@
+#include "usi/util/failpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace usi {
+namespace failpoint {
+namespace {
+
+/// Deterministic splitmix64 step for percent draws.
+u64 SplitMix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+/// Process-wide site registry. Sites are heap-allocated and never freed:
+/// the macros cache Site references in function-local statics, so a site's
+/// address must stay valid for the process lifetime (the "leak" is bounded
+/// by the number of distinct site names, a few dozen).
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();
+    return *instance;
+  }
+
+  Site& GetSite(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return GetSiteLocked(name);
+  }
+
+  Site* FindSite(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(name);
+    return it == sites_.end() ? nullptr : it->second;
+  }
+
+  void DisarmAllSites() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, site] : sites_) DisarmSite(*site);
+  }
+
+  std::vector<std::string> Names() {
+    std::vector<std::string> names;
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(sites_.size());
+    for (const auto& [name, site] : sites_) names.push_back(name);
+    return names;  // std::map iteration order is already sorted.
+  }
+
+  static void ArmSite(Site& site, const Spec& spec) {
+    std::lock_guard<std::mutex> lock(site.mu_);
+    site.spec_ = spec;
+    site.hits_ = 0;
+    site.fired_ = 0;
+    site.rng_state_ = spec.seed;
+    site.action_.store(static_cast<u8>(spec.action),
+                       std::memory_order_release);
+  }
+
+  static void DisarmSite(Site& site) {
+    std::lock_guard<std::mutex> lock(site.mu_);
+    site.spec_ = Spec{};
+    site.hits_ = 0;
+    site.fired_ = 0;
+    site.action_.store(static_cast<u8>(Action::kOff),
+                       std::memory_order_release);
+  }
+
+ private:
+  Registry() {
+    // Environment arming happens exactly once, before any site is visible:
+    // the registry is constructed on first use, and every public entry
+    // point goes through Instance().
+    if (const char* env = std::getenv("USI_FAILPOINTS")) {
+      ApplyString(env);
+    }
+  }
+
+  Site& GetSiteLocked(std::string_view name) {
+    auto it = sites_.find(name);
+    if (it != sites_.end()) return *it->second;
+    Site* site = new Site(std::string(name));
+    sites_.emplace(site->name(), site);
+    return *site;
+  }
+
+  int ApplyString(std::string_view text) {
+    int armed = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!text.empty()) {
+      const std::size_t sep = text.find(';');
+      std::string_view clause = text.substr(0, sep);
+      text = sep == std::string_view::npos ? std::string_view{}
+                                           : text.substr(sep + 1);
+      const std::size_t eq = clause.find('=');
+      if (eq == std::string_view::npos || eq == 0) continue;
+      Spec spec;
+      if (!ParseSpec(clause.substr(eq + 1), &spec)) continue;
+      ArmSite(GetSiteLocked(clause.substr(0, eq)), spec);
+      ++armed;
+    }
+    return armed;
+  }
+
+  friend int failpoint::ArmFromString(std::string_view text);
+
+  std::mutex mu_;  ///< Guards sites_ (the map, not the Sites themselves).
+  std::map<std::string, Site*, std::less<>> sites_;
+};
+
+Site& Site::Get(std::string_view name) {
+  return Registry::Instance().GetSite(name);
+}
+
+bool Site::Evaluate() {
+  // Fast path: a disarmed site is one relaxed load (and when the library is
+  // compiled without USI_FAILPOINTS, not even that — the macros erase the
+  // call entirely).
+  if (static_cast<Action>(action_.load(std::memory_order_relaxed)) ==
+      Action::kOff) {
+    return false;
+  }
+  switch (EvaluateArmed()) {
+    case Action::kOff:
+      return false;
+    case Action::kError:
+      return true;
+    case Action::kThrow:
+      throw FailpointError(name_);
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+  }
+  return false;
+}
+
+Action Site::EvaluateArmed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-read under the lock: a concurrent Disarm between the fast-path load
+  // and here must win.
+  const Action action =
+      static_cast<Action>(action_.load(std::memory_order_relaxed));
+  if (action == Action::kOff) return Action::kOff;
+  ++hits_;
+  if (hits_ <= spec_.skip) return Action::kOff;
+  if (spec_.fires != 0 && fired_ >= spec_.fires) return Action::kOff;
+  if (spec_.percent < 100 &&
+      SplitMix64(rng_state_) % 100 >= spec_.percent) {
+    return Action::kOff;
+  }
+  ++fired_;
+  return action;
+}
+
+void Arm(std::string_view site, const Spec& spec) {
+  Registry::ArmSite(Registry::Instance().GetSite(site), spec);
+}
+
+void Arm(std::string_view site, Action action, u64 fires, u64 skip) {
+  Spec spec;
+  spec.action = action;
+  spec.fires = fires;
+  spec.skip = skip;
+  Arm(site, spec);
+}
+
+void Disarm(std::string_view site) {
+  if (Site* s = Registry::Instance().FindSite(site)) {
+    Registry::DisarmSite(*s);
+  }
+}
+
+void DisarmAll() { Registry::Instance().DisarmAllSites(); }
+
+u64 Site::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+u64 Site::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+u64 HitCount(std::string_view site) {
+  Site* s = Registry::Instance().FindSite(site);
+  return s == nullptr ? 0 : s->hits();
+}
+
+u64 FireCount(std::string_view site) {
+  Site* s = Registry::Instance().FindSite(site);
+  return s == nullptr ? 0 : s->fired();
+}
+
+std::vector<std::string> SiteNames() {
+  return Registry::Instance().Names();
+}
+
+bool ParseSpec(std::string_view text, Spec* spec) {
+  const std::size_t mod = text.find_first_of("@*%");
+  const std::string_view action = text.substr(0, mod);
+  Spec parsed;
+  if (action == "off") {
+    parsed.action = Action::kOff;
+  } else if (action == "error") {
+    parsed.action = Action::kError;
+  } else if (action == "throw") {
+    parsed.action = Action::kThrow;
+  } else if (action == "badalloc") {
+    parsed.action = Action::kBadAlloc;
+  } else {
+    return false;
+  }
+  std::string_view rest =
+      mod == std::string_view::npos ? std::string_view{} : text.substr(mod);
+  while (!rest.empty()) {
+    const char key = rest.front();
+    rest.remove_prefix(1);
+    u64 value = 0;
+    std::size_t digits = 0;
+    while (digits < rest.size() && rest[digits] >= '0' &&
+           rest[digits] <= '9') {
+      value = value * 10 + static_cast<u64>(rest[digits] - '0');
+      ++digits;
+    }
+    if (digits == 0) return false;
+    rest.remove_prefix(digits);
+    switch (key) {
+      case '@': parsed.skip = value; break;
+      case '*': parsed.fires = value; break;
+      case '%':
+        if (value > 100) return false;
+        parsed.percent = static_cast<u32>(value);
+        break;
+      default: return false;
+    }
+  }
+  *spec = parsed;
+  return true;
+}
+
+int ArmFromString(std::string_view text) {
+  return Registry::Instance().ApplyString(text);
+}
+
+}  // namespace failpoint
+}  // namespace usi

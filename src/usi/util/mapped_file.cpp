@@ -1,21 +1,153 @@
 #include "usi/util/mapped_file.hpp"
 
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <system_error>
 
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 namespace usi {
+namespace {
 
-std::unique_ptr<MappedFile> MappedFile::OpenReadOnly(const std::string& path) {
+// ---------------------------------------------------------------------------
+// SIGBUS guard plumbing. Everything the signal handler touches is lock-free
+// and async-signal-safe: a fixed array of atomic (begin, length) slots for
+// the registered ranges, a thread-local pointer to the innermost guard
+// frame, and a recovered-fault counter.
+
+/// Upper bound on concurrently open mappings the guard can vouch for. A
+/// mapping past the cap still serves (registration is best-effort) — it just
+/// cannot be fault-recovered, the pre-guard behavior.
+constexpr int kMaxGuardedRanges = 256;
+
+struct GuardedRange {
+  std::atomic<const u8*> begin{nullptr};
+  std::atomic<std::size_t> length{0};
+};
+
+GuardedRange g_ranges[kMaxGuardedRanges];
+std::atomic<int> g_registered{0};   ///< Live registrations (guard engaged?).
+std::atomic<u64> g_recovered{0};    ///< Faults converted into Run() == false.
+std::mutex g_register_mu;           ///< Serializes slot claim/release only.
+std::once_flag g_handler_once;
+struct sigaction g_previous_bus;    ///< Disposition to restore on re-raise.
+
+/// The innermost active FaultJmpScope target of this thread (null = no
+/// guarded region active; a fault then re-raises).
+thread_local sigjmp_buf* t_fault_target = nullptr;
+
+/// Async-signal-safe: is \p addr inside any registered mapped range?
+bool AddrInGuardedRange(const void* addr) {
+  const u8* p = static_cast<const u8*>(addr);
+  for (int i = 0; i < kMaxGuardedRanges; ++i) {
+    const u8* begin = g_ranges[i].begin.load(std::memory_order_acquire);
+    if (begin == nullptr) continue;
+    const std::size_t len = g_ranges[i].length.load(std::memory_order_acquire);
+    if (p >= begin && p < begin + len) return true;
+  }
+  return false;
+}
+
+void SigbusHandler(int sig, siginfo_t* info, void* /*ucontext*/) {
+  if (t_fault_target != nullptr && info != nullptr &&
+      AddrInGuardedRange(info->si_addr)) {
+    g_recovered.fetch_add(1, std::memory_order_relaxed);
+    siglongjmp(*t_fault_target, 1);  // Unwinds to MappedFaultGuard::Run.
+  }
+  // Not ours (or no guard frame active): restore the previous disposition
+  // and re-raise so the fault kills the process exactly as before.
+  ::sigaction(sig, &g_previous_bus, nullptr);
+  ::raise(sig);
+}
+
+void InstallSigbusHandler() {
+  struct sigaction action {};
+  action.sa_sigaction = &SigbusHandler;
+  sigemptyset(&action.sa_mask);
+  // SA_NODEFER: after siglongjmp out of the handler SIGBUS stays deliverable
+  // (the handler never returns normally, so the kernel would otherwise keep
+  // it blocked and turn the next fault into a kill).
+  action.sa_flags = SA_SIGINFO | SA_NODEFER;
+  ::sigaction(SIGBUS, &action, &g_previous_bus);
+}
+
+/// Claims a slot for [data, data+size); returns the slot index or -1 when
+/// the table is full (mapping stays usable, just unguarded).
+int RegisterRange(const u8* data, std::size_t size) {
+  std::call_once(g_handler_once, InstallSigbusHandler);
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  for (int i = 0; i < kMaxGuardedRanges; ++i) {
+    if (g_ranges[i].begin.load(std::memory_order_relaxed) == nullptr) {
+      g_ranges[i].length.store(size, std::memory_order_release);
+      g_ranges[i].begin.store(data, std::memory_order_release);
+      g_registered.fetch_add(1, std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void UnregisterRange(const u8* data) {
+  std::lock_guard<std::mutex> lock(g_register_mu);
+  for (int i = 0; i < kMaxGuardedRanges; ++i) {
+    if (g_ranges[i].begin.load(std::memory_order_relaxed) == data) {
+      g_ranges[i].begin.store(nullptr, std::memory_order_release);
+      g_ranges[i].length.store(0, std::memory_order_release);
+      g_registered.fetch_sub(1, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+FaultJmpScope::FaultJmpScope() : prev_(t_fault_target) {
+  t_fault_target = &buf_;
+}
+
+FaultJmpScope::~FaultJmpScope() {
+  t_fault_target = static_cast<sigjmp_buf*>(prev_);
+}
+
+}  // namespace detail
+
+bool MappedFaultGuard::Engaged() {
+  return g_registered.load(std::memory_order_acquire) > 0;
+}
+
+u64 MappedFaultGuard::RecoveredFaults() {
+  return g_recovered.load(std::memory_order_relaxed);
+}
+
+MappedFile::MappedFile(const u8* data, std::size_t size)
+    : data_(data), size_(size) {
+  RegisterRange(data_, size_);
+}
+
+std::unique_ptr<MappedFile> MappedFile::OpenReadOnly(const std::string& path,
+                                                     int* out_errno) {
+  if (out_errno != nullptr) *out_errno = 0;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) return nullptr;
+  if (fd < 0) {
+    if (out_errno != nullptr) *out_errno = errno;
+    return nullptr;
+  }
   struct stat st {};
-  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode) || st.st_size <= 0) {
+  if (::fstat(fd, &st) != 0) {
+    if (out_errno != nullptr) *out_errno = errno;
+    ::close(fd);
+    return nullptr;
+  }
+  if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
     ::close(fd);
     return nullptr;
   }
@@ -31,6 +163,7 @@ std::unique_ptr<MappedFile> MappedFile::OpenReadOnly(const std::string& path) {
 
 MappedFile::~MappedFile() {
   if (data_ != nullptr) {
+    UnregisterRange(data_);
     ::munmap(const_cast<u8*>(data_), size_);
   }
 }

@@ -26,9 +26,11 @@
 /// (the destination still holds the previous good image); RemoveStaleTemps
 /// sweeps such leftovers on the next startup.
 
+#include <csetjmp>
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "usi/util/common.hpp"
 
@@ -36,13 +38,21 @@ namespace usi {
 
 /// Read-only memory-mapped file. The mapping lives for the object's
 /// lifetime; spans handed out by data() are invalidated by destruction.
+///
+/// Every open mapping is registered with the process-wide SIGBUS guard (see
+/// MappedFaultGuard): a fault on a registered range — a page whose backing
+/// file was truncated or revoked after open — can be converted into a clean
+/// "this batch failed" return instead of crashing the process.
 class MappedFile {
  public:
   /// Maps \p path read-only (MAP_SHARED, so identical pages are shared with
   /// every other process mapping the same file). Returns nullptr on open,
   /// stat, or mmap failure — including for empty files, which have nothing
-  /// to map.
-  static std::unique_ptr<MappedFile> OpenReadOnly(const std::string& path);
+  /// to map. \p out_errno, when non-null, receives the errno of a failed
+  /// open/stat (0 for non-syscall failures like an empty file), so callers
+  /// can distinguish a missing file from an unreadable one.
+  static std::unique_ptr<MappedFile> OpenReadOnly(const std::string& path,
+                                                  int* out_errno = nullptr);
 
   ~MappedFile();
 
@@ -65,10 +75,77 @@ class MappedFile {
   void AdviseRandom() const;
 
  private:
-  MappedFile(const u8* data, std::size_t size) : data_(data), size_(size) {}
+  MappedFile(const u8* data, std::size_t size);
 
   const u8* data_ = nullptr;
   std::size_t size_ = 0;
+};
+
+namespace detail {
+
+/// RAII frame for one guarded region on this thread: pushes a sigjmp target
+/// the SIGBUS handler longjmps to when a fault lands inside a registered
+/// mapped range. Frames nest (the previous target is restored on exit).
+/// Internal to MappedFaultGuard::Run.
+class FaultJmpScope {
+ public:
+  FaultJmpScope();
+  ~FaultJmpScope();
+  FaultJmpScope(const FaultJmpScope&) = delete;
+  FaultJmpScope& operator=(const FaultJmpScope&) = delete;
+  sigjmp_buf& jmp() { return buf_; }
+
+ private:
+  sigjmp_buf buf_;
+  void* prev_;  ///< The enclosing frame's target (restored by the dtor).
+};
+
+}  // namespace detail
+
+/// Converts SIGBUS on registered mapped ranges into a boolean failure.
+///
+/// A mapped index is only as durable as its backing file: truncate it (or
+/// revoke the storage under it) while a query is demand-paging and the read
+/// raises SIGBUS — by default, process death. Run(fn) executes fn with a
+/// guard frame installed; if a fault lands inside any registered MappedFile
+/// range, control returns here and Run reports false, letting the serving
+/// layer fail the batch with kIndexUnavailable and fall back.
+///
+/// \par Containment contract
+///  * Faults OUTSIDE registered ranges (a genuine heap/stack bug) re-raise
+///    with the default disposition — the guard never swallows real crashes.
+///  * Recovery uses siglongjmp, which unwinds no destructors: fn must be
+///    effectively leaf code over plain buffers (the query path over mapped
+///    sections qualifies: scratch buffers are owned by the caller and
+///    reused, not freed). The skipped-destructor leak on the crash path is
+///    the accepted price of not dying.
+///  * The handler is async-signal-safe: the range registry is a fixed array
+///    of atomics read lock-free, installed lazily on first registration.
+///  * A fault while NO frame is active (mapped read outside Run) re-raises:
+///    only explicitly guarded regions degrade.
+class MappedFaultGuard {
+ public:
+  /// Runs \p fn; returns true when it completed, false when a SIGBUS on a
+  /// registered mapped range aborted it. With no mappings registered this
+  /// is a plain call (no sigsetjmp on the hot path).
+  template <typename Fn>
+  static bool Run(Fn&& fn) {
+    if (!Engaged()) {
+      std::forward<Fn>(fn)();
+      return true;
+    }
+    detail::FaultJmpScope scope;
+    if (sigsetjmp(scope.jmp(), 1) != 0) return false;  // Fault unwound here.
+    std::forward<Fn>(fn)();
+    return true;
+  }
+
+  /// Whether any mapped range is currently registered (i.e. a fault is
+  /// possible and Run must arm a frame).
+  static bool Engaged();
+
+  /// Lifetime count of SIGBUS faults the guard recovered from.
+  static u64 RecoveredFaults();
 };
 
 /// 64-bit checksum over an arbitrary byte range: FNV-1a folded over 64-bit

@@ -291,7 +291,7 @@ TEST(MultiServiceInstantStartTest, RegisterTextFromFileServesImmediately) {
   // generational path.
   WeightedString updated = testing::RandomWeighted(900, 4, 556);
   EXPECT_EQ(service.UpdateText("corpus", std::move(updated)), 2u);
-  ASSERT_TRUE(service.WaitForText("corpus"));
+  ASSERT_EQ(service.WaitForText("corpus"), BuildState::kReady);
   EXPECT_EQ(service.StatsFor("corpus")->generation, 2u);
   std::remove(path.c_str());
 }

@@ -142,7 +142,7 @@ TEST(MultiService, UnknownTextRejectsTheWholeBatch) {
   EXPECT_EQ(results[1].utility, -1.0);
 
   EXPECT_FALSE(service.HasText("nope"));
-  EXPECT_FALSE(service.WaitForText("nope"));
+  EXPECT_EQ(service.WaitForText("nope"), BuildState::kUnknown);
   EXPECT_FALSE(service.RemoveText("nope"));
   QueryResult single;
   EXPECT_EQ(service.Query("nope", pattern, single), ServeStatus::kUnknownText);
@@ -181,7 +181,7 @@ TEST(MultiService, AsyncBuildServesNotReadyUntilFirstGenerationLands) {
   EXPECT_EQ(stats->builds_completed, 0u);
 
   release.count_down();
-  ASSERT_TRUE(service.WaitForText("t"));
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
   ASSERT_EQ(service.Query("t", pattern, result), ServeStatus::kOk);
   const std::vector<QueryResult> want =
       DirectAnswers(ws, options, {pattern});
@@ -365,7 +365,7 @@ TEST(MultiService, GenerationSwapUnderLoadNeverMixesGenerations) {
   service_options.default_build = options;
   UsiMultiService service(service_options);
   service.SubmitText("t", ws_v1);
-  ASSERT_TRUE(service.WaitForText("t"));
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
 
   std::vector<MultiQuery> queries;
   for (const Text& p : patterns) queries.push_back({"t", p});

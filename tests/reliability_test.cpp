@@ -1,0 +1,811 @@
+// Reliability layer: deterministic fault injection (failpoints), typed load
+// errors, deadlines + cost-aware admission, build-lane failure containment,
+// and graceful degradation when an index backing fails mid-serve. The chaos
+// tests drive every containment path through armed failpoints — no real
+// fault is needed, so the whole suite is ThreadSanitizer-clean and runs in
+// CI under both the "concurrency" and "chaos" labels. Tests that need armed
+// sites skip themselves when the build has USI_FAILPOINTS off; the registry
+// API itself (Arm/Evaluate/ParseSpec) always links and is tested either way.
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <latch>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/multi_service.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/core/usi_service.hpp"
+#include "usi/parallel/thread_pool.hpp"
+#include "usi/util/failpoint.hpp"
+#include "usi/util/mapped_file.hpp"
+
+namespace usi {
+namespace {
+
+using testing::RandomWeighted;
+
+/// Substrings of \p ws plus patterns absent from it (the absent ones reach
+/// the engine's miss/fallback stage, where the query-path failpoint and the
+/// deadline poll live).
+std::vector<Text> PatternsFor(const WeightedString& ws, u64 seed,
+                              int present = 48, int absent = 12) {
+  Rng rng(seed);
+  std::vector<Text> patterns;
+  for (int i = 0; i < present; ++i) {
+    const index_t start = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t max_len = std::min<index_t>(8, ws.size() - start);
+    patterns.push_back(ws.Fragment(
+        start, static_cast<index_t>(rng.UniformInRange(1, max_len))));
+  }
+  for (int i = 0; i < absent; ++i) {
+    patterns.push_back(Text(static_cast<std::size_t>(rng.UniformInRange(1, 6)),
+                            static_cast<Symbol>(200 + i)));
+  }
+  return patterns;
+}
+
+std::vector<QueryResult> DirectAnswers(const UsiIndex& index,
+                                       const std::vector<Text>& patterns) {
+  std::vector<QueryResult> want(patterns.size());
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    want[i] = index.Query(patterns[i]);
+  }
+  return want;
+}
+
+bool SameResult(const QueryResult& a, const QueryResult& b) {
+  return a.utility == b.utility && a.occurrences == b.occurrences;
+}
+
+void ExpectSameResults(const std::vector<QueryResult>& got,
+                       const std::vector<QueryResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(SameResult(got[i], want[i])) << "pattern " << i;
+  }
+}
+
+/// Every test disarms every site on the way out, so an armed failpoint can
+/// never leak into a later test (or a later suite in the same process).
+class ReliabilityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// Status / state / error-code names (satellite: ServeStatusName coverage).
+
+TEST_F(ReliabilityTest, ServeStatusNamesAreDistinct) {
+  const ServeStatus all[] = {
+      ServeStatus::kOk,         ServeStatus::kBusy,
+      ServeStatus::kUnknownText, ServeStatus::kNotReady,
+      ServeStatus::kOverloaded, ServeStatus::kDeadlineExceeded,
+      ServeStatus::kIndexUnavailable,
+  };
+  std::vector<std::string> names;
+  for (ServeStatus status : all) {
+    const std::string name = ServeStatusName(status);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST_F(ReliabilityTest, BuildStateNamesAreDistinct) {
+  const BuildState all[] = {BuildState::kUnknown, BuildState::kPending,
+                            BuildState::kBuilding, BuildState::kReady,
+                            BuildState::kFailed};
+  std::vector<std::string> names;
+  for (BuildState state : all) {
+    const std::string name = BuildStateName(state);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST_F(ReliabilityTest, LoadErrorCodeNamesAreDistinct) {
+  const LoadErrorCode all[] = {
+      LoadErrorCode::kOk,        LoadErrorCode::kNotFound,
+      LoadErrorCode::kIo,        LoadErrorCode::kBadFormat,
+      LoadErrorCode::kCorrupt,   LoadErrorCode::kTextMismatch,
+      LoadErrorCode::kHostMismatch,
+  };
+  std::vector<std::string> names;
+  for (LoadErrorCode code : all) {
+    const std::string name = LoadErrorCodeName(code);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint registry semantics (ParseSpec / arming / deterministic firing).
+// These drive Site::Evaluate directly, so they run in every build; only the
+// *macro sites inside library code* need USI_FAILPOINTS.
+
+TEST_F(ReliabilityTest, ParseSpecAcceptsEveryForm) {
+  using failpoint::Action;
+  using failpoint::ParseSpec;
+  using failpoint::Spec;
+  Spec spec;
+  ASSERT_TRUE(ParseSpec("throw", &spec));
+  EXPECT_EQ(spec.action, Action::kThrow);
+  EXPECT_EQ(spec.skip, 0u);
+  EXPECT_EQ(spec.fires, 0u);
+  EXPECT_EQ(spec.percent, 100u);
+
+  ASSERT_TRUE(ParseSpec("error*2", &spec));
+  EXPECT_EQ(spec.action, Action::kError);
+  EXPECT_EQ(spec.fires, 2u);
+
+  ASSERT_TRUE(ParseSpec("badalloc@1", &spec));
+  EXPECT_EQ(spec.action, Action::kBadAlloc);
+  EXPECT_EQ(spec.skip, 1u);
+
+  ASSERT_TRUE(ParseSpec("error%25", &spec));
+  EXPECT_EQ(spec.percent, 25u);
+
+  ASSERT_TRUE(ParseSpec("throw@2*3%50", &spec));
+  EXPECT_EQ(spec.action, Action::kThrow);
+  EXPECT_EQ(spec.skip, 2u);
+  EXPECT_EQ(spec.fires, 3u);
+  EXPECT_EQ(spec.percent, 50u);
+
+  ASSERT_TRUE(ParseSpec("off", &spec));
+  EXPECT_EQ(spec.action, Action::kOff);
+}
+
+TEST_F(ReliabilityTest, ParseSpecRejectsMalformedInput) {
+  using failpoint::ParseSpec;
+  using failpoint::Spec;
+  Spec spec;
+  spec.skip = 7;  // Sentinel: a failed parse must leave the spec untouched.
+  EXPECT_FALSE(ParseSpec("", &spec));
+  EXPECT_FALSE(ParseSpec("bogus", &spec));
+  EXPECT_FALSE(ParseSpec("error%", &spec));
+  EXPECT_FALSE(ParseSpec("error%999", &spec));
+  EXPECT_FALSE(ParseSpec("throw@", &spec));
+  EXPECT_FALSE(ParseSpec("throw*x", &spec));
+  EXPECT_EQ(spec.skip, 7u);
+}
+
+TEST_F(ReliabilityTest, ArmFromStringArmsWellFormedClausesOnly) {
+  const int armed = failpoint::ArmFromString(
+      "reliab.a=throw;reliab.b=error*1;junkclause;reliab.c=nonsense");
+  EXPECT_EQ(armed, 2);
+  const std::vector<std::string> names = failpoint::SiteNames();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reliab.a"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "reliab.b"), names.end());
+}
+
+TEST_F(ReliabilityTest, SkipAndFiresControlWhenASiteFires) {
+  using failpoint::Action;
+  failpoint::Site& site = failpoint::Site::Get("reliab.counted");
+  failpoint::Arm("reliab.counted", Action::kError, /*fires=*/1, /*skip=*/1);
+  EXPECT_FALSE(site.Evaluate());  // Skipped.
+  EXPECT_TRUE(site.Evaluate());   // Fires.
+  EXPECT_FALSE(site.Evaluate());  // Fire budget exhausted.
+  EXPECT_EQ(failpoint::HitCount("reliab.counted"), 3u);
+  EXPECT_EQ(failpoint::FireCount("reliab.counted"), 1u);
+  failpoint::Disarm("reliab.counted");
+  EXPECT_FALSE(site.Evaluate());
+  EXPECT_EQ(failpoint::HitCount("reliab.counted"), 0u);
+}
+
+TEST_F(ReliabilityTest, ThrowAndBadAllocActionsThrow) {
+  using failpoint::Action;
+  failpoint::Site& site = failpoint::Site::Get("reliab.thrower");
+  failpoint::Arm("reliab.thrower", Action::kThrow);
+  EXPECT_THROW(site.Evaluate(), failpoint::FailpointError);
+  failpoint::Arm("reliab.thrower", Action::kBadAlloc);
+  EXPECT_THROW(site.Evaluate(), std::bad_alloc);
+}
+
+TEST_F(ReliabilityTest, PercentDrawsReplayDeterministically) {
+  using failpoint::Action;
+  using failpoint::Spec;
+  failpoint::Site& site = failpoint::Site::Get("reliab.percent");
+  Spec spec;
+  spec.action = Action::kError;
+  spec.percent = 40;
+  spec.seed = 1234;
+  const auto draw_pattern = [&] {
+    failpoint::Arm("reliab.percent", spec);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 200; ++i) pattern.push_back(site.Evaluate());
+    return pattern;
+  };
+  const std::vector<bool> first = draw_pattern();
+  const std::vector<bool> second = draw_pattern();
+  EXPECT_EQ(first, second);  // Same seed -> identical firing sequence.
+  const std::size_t fired =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, first.size());
+}
+
+// ---------------------------------------------------------------------------
+// Typed load errors (satellite: LoadError out-param from LoadFromFile /
+// OpenMapped).
+
+TEST_F(ReliabilityTest, LoadErrorsAreTyped) {
+  const WeightedString ws = RandomWeighted(2000, 8, 11);
+  UsiOptions options;
+  options.k = 100;
+  options.threads = 1;
+  const UsiIndex index(ws, options);
+  const std::string dir = ::testing::TempDir();
+  const std::string v3 = dir + "reliab_load_v3.bin";
+  const std::string v2 = dir + "reliab_load_v2.bin";
+  const std::string junk = dir + "reliab_load_junk.bin";
+  ASSERT_TRUE(index.SaveToFile(v3, IndexFileFormat::kV3Mapped));
+  ASSERT_TRUE(index.SaveToFile(v2, IndexFileFormat::kV2Heap));
+
+  LoadError error;
+  // Success leaves the error at kOk with no message.
+  EXPECT_NE(UsiIndex::LoadFromFile(ws, v3, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kOk);
+  EXPECT_TRUE(error.message.empty());
+  EXPECT_NE(UsiIndex::LoadFromFile(ws, v2, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kOk);
+
+  // Missing file.
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws, dir + "reliab_nope.bin", &error),
+            nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kNotFound);
+  EXPECT_FALSE(error.message.empty());
+
+  // Unrecognized magic.
+  {
+    std::ofstream out(junk, std::ios::binary);
+    out << "this is not an index file at all, not even close............";
+  }
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws, junk, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kBadFormat);
+
+  // Truncated v3 image: the header pins the exact file size.
+  {
+    std::ifstream in(v3, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() - 64);
+    std::ofstream out(junk, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(UsiIndex::OpenMapped(ws, junk, {}, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kCorrupt);
+
+  // Built over a different text.
+  const WeightedString other = RandomWeighted(2100, 8, 12);
+  EXPECT_EQ(UsiIndex::OpenMapped(other, v3, {}, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kTextMismatch);
+  EXPECT_EQ(UsiIndex::LoadFromFile(other, v2, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kTextMismatch);
+
+  std::remove(v3.c_str());
+  std::remove(v2.c_str());
+  std::remove(junk.c_str());
+}
+
+TEST_F(ReliabilityTest, LoadFailpointsInjectIoErrors) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString ws = RandomWeighted(1500, 8, 13);
+  UsiOptions options;
+  options.k = 80;
+  options.threads = 1;
+  const UsiIndex index(ws, options);
+  const std::string dir = ::testing::TempDir();
+  const std::string v3 = dir + "reliab_fp_v3.bin";
+  const std::string v2 = dir + "reliab_fp_v2.bin";
+  ASSERT_TRUE(index.SaveToFile(v3, IndexFileFormat::kV3Mapped));
+  ASSERT_TRUE(index.SaveToFile(v2, IndexFileFormat::kV2Heap));
+
+  LoadError error;
+  failpoint::Arm("open.mapped", failpoint::Action::kError, /*fires=*/1);
+  EXPECT_EQ(UsiIndex::OpenMapped(ws, v3, {}, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kIo);
+  EXPECT_NE(UsiIndex::OpenMapped(ws, v3, {}, &error), nullptr)
+      << "fire budget exhausted: the next open must succeed";
+
+  failpoint::Arm("load.v2", failpoint::Action::kError, /*fires=*/1);
+  EXPECT_EQ(UsiIndex::LoadFromFile(ws, v2, &error), nullptr);
+  EXPECT_EQ(error.code, LoadErrorCode::kIo);
+  EXPECT_NE(UsiIndex::LoadFromFile(ws, v2, &error), nullptr);
+
+  std::remove(v3.c_str());
+  std::remove(v2.c_str());
+}
+
+TEST_F(ReliabilityTest, SaveFailpointsLeaveNoPartialFile) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString ws = RandomWeighted(1500, 8, 14);
+  UsiOptions options;
+  options.k = 80;
+  options.threads = 1;
+  const UsiIndex index(ws, options);
+  const std::string path = ::testing::TempDir() + "reliab_save.bin";
+  std::remove(path.c_str());
+
+  // A failed body write must not publish the target (staging discipline).
+  failpoint::Arm("save.body", failpoint::Action::kError, /*fires=*/1);
+  EXPECT_FALSE(index.SaveToFile(path, IndexFileFormat::kV3Mapped));
+  EXPECT_FALSE(std::ifstream(path).good());
+
+  // A failed publish (rename) must clean up the staged temp too.
+  failpoint::Arm("save.publish", failpoint::Action::kError, /*fires=*/1);
+  EXPECT_FALSE(index.SaveToFile(path, IndexFileFormat::kV3Mapped));
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_EQ(RemoveStaleTemps(path), 0) << "staged temp leaked";
+
+  EXPECT_TRUE(index.SaveToFile(path, IndexFileFormat::kV3Mapped));
+  EXPECT_TRUE(std::ifstream(path).good());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool Submit exception audit (satellite: no swallowed task faults).
+
+TEST_F(ReliabilityTest, SubmitTracksUnconsumedExceptions) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.Submit([] {});
+  ok.get();
+  EXPECT_EQ(pool.PendingTaskExceptions(), 0u);
+
+  std::future<void> bad =
+      pool.Submit([] { throw std::runtime_error("task fault"); });
+  // The task has finished (exception captured) once the audit sees it;
+  // poll briefly instead of racing the worker.
+  for (int i = 0; i < 1000 && pool.PendingTaskExceptions() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.PendingTaskExceptions(), 1u);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(pool.PendingTaskExceptions(), 0u)
+      << "get() consumed the exception; the audit must clear";
+}
+
+TEST_F(ReliabilityTest, PoolTaskFailpointPropagatesThroughFuture) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  ThreadPool pool(2);
+  failpoint::Arm("pool.task", failpoint::Action::kThrow, /*fires=*/1);
+  std::future<void> poisoned = pool.Submit([] {});
+  EXPECT_THROW(poisoned.get(), failpoint::FailpointError);
+  EXPECT_EQ(pool.PendingTaskExceptions(), 0u);
+  std::future<void> clean = pool.Submit([] {});
+  clean.get();  // Fire budget exhausted; the pool keeps working.
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines: partial results, bounded overshoot, clean totals.
+
+TEST_F(ReliabilityTest, ServiceDeadlineExpiredReturnsPartialResults) {
+  const WeightedString ws = RandomWeighted(3000, 8, 21);
+  UsiOptions options;
+  options.k = 150;
+  options.threads = 1;
+  UsiIndex index(ws, options);
+  UsiServiceOptions service_options;
+  service_options.threads = 1;
+  UsiService service(index, service_options);
+  const std::vector<Text> patterns = PatternsFor(ws, 22);
+  const std::vector<QueryResult> want = DirectAnswers(index, patterns);
+
+  // Already-expired deadline: every slot written (defaults), zero answered.
+  std::vector<QueryResult> results(patterns.size(),
+                                   QueryResult{/*utility=*/-1, 777});
+  UsiBatchStats stats;
+  UsiBatchOptions batch_options;
+  batch_options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  EXPECT_EQ(service.QueryBatchInto(std::span<const Text>(patterns),
+                                   std::span<QueryResult>(results), &stats,
+                                   batch_options),
+            ServeStatus::kDeadlineExceeded);
+  EXPECT_TRUE(stats.deadline_expired);
+  EXPECT_EQ(stats.answered, 0u);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.occurrences, 0u) << "expired slots must be defaulted";
+  }
+
+  // Far-future deadline: the batch serves completely and correctly.
+  batch_options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(service.QueryBatchInto(std::span<const Text>(patterns),
+                                   std::span<QueryResult>(results), &stats,
+                                   batch_options),
+            ServeStatus::kOk);
+  EXPECT_FALSE(stats.deadline_expired);
+  EXPECT_EQ(stats.answered, patterns.size());
+  ExpectSameResults(results, want);
+
+  // Totals: the expired batch contributed no served queries, exactly one
+  // deadline_expired tick, and no rejected/serve_failure counts.
+  const UsiServiceTotals totals = service.totals();
+  EXPECT_EQ(totals.batches, 2u);
+  EXPECT_EQ(totals.queries, patterns.size());
+  EXPECT_EQ(totals.deadline_expired, 1u);
+  EXPECT_EQ(totals.rejected, 0u);
+  EXPECT_EQ(totals.serve_failures, 0u);
+}
+
+TEST_F(ReliabilityTest, MultiServiceDeadlinePartialAndRecovery) {
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  UsiMultiService service(options);
+  const WeightedString ws_a = RandomWeighted(2500, 8, 31);
+  const WeightedString ws_b = RandomWeighted(2500, 8, 32);
+  service.SubmitText("a", ws_a);
+  service.SubmitText("b", ws_b);
+  ASSERT_EQ(service.WaitForText("a"), BuildState::kReady);
+  ASSERT_EQ(service.WaitForText("b"), BuildState::kReady);
+
+  const std::vector<Text> pa = PatternsFor(ws_a, 33);
+  const std::vector<Text> pb = PatternsFor(ws_b, 34);
+  std::vector<MultiQuery> queries;
+  for (const Text& p : pa) queries.push_back({"a", p});
+  for (const Text& p : pb) queries.push_back({"b", p});
+
+  std::vector<QueryResult> results(queries.size(), QueryResult{-1, 777});
+  MultiBatchOptions batch_options;
+  batch_options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  EXPECT_EQ(service.QueryBatchInto(queries, results, batch_options),
+            ServeStatus::kDeadlineExceeded);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.occurrences, 0u) << "expired slots must be defaulted";
+  }
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+
+  // The same batch with room to breathe serves fully and correctly.
+  batch_options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  EXPECT_EQ(service.QueryBatchInto(queries, results, batch_options),
+            ServeStatus::kOk);
+  UsiOptions direct;
+  direct.threads = 1;
+  const UsiIndex oracle_a(ws_a, direct);
+  const UsiIndex oracle_b(ws_b, direct);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(SameResult(results[i], oracle_a.Query(pa[i]))) << i;
+  }
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    EXPECT_TRUE(SameResult(results[pa.size() + i], oracle_b.Query(pb[i])))
+        << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-aware admission.
+
+TEST_F(ReliabilityTest, CostModelCalibratesAndLoneBatchAlwaysAdmits) {
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  // A cap this small rejects any batch — except a lone one: with nothing in
+  // flight the batch must be admitted no matter its estimated cost.
+  options.max_inflight_cost_ms = 1e-6;
+  UsiMultiService service(options);
+  const WeightedString ws = RandomWeighted(2500, 8, 41);
+  service.SubmitText("t", ws);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  const std::vector<Text> patterns = PatternsFor(ws, 42);
+  std::vector<MultiQuery> queries;
+  for (const Text& p : patterns) queries.push_back({"t", p});
+  std::vector<QueryResult> results(queries.size());
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_EQ(service.QueryBatchInto(queries, results), ServeStatus::kOk)
+        << "lone batches must never be rejected by the cost cap";
+  }
+  EXPECT_EQ(service.stats().overload_rejected, 0u);
+
+  // Enough bytes have been served to calibrate the per-byte cost.
+  const std::optional<UsiTextStats> stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->cost_ns_per_byte, 0.0);
+}
+
+TEST_F(ReliabilityTest, ConcurrentBatchesOverCostCapShedWithOverloaded) {
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  options.max_inflight_cost_ms = 1e-6;  // Any concurrent pair overflows.
+  UsiMultiService service(options);
+  const WeightedString ws = RandomWeighted(4000, 8, 51);
+  service.SubmitText("t", ws);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  // Large batches stretch the in-flight window so simultaneous starts
+  // overlap; retry rounds bound the (tiny) chance of a flake without ever
+  // sleeping on the happy path.
+  std::vector<Text> patterns = PatternsFor(ws, 52);
+  std::vector<MultiQuery> queries;
+  for (int rep = 0; rep < 40; ++rep) {
+    for (const Text& p : patterns) queries.push_back({"t", p});
+  }
+  std::atomic<u64> ok{0}, overloaded{0}, attempts{0};
+  for (int round = 0; round < 25 && overloaded.load() == 0; ++round) {
+    constexpr int kThreads = 4;
+    std::latch start(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        std::vector<QueryResult> results(queries.size());
+        start.arrive_and_wait();
+        attempts.fetch_add(1);
+        const ServeStatus status = service.QueryBatchInto(queries, results);
+        if (status == ServeStatus::kOk) ok.fetch_add(1);
+        if (status == ServeStatus::kOverloaded) overloaded.fetch_add(1);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  EXPECT_GT(ok.load(), 0u) << "someone must always be admitted";
+  EXPECT_GT(overloaded.load(), 0u);
+  const UsiMultiStats stats = service.stats();
+  EXPECT_EQ(stats.overload_rejected, overloaded.load());
+  // Shed batches must not corrupt the admitted totals.
+  EXPECT_EQ(stats.batches, ok.load());
+  EXPECT_EQ(stats.queries, ok.load() * queries.size());
+}
+
+// ---------------------------------------------------------------------------
+// Build-lane failure containment (quarantine, retries, WaitForText).
+
+TEST_F(ReliabilityTest, BuildFailureQuarantinesTextAsFailed) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  options.max_build_retries = 1;
+  options.build_retry_backoff_ms = 1;
+  UsiMultiService service(options);
+  const WeightedString ws = RandomWeighted(2000, 8, 61);
+
+  failpoint::Arm("multi.build", failpoint::Action::kThrow);
+  service.SubmitText("t", ws);
+  // WaitForText must terminate with the quarantine state, not hang.
+  EXPECT_EQ(service.WaitForText("t"), BuildState::kFailed);
+  EXPECT_EQ(service.TextState("t"), BuildState::kFailed);
+
+  const std::optional<UsiTextStats> stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->builds_failed, 1u);
+  EXPECT_EQ(stats->build_retries, 1u);  // One retry before quarantine.
+  EXPECT_EQ(stats->generation, 0u);     // Nothing ever published.
+  EXPECT_NE(stats->last_build_error.find("multi.build"), std::string::npos)
+      << "cause: " << stats->last_build_error;
+  EXPECT_EQ(service.stats().builds_failed, 1u);
+
+  // No generation to serve: queries report kNotReady, not a hang or crash.
+  const Text pattern = ws.Fragment(0, 4);
+  QueryResult result;
+  EXPECT_EQ(service.Query("t", pattern, result), ServeStatus::kNotReady);
+
+  // The quarantine lifts on the next successful build.
+  failpoint::DisarmAll();
+  service.UpdateText("t", ws);
+  EXPECT_EQ(service.WaitForText("t"), BuildState::kReady);
+  EXPECT_EQ(service.Query("t", pattern, result), ServeStatus::kOk);
+}
+
+TEST_F(ReliabilityTest, FailedRebuildKeepsServingPreviousGeneration) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  options.max_build_retries = 0;
+  UsiMultiService service(options);
+  const WeightedString ws1 = RandomWeighted(2500, 8, 71);
+  const WeightedString ws2 = RandomWeighted(2600, 8, 72);
+  service.SubmitText("t", ws1);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  const std::vector<Text> patterns = PatternsFor(ws1, 73);
+  std::vector<MultiQuery> queries;
+  for (const Text& p : patterns) queries.push_back({"t", p});
+  UsiOptions direct;
+  direct.threads = 1;
+  const UsiIndex oracle1(ws1, direct);
+  const std::vector<QueryResult> want1 = DirectAnswers(oracle1, patterns);
+
+  failpoint::Arm("multi.build", failpoint::Action::kThrow);
+  service.UpdateText("t", ws2);
+  EXPECT_EQ(service.WaitForText("t"), BuildState::kFailed);
+
+  // Differential check: the quarantined text still answers from the intact
+  // previous generation, byte-for-byte the direct-index answers.
+  MultiBatchResult batch = service.QueryBatch(queries);
+  EXPECT_EQ(batch.status, ServeStatus::kOk);
+  ExpectSameResults(batch.results, want1);
+  const std::optional<UsiTextStats> stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->generation, 1u) << "generation 1 must keep serving";
+
+  // Once builds work again the replacement lands normally.
+  failpoint::DisarmAll();
+  service.UpdateText("t", ws2);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+  const UsiIndex oracle2(ws2, direct);
+  const std::vector<Text> patterns2 = PatternsFor(ws2, 74);
+  std::vector<MultiQuery> queries2;
+  for (const Text& p : patterns2) queries2.push_back({"t", p});
+  batch = service.QueryBatch(queries2);
+  EXPECT_EQ(batch.status, ServeStatus::kOk);
+  ExpectSameResults(batch.results, DirectAnswers(oracle2, patterns2));
+}
+
+TEST_F(ReliabilityTest, TransientBuildFailureIsRetriedToSuccess) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  options.max_build_retries = 2;
+  options.build_retry_backoff_ms = 1;
+  UsiMultiService service(options);
+  const WeightedString ws = RandomWeighted(2000, 8, 81);
+
+  failpoint::Arm("multi.build", failpoint::Action::kThrow, /*fires=*/1);
+  service.SubmitText("t", ws);
+  EXPECT_EQ(service.WaitForText("t"), BuildState::kReady);
+  const std::optional<UsiTextStats> stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->build_retries, 1u);
+  EXPECT_EQ(stats->builds_failed, 0u);
+  EXPECT_EQ(stats->builds_completed, 1u);
+  EXPECT_EQ(stats->build_state, BuildState::kReady);
+}
+
+TEST_F(ReliabilityTest, BuilderStageFailpointsAreContained) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  // No pool: builds run synchronously inside SubmitText, including the
+  // terminal-failure path, so each stage's containment is step-debuggable.
+  for (const char* stage : {"build.sa", "build.mine", "build.table",
+                            "build.learn"}) {
+    UsiMultiServiceOptions options;
+    options.max_build_retries = 0;
+    UsiMultiService service(nullptr, options);
+    const WeightedString ws = RandomWeighted(1500, 8, 91);
+    failpoint::Arm(stage, failpoint::Action::kThrow, /*fires=*/1);
+    service.SubmitText("t", ws);
+    EXPECT_EQ(service.TextState("t"), BuildState::kFailed) << stage;
+    const std::optional<UsiTextStats> stats = service.StatsFor("t");
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_NE(stats->last_build_error.find(stage), std::string::npos)
+        << "cause: " << stats->last_build_error;
+    // The next build of the same service succeeds (fire budget spent).
+    service.UpdateText("t", ws);
+    EXPECT_EQ(service.WaitForText("t"), BuildState::kReady) << stage;
+    failpoint::DisarmAll();
+  }
+}
+
+TEST_F(ReliabilityTest, SimulatedBadAllocQuarantinesWithCause) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  UsiMultiServiceOptions options;
+  options.max_build_retries = 0;
+  UsiMultiService service(nullptr, options);
+  const WeightedString ws = RandomWeighted(1500, 8, 95);
+  failpoint::Arm("multi.build", failpoint::Action::kBadAlloc, /*fires=*/1);
+  service.SubmitText("t", ws);
+  EXPECT_EQ(service.TextState("t"), BuildState::kFailed);
+  const std::optional<UsiTextStats> stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->last_build_error.find("memory"), std::string::npos)
+      << "cause: " << stats->last_build_error;
+}
+
+// ---------------------------------------------------------------------------
+// Mapped-index degradation: a faulted mmap-backed generation fails the
+// batch with kIndexUnavailable (partial results), is demoted, and the text
+// recovers by rebuild — the process never crashes and answers stay correct.
+
+TEST_F(ReliabilityTest, MappedFaultFailsBatchThenRecovers) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString ws = RandomWeighted(3000, 8, 101);
+  UsiOptions build;
+  build.k = 150;
+  build.threads = 1;
+  const UsiIndex direct(ws, build);
+  const std::string path = ::testing::TempDir() + "reliab_mapped.bin";
+  ASSERT_TRUE(direct.SaveToFile(path, IndexFileFormat::kV3Mapped));
+
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  options.default_build = build;
+  UsiMultiService service(options);
+  ASSERT_GT(service.RegisterTextFromFile("m", ws, path), 0u);
+
+  const std::vector<Text> patterns = PatternsFor(ws, 102);
+  std::vector<MultiQuery> queries;
+  for (const Text& p : patterns) queries.push_back({"m", p});
+  const std::vector<QueryResult> want = DirectAnswers(direct, patterns);
+
+  // Healthy mapped serving first (differential against the direct index).
+  MultiBatchResult batch = service.QueryBatch(queries);
+  ASSERT_EQ(batch.status, ServeStatus::kOk);
+  ExpectSameResults(batch.results, want);
+
+  // One simulated mmap fault: the batch reports kIndexUnavailable with
+  // every slot written, and the faulted generation is demoted.
+  failpoint::Arm("serve.mapped_fault", failpoint::Action::kError,
+                 /*fires=*/1);
+  batch = service.QueryBatch(queries);
+  EXPECT_EQ(batch.status, ServeStatus::kIndexUnavailable);
+  EXPECT_EQ(batch.results.size(), queries.size());
+  EXPECT_EQ(service.stats().index_unavailable, 1u);
+
+  // Recovery: the demoted text rebuilds from its retained weighted string
+  // and serves correct answers again — same differential oracle.
+  EXPECT_EQ(service.WaitForText("m"), BuildState::kReady);
+  batch = service.QueryBatch(queries);
+  EXPECT_EQ(batch.status, ServeStatus::kOk);
+  ExpectSameResults(batch.results, want);
+  std::remove(path.c_str());
+}
+
+TEST_F(ReliabilityTest, ServiceContainsEngineExceptions) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString ws = RandomWeighted(2000, 8, 111);
+  UsiOptions options;
+  options.k = 100;
+  options.threads = 1;
+  UsiIndex index(ws, options);
+  UsiServiceOptions service_options;
+  service_options.threads = 1;
+  UsiService service(index, service_options);
+  const std::vector<Text> patterns = PatternsFor(ws, 112);
+  std::vector<QueryResult> results(patterns.size());
+
+  // An exception out of the engine's miss/fallback stage must not escape:
+  // the batch fails soft with kIndexUnavailable and defaulted slots.
+  failpoint::Arm("query.fallback", failpoint::Action::kThrow, /*fires=*/1);
+  UsiBatchStats stats;
+  EXPECT_EQ(service.QueryBatchInto(std::span<const Text>(patterns),
+                                   std::span<QueryResult>(results), &stats),
+            ServeStatus::kIndexUnavailable);
+  EXPECT_EQ(service.totals().serve_failures, 1u);
+
+  // The service (and its leased scratch) survives: the next batch is clean.
+  EXPECT_EQ(service.QueryBatchInto(std::span<const Text>(patterns),
+                                   std::span<QueryResult>(results), &stats),
+            ServeStatus::kOk);
+  ExpectSameResults(results, DirectAnswers(index, patterns));
+}
+
+// ---------------------------------------------------------------------------
+// Registration hygiene (satellite: stale staging temps are swept).
+
+TEST_F(ReliabilityTest, RegistrationSweepsStaleStagingTemps) {
+  const WeightedString ws = RandomWeighted(2000, 8, 121);
+  UsiOptions build;
+  build.k = 100;
+  build.threads = 1;
+  const UsiIndex index(ws, build);
+  const std::string path = ::testing::TempDir() + "reliab_sweep.bin";
+  ASSERT_TRUE(index.SaveToFile(path, IndexFileFormat::kV3Mapped));
+  // A crashed writer's leftover: same staging prefix, dead pid.
+  const std::string stale = path + ".tmp.999999";
+  { std::ofstream(stale, std::ios::binary) << "half-written index"; }
+  ASSERT_TRUE(std::ifstream(stale).good());
+
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  UsiMultiService service(options);
+  ASSERT_GT(service.RegisterTextFromFile("s", ws, path), 0u);
+  EXPECT_FALSE(std::ifstream(stale).good())
+      << "registration must sweep stale staging temps next to the file";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace usi

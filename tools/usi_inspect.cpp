@@ -31,9 +31,12 @@
 #include <vector>
 
 #include "usi/core/index_format.hpp"
+#include "usi/core/multi_service.hpp"
 #include "usi/core/usi_index.hpp"
+#include "usi/parallel/thread_pool.hpp"
 #include "usi/text/dataset.hpp"
 #include "usi/util/binary_io.hpp"
+#include "usi/util/failpoint.hpp"
 #include "usi/util/mapped_file.hpp"
 
 namespace usi {
@@ -46,6 +49,7 @@ int Usage() {
       "  usi_inspect info <file> [--deep]\n"
       "  usi_inspect convert <in> <out> --to v2|v3\n"
       "              (--dataset NAME [--n N] | --text FILE [--seed S])\n"
+      "  usi_inspect failpoints\n"
       "  usi_inspect selftest\n");
   return 2;
 }
@@ -71,6 +75,14 @@ const char* SectionName(u32 id) {
     case format_v3::kTableSlots: return "table_slots";
     default: return "?";
   }
+}
+
+/// Prints a failure verdict tagged with the typed load-error code the
+/// loaders would report for the same refusal, then returns exit code 1.
+int Reject(LoadErrorCode code, const char* detail) {
+  std::printf("verdict:       REJECTED [%s] %s\n", LoadErrorCodeName(code),
+              detail);
+  return 1;
 }
 
 /// info for a v3 file: print the full header + directory, then validate
@@ -128,22 +140,20 @@ int InfoV3(const std::string& path, bool deep) {
   // Validation, mirroring OpenMapped's order and severity.
   if (header.header_checksum !=
       Checksum64(&header, offsetof(FileHeader, header_checksum))) {
-    std::printf("verdict:       CORRUPT (header checksum mismatch)\n");
-    return 1;
+    return Reject(LoadErrorCode::kCorrupt, "(header checksum mismatch)");
   }
   if (header.file_bytes != mapping->size()) {
-    std::printf("verdict:       CORRUPT (file is %zu bytes, header pins %llu)\n",
-                mapping->size(),
+    std::printf("file is %zu bytes, header pins %llu\n", mapping->size(),
                 static_cast<unsigned long long>(header.file_bytes));
-    return 1;
+    return Reject(LoadErrorCode::kCorrupt, "(truncated or extended image)");
   }
   u64 expected_offset = kFirstSectionOffset;
   for (std::size_t s = 0; s < kNumSections; ++s) {
     const SectionEntry& section = header.sections[s];
     if (section.id != s || section.offset != expected_offset ||
         section.offset + section.length > header.file_bytes) {
-      std::printf("verdict:       CORRUPT (section %zu directory)\n", s);
-      return 1;
+      std::printf("section %zu directory entry is inconsistent\n", s);
+      return Reject(LoadErrorCode::kCorrupt, "(section directory)");
     }
     expected_offset = AlignUp(section.offset + section.length);
   }
@@ -155,12 +165,10 @@ int InfoV3(const std::string& path, bool deep) {
             Checksum64(&ext, offsetof(LearnedSectionEntry, entry_checksum)) ||
         ext.offset != AlignUp(core_end) || ext.length == 0 ||
         ext.offset + ext.length != header.file_bytes) {
-      std::printf("verdict:       CORRUPT (learned extension entry)\n");
-      return 1;
+      return Reject(LoadErrorCode::kCorrupt, "(learned extension entry)");
     }
   } else if (header.file_bytes != core_end) {
-    std::printf("verdict:       CORRUPT (trailing bytes past last section)\n");
-    return 1;
+    return Reject(LoadErrorCode::kCorrupt, "(trailing bytes past last section)");
   }
   if (deep) {
     mapping->AdviseWillNeed();
@@ -168,15 +176,14 @@ int InfoV3(const std::string& path, bool deep) {
       const SectionEntry& section = header.sections[s];
       if (Checksum64(mapping->data() + section.offset, section.length) !=
           section.checksum) {
-        std::printf("verdict:       CORRUPT (section %s payload checksum)\n",
+        std::printf("section %s payload checksum mismatch\n",
                     SectionName(section.id));
-        return 1;
+        return Reject(LoadErrorCode::kCorrupt, "(section payload checksum)");
       }
     }
     if (ext.ext_magic == kLearnedMagic &&
         Checksum64(mapping->data() + ext.offset, ext.length) != ext.checksum) {
-      std::printf("verdict:       CORRUPT (learned payload checksum)\n");
-      return 1;
+      return Reject(LoadErrorCode::kCorrupt, "(learned payload checksum)");
     }
     std::printf("verdict:       OK (deep: all section payloads verified)\n");
   } else {
@@ -209,13 +216,11 @@ int InfoV2(const std::string& path) {
   std::printf("tau_K:         %u\n", tau_k);
   std::printf("num_lengths:   %u\n", num_lengths);
   if (version != format_v2::kVersion) {
-    std::printf("verdict:       CORRUPT (unsupported version)\n");
-    return 1;
+    return Reject(LoadErrorCode::kBadFormat, "(unsupported version)");
   }
   std::vector<index_t> sa;
   if (!reader.ReadVector(&sa) || sa.size() != n) {
-    std::printf("verdict:       CORRUPT (suffix array truncated)\n");
-    return 1;
+    return Reject(LoadErrorCode::kCorrupt, "(suffix array truncated)");
   }
   // The serialized entry record (usi_index.cpp): u64 fp, u32 len,
   // u32 count, double value — 24 bytes.
@@ -228,14 +233,12 @@ int InfoV2(const std::string& path) {
   static_assert(sizeof(V2Entry) == 24);
   std::vector<V2Entry> entries;
   if (!reader.ReadVector(&entries)) {
-    std::printf("verdict:       CORRUPT (entry array truncated)\n");
-    return 1;
+    return Reject(LoadErrorCode::kCorrupt, "(entry array truncated)");
   }
   std::printf("sa entries:    %zu\n", sa.size());
   std::printf("table entries: %zu\n", entries.size());
   if (!reader.ExactlyConsumed()) {
-    std::printf("verdict:       CORRUPT (trailing bytes after entry array)\n");
-    return 1;
+    return Reject(LoadErrorCode::kCorrupt, "(trailing bytes after entry array)");
   }
   std::printf("verdict:       OK\n");
   return 0;
@@ -252,7 +255,7 @@ int Info(const std::string& path, bool deep) {
   if (magic == format_v2::kMagic) return InfoV2(path);
   std::fprintf(stderr, "error: %s is not a UsiIndex file (magic 0x%08X)\n",
                path.c_str(), magic);
-  return 1;
+  return Reject(LoadErrorCode::kBadFormat, "(unrecognized magic)");
 }
 
 int Convert(const std::string& in, const std::string& out,
@@ -282,12 +285,13 @@ int Convert(const std::string& in, const std::string& out,
                  "re-materialize the weighted string the index borrows\n");
     return 2;
   }
-  const std::unique_ptr<UsiIndex> index = UsiIndex::LoadFromFile(ws, in);
+  LoadError load_error;
+  const std::unique_ptr<UsiIndex> index =
+      UsiIndex::LoadFromFile(ws, in, &load_error);
   if (index == nullptr) {
-    std::fprintf(stderr,
-                 "error: cannot load %s (corrupt, or the given text does not "
-                 "match the one the index was built over)\n",
-                 in.c_str());
+    std::fprintf(stderr, "error: cannot load %s [%s]: %s\n", in.c_str(),
+                 LoadErrorCodeName(load_error.code),
+                 load_error.message.c_str());
     return 1;
   }
   if (!index->SaveToFile(out, format)) {
@@ -296,6 +300,54 @@ int Convert(const std::string& in, const std::string& out,
   }
   std::printf("converted %s (%s) -> %s (%s)\n", in.c_str(),
               index->IsMapped() ? "v3" : "v2", out.c_str(), to.c_str());
+  return 0;
+}
+
+/// Lists the failpoint sites this binary's library paths register. Sites
+/// materialize lazily (first macro evaluation), so a tiny end-to-end pass
+/// runs first to touch every site: a staged build, v3 save/open and v2
+/// save/load, a multi-service build (pool task + build lane + serve span),
+/// and a table-miss query (fallback). Exit 0 when failpoints are compiled
+/// in, 3 when the build has them off (macros are no-ops and no site list
+/// exists).
+int Failpoints() {
+  std::printf("compiled in:   %s\n", failpoint::kEnabled ? "yes" : "no");
+  if (!failpoint::kEnabled) {
+    std::printf("(configure with -DUSI_FAILPOINTS=ON to enable the sites)\n");
+    return 3;
+  }
+  const std::string path = std::string(P_tmpdir) + "/usi_inspect_fp.bin";
+  WeightedString ws = MakeDataset(DatasetSpecByName("XML"), 4000);
+  UsiOptions options;
+  options.k = 50;
+  options.threads = 1;
+  const UsiIndex index(ws, options);
+  if (index.SaveToFile(path, IndexFileFormat::kV3Mapped)) {
+    UsiIndex::OpenMapped(ws, path);
+    std::remove(path.c_str());
+  }
+  if (index.SaveToFile(path, IndexFileFormat::kV2Heap)) {
+    WeightedString ws_copy = ws;
+    UsiIndex::LoadFromFile(std::move(ws_copy), path);
+    std::remove(path.c_str());
+  }
+  index.Query(ws.Fragment(0, 4));
+  index.Query(Text(4, Symbol{200}));  // Guaranteed miss: fallback site.
+  {
+    UsiMultiService service;  // Pool task + build lane + serve span sites.
+    service.SubmitText("t", ws);
+    service.WaitForBuilds();
+    const std::vector<MultiQuery> batch = {{"t", ws.Fragment(0, 4)}};
+    service.QueryBatch(batch);
+  }
+  {
+    ThreadPool pool(1);
+    pool.Submit([] {}).get();  // Submit's task wrapper hosts pool.task.
+  }
+  std::printf("sites:\n");
+  for (const std::string& name : failpoint::SiteNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
   return 0;
 }
 
@@ -403,6 +455,7 @@ int Main(int argc, char** argv) {
     }
     return Convert(argv[2], argv[3], to, dataset, n, text_file, seed);
   }
+  if (mode == "failpoints") return Failpoints();
   if (mode == "selftest") return Selftest();
   return Usage();
 }
