@@ -1,0 +1,335 @@
+// Degradation ladder, quantified: (a) answered-query goodput at saturation
+// with degradation ON vs the PR 8 reject-only baseline — sheds that answer
+// from the tier must lift goodput strictly above sheds that answer nothing;
+// (b) the sketch rung's bound honesty — the measured bound-violation rate
+// over distinct patterns vs the advertised (epsilon, delta) guarantee; and
+// (c, failpoint builds only) quarantine serving: answered fraction when the
+// index is gone and every answer comes from the tier. --json PATH emits
+// BENCH_degraded.json for the CI perf artifact.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "usi/core/degraded_tier.hpp"
+#include "usi/core/multi_service.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/core/workload.hpp"
+#include "usi/text/dataset.hpp"
+#include "usi/util/failpoint.hpp"
+#include "usi/util/rng.hpp"
+#include "usi/util/table_printer.hpp"
+
+namespace usi {
+namespace {
+
+/// Zipf hot-pattern traffic (core/workload.hpp): the shape the tier's cache
+/// admission is built for — most queries hit a small hot pool.
+std::vector<Text> MakePatterns(const Text& text) {
+  ZipfWorkloadOptions options;
+  options.num_queries = 400;
+  options.pool_size = 48;
+  options.s = 1.1;
+  options.hot_fraction = 0.9;
+  options.min_len = 2;
+  options.max_len = 12;
+  options.seed = 0xBEEF;
+  return MakeWorkloadZipf(text, options).patterns;
+}
+
+struct SaturationResult {
+  u64 served_batches = 0;
+  u64 shed_batches = 0;
+  u64 answered_queries = 0;  ///< Exact + tier answers (kNone slots excluded).
+  double goodput_qps = 0;
+};
+
+/// Hammers the service with \p threads concurrent clients for ~\p seconds.
+/// Answered queries = exact batches * batch size + tier-rung answers (the
+/// service counts those in stats().degraded_answers).
+SaturationResult Saturate(UsiMultiService& service,
+                          const std::vector<MultiQuery>& queries, int threads,
+                          double seconds, bool allow_degraded) {
+  const UsiMultiStats before = service.stats();
+  std::atomic<bool> stop{false};
+  std::atomic<u64> ok{0};
+  std::atomic<u64> shed{0};
+  MultiBatchOptions batch_options;
+  batch_options.allow_degraded = allow_degraded;
+  std::vector<std::thread> hammers;
+  for (int t = 0; t < threads; ++t) {
+    hammers.emplace_back([&] {
+      std::vector<QueryResult> results(queries.size());
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ServeStatus status =
+            service.QueryBatchInto(queries, results, batch_options);
+        (status == ServeStatus::kOk ? ok : shed).fetch_add(1);
+      }
+    });
+  }
+  Timer timer;
+  while (timer.ElapsedSeconds() < seconds) std::this_thread::yield();
+  stop.store(true);
+  for (std::thread& hammer : hammers) hammer.join();
+
+  SaturationResult result;
+  result.served_batches = ok.load();
+  result.shed_batches = shed.load();
+  result.answered_queries =
+      ok.load() * queries.size() +
+      (service.stats().degraded_answers - before.degraded_answers);
+  result.goodput_qps =
+      static_cast<double>(result.answered_queries) / timer.ElapsedSeconds();
+  return result;
+}
+
+/// (a) Saturation goodput: same cost cap, same hammer, reject-only vs
+/// degradation on. The degraded run answers its sheds from the tier, so its
+/// answered-query goodput must come out strictly ahead.
+void RunSaturationComparison(const WeightedString& ws,
+                             const std::vector<MultiQuery>& queries,
+                             bench::BenchJson& json) {
+  constexpr int kHammerThreads = 4;
+  constexpr double kWindow = 0.25;
+
+  double batch_ms;
+  {
+    UsiMultiServiceOptions options;
+    UsiMultiService service(options);
+    service.SubmitText("t", ws);
+    service.WaitForBuilds();
+    std::vector<QueryResult> results(queries.size());
+    service.QueryBatchInto(queries, results);  // Warm-up.
+    Timer timer;
+    for (int i = 0; i < 8; ++i) service.QueryBatchInto(queries, results);
+    batch_ms = timer.ElapsedSeconds() / 8 * 1e3;
+  }
+
+  const auto run = [&](bool allow_degraded) {
+    UsiMultiServiceOptions options;
+    options.max_inflight_cost_ms = 2 * batch_ms;
+    UsiMultiService service(options);
+    service.SubmitText("t", ws);
+    service.WaitForBuilds();
+    // Warm the exact path AND the tier (lone batches always admit).
+    std::vector<QueryResult> results(queries.size());
+    service.QueryBatchInto(queries, results);
+    return Saturate(service, queries, kHammerThreads, kWindow,
+                    allow_degraded);
+  };
+  const SaturationResult reject_only = run(false);
+  const SaturationResult degraded = run(true);
+
+  TablePrinter table("Saturation goodput — " +
+                     std::to_string(kHammerThreads) +
+                     " hammer threads, batch=" +
+                     TablePrinter::Int(queries.size()) +
+                     ", cost cap = 2 avg batches");
+  table.SetHeader({"mode", "goodput qps", "served", "shed", "answered"});
+  const auto row = [&](const char* name, const SaturationResult& r) {
+    table.AddRow({name,
+                  TablePrinter::Int(static_cast<long long>(r.goodput_qps)),
+                  TablePrinter::Int(static_cast<long long>(r.served_batches)),
+                  TablePrinter::Int(static_cast<long long>(r.shed_batches)),
+                  TablePrinter::Int(
+                      static_cast<long long>(r.answered_queries))});
+  };
+  row("reject-only (PR 8)", reject_only);
+  row("degraded ladder", degraded);
+  table.Print();
+  std::printf("  goodput ratio (degraded / reject-only): %.2f\n\n",
+              reject_only.goodput_qps == 0
+                  ? 0
+                  : degraded.goodput_qps / reject_only.goodput_qps);
+
+  json.Add("saturation", "goodput_reject_only", reject_only.goodput_qps,
+           "qps");
+  json.Add("saturation", "goodput_degraded", degraded.goodput_qps, "qps");
+  json.Add("saturation", "shed_reject_only",
+           static_cast<double>(reject_only.shed_batches), "count");
+  json.Add("saturation", "shed_degraded",
+           static_cast<double>(degraded.shed_batches), "count");
+}
+
+/// (b) Bound honesty of the sketch rung: record distinct patterns' exact
+/// answers into a deliberately narrow sketch (cache rung off so every
+/// lookup is an estimate), then measure how often the estimate exceeds the
+/// advertised bound. The CMS guarantee says at most delta = e^-depth.
+void RunBoundViolationRate(const WeightedString& ws,
+                           bench::BenchJson& json) {
+  UsiOptions build;
+  build.threads = 1;
+  const UsiIndex index(ws, build);
+
+  DegradedTierOptions options;
+  options.cache_capacity = 0;
+  options.sketch_width = 256;  // Narrow on purpose: force collisions.
+  options.sketch_depth = 4;
+  DegradedTier tier(options);
+
+  // Distinct patterns only (the filter would drop duplicates anyway).
+  Rng rng(0xB0B0);
+  std::set<Text> distinct;
+  for (int i = 0; i < 4'000; ++i) {
+    const index_t start = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t max_len = std::min<index_t>(10, ws.size() - start);
+    distinct.insert(ws.Fragment(
+        start, static_cast<index_t>(rng.UniformInRange(1, max_len))));
+  }
+  const std::vector<Text> patterns(distinct.begin(), distinct.end());
+
+  std::vector<QueryResult> exact;
+  for (const Text& p : patterns) exact.push_back(index.Query(p));
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    tier.RecordExact(DegradedTier::KeyFor(patterns[i]), exact[i]);
+  }
+
+  std::size_t answered = 0, violations = 0;
+  double total_error = 0, bound = 0;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    QueryResult got;
+    if (!tier.TryAnswer(DegradedTier::KeyFor(patterns[i]), &got)) continue;
+    ++answered;
+    bound = got.error_bound;
+    const double error = got.utility - exact[i].utility;
+    total_error += error;
+    if (error > got.error_bound + 1e-9) ++violations;
+  }
+  const DegradedTierStats stats = tier.stats();
+  const double violation_rate =
+      answered == 0 ? 0
+                    : static_cast<double>(violations) /
+                          static_cast<double>(answered);
+  const double delta = std::exp(-static_cast<double>(stats.sketch_depth));
+
+  TablePrinter table("Sketch bound honesty — width=" +
+                     TablePrinter::Int(stats.sketch_width) + ", depth=" +
+                     TablePrinter::Int(stats.sketch_depth) + ", " +
+                     TablePrinter::Int(answered) + " distinct patterns");
+  table.SetHeader({"metric", "value"});
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.4f", violation_rate);
+  table.AddRow({"bound violation rate", buffer});
+  std::snprintf(buffer, sizeof buffer, "%.4f", delta);
+  table.AddRow({"advertised delta (e^-depth)", buffer});
+  std::snprintf(buffer, sizeof buffer, "%.4f", bound);
+  table.AddRow({"advertised bound (eps * mass)", buffer});
+  std::snprintf(buffer, sizeof buffer, "%.4f",
+                answered == 0 ? 0 : total_error / answered);
+  table.AddRow({"mean over-estimate", buffer});
+  table.Print();
+  std::printf("\n");
+
+  json.Add("bounds", "violation_rate", violation_rate, "fraction");
+  json.Add("bounds", "advertised_delta", delta, "fraction");
+  json.Add("bounds", "mean_overestimate",
+           answered == 0 ? 0 : total_error / answered, "utility");
+}
+
+/// (c) Quarantine serving (failpoint builds): the index is gone — build
+/// lane poisoned, mapped serving faulted — and the warmed tier answers
+/// alone. Reports the answered fraction degraded vs reject-only (which
+/// answers nothing by construction).
+void RunQuarantineServing(const WeightedString& ws,
+                          const std::vector<MultiQuery>& queries,
+                          bench::BenchJson& json) {
+  if (!failpoint::kEnabled) {
+    std::printf(
+        "Quarantine serving: skipped (built without USI_FAILPOINTS)\n\n");
+    return;
+  }
+  UsiMultiServiceOptions options;
+  options.max_build_retries = 0;
+  UsiMultiService service(options);
+  service.SubmitText("t", ws);
+  service.WaitForBuilds();
+  std::vector<QueryResult> results(queries.size());
+  service.QueryBatchInto(queries, results);  // Warm the tier.
+
+  failpoint::Arm("serve.mapped_fault", failpoint::Action::kError);
+  failpoint::Arm("multi.build", failpoint::Action::kThrow);
+
+  constexpr int kRounds = 50;
+  u64 reject_answered = 0, degraded_answered = 0, degraded_batches = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    MultiBatchOptions batch_options;
+    if (service.QueryBatchInto(queries, results, batch_options) ==
+        ServeStatus::kOk) {
+      reject_answered += queries.size();
+    }
+    batch_options.allow_degraded = true;
+    if (service.QueryBatchInto(queries, results, batch_options) ==
+        ServeStatus::kDegraded) {
+      ++degraded_batches;
+      for (const QueryResult& r : results) {
+        degraded_answered += r.provenance != AnswerProvenance::kNone ? 1 : 0;
+      }
+    }
+  }
+  failpoint::DisarmAll();
+
+  const double total = static_cast<double>(kRounds * queries.size());
+  TablePrinter table("Quarantine serving — index faulted, " +
+                     std::to_string(kRounds) + " rounds per mode");
+  table.SetHeader({"mode", "answered", "fraction"});
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.3f",
+                static_cast<double>(reject_answered) / total);
+  table.AddRow(
+      {"reject-only (PR 8)", TablePrinter::Int(reject_answered), buffer});
+  std::snprintf(buffer, sizeof buffer, "%.3f",
+                static_cast<double>(degraded_answered) / total);
+  table.AddRow(
+      {"degraded ladder", TablePrinter::Int(degraded_answered), buffer});
+  table.Print();
+  std::printf("\n");
+
+  json.Add("quarantine", "answered_fraction_reject",
+           static_cast<double>(reject_answered) / total, "fraction");
+  json.Add("quarantine", "answered_fraction_degraded",
+           static_cast<double>(degraded_answered) / total, "fraction");
+  json.Add("quarantine", "degraded_batches",
+           static_cast<double>(degraded_batches), "count");
+}
+
+int Main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintBanner("bench_degraded",
+                     "degradation ladder: goodput + bound honesty");
+
+  const DatasetSpec* xml = nullptr;
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    if (spec.name == "XML") xml = &spec;
+  }
+  if (xml == nullptr) {
+    std::fprintf(stderr, "XML dataset spec missing\n");
+    return 1;
+  }
+  const WeightedString ws = MakeDataset(
+      *xml, std::min<index_t>(bench::ScaledLength(*xml), 60'000));
+  const std::vector<Text> patterns = MakePatterns(ws.text());
+  std::vector<MultiQuery> queries;
+  for (const Text& p : patterns) queries.push_back({"t", p});
+
+  bench::BenchJson json;
+  RunSaturationComparison(ws, queries, json);
+  RunBoundViolationRate(ws, json);
+  RunQuarantineServing(ws, queries, json);
+
+  if (!args.json_path.empty() && !json.WriteTo(args.json_path, "degraded")) {
+    std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace usi
+
+int main(int argc, char** argv) { return usi::Main(argc, argv); }

@@ -1,0 +1,197 @@
+#ifndef USI_CORE_DEGRADED_TIER_HPP_
+#define USI_CORE_DEGRADED_TIER_HPP_
+
+/// \file degraded_tier.hpp
+/// Per-text graceful-degradation tier: bounded-error answers when the exact
+/// index cannot serve.
+///
+/// PR 8 made failure *contained* — overload, quarantined builds and mapped
+/// faults return typed rejections — but a rejection still answers nothing.
+/// The degraded tier closes that gap: it observes (pattern, exact answer)
+/// pairs on the exact serving path and replays them on the degraded paths,
+/// through a two-rung ladder consulted by UsiMultiService when a batch opts
+/// in (MultiBatchOptions::allow_degraded):
+///
+///   exact  ─► hot-pattern cache  ─► sketch estimate  ─► none (filler slot)
+///
+/// \par Rungs and bound semantics
+///  * **Cache** (AnswerProvenance::kCached, error_bound 0): a fixed-capacity
+///    open-addressed answer cache keyed by PatternKey. Admission is the
+///    BSL3/BSL4 "top-K seen so far" rule of the caching baselines, learned
+///    from traffic: a HeavyKeeper decay sketch estimates each pattern's
+///    query popularity, and a new pattern only displaces the least-popular
+///    incumbent of its probe window when it is more popular. A hit replays
+///    the exact utility the pattern was last served — bound 0 relative to
+///    the text content the tier learned from (the multi-service resets the
+///    tier when a text's content changes, so within one content version a
+///    cached answer equals the exact answer, to the same 64-bit-fingerprint
+///    identity standard the index's own hash table H uses).
+///  * **Sketch** (AnswerProvenance::kApproximate): a count-min sketch over
+///    served (fingerprint -> utility) mass. Each distinct pattern's exact
+///    utility is added ONCE (an exact-membership filter of key hashes
+///    enforces single insertion), so for a sketched pattern the min-over-rows
+///    estimate never under-estimates U(P) and over-estimates by more than
+///    epsilon * M (M = total utility mass inserted, epsilon = e / width)
+///    with probability at most delta = e^-depth — the classic CMS guarantee,
+///    surfaced per answer as QueryResult::error_bound = epsilon * M.
+///    Occurrence counts ride in a parallel min-sketch with the same
+///    geometry. Patterns the filter has never seen are NOT estimated (the
+///    sketch cannot bound an answer for them) — the tier returns false and
+///    the serving layer writes a kNone filler slot.
+///
+/// \par Exact-path cost
+/// RecordExact is called for every exactly-served query, so it is built to
+/// vanish from the hot path: all structures are fixed-capacity arrays sized
+/// at construction (no per-operation allocation, pinned by
+/// query_alloc_test), and the tier lock is only ever *try*-acquired on the
+/// record path — under contention the update is dropped, trading a little
+/// learning for zero queueing. Degraded-path lookups take the lock (they
+/// run when the exact path is not serving).
+///
+/// \par Thread safety
+/// All members are safe to call concurrently; one mutex guards the
+/// structures (record = try_lock + drop, lookup = lock).
+
+#include <atomic>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "usi/core/query_engine.hpp"
+#include "usi/hash/count_min_sketch.hpp"
+#include "usi/hash/pattern_key.hpp"
+#include "usi/text/alphabet.hpp"
+#include "usi/util/common.hpp"
+
+namespace usi {
+
+/// Tuning for a DegradedTier. Capacities round up to powers of two.
+struct DegradedTierOptions {
+  /// Hot-pattern answer cache slots (0 disables the cache rung).
+  std::size_t cache_capacity = 4096;
+  /// Count-min geometry: buckets per row / number of rows. The additive
+  /// utility bound is (e / width) * inserted-utility-mass with failure
+  /// probability e^-depth.
+  std::size_t sketch_width = 4096;
+  std::size_t sketch_depth = 4;
+  /// Membership-filter capacity: distinct patterns the sketch will learn.
+  /// Past ~7/8 occupancy the sketch stops admitting new patterns (already
+  /// sketched ones keep answering) so single-insertion stays exact.
+  std::size_t max_sketched_keys = 1 << 15;
+  u64 seed = 0xDE62ADEDULL;
+};
+
+/// Telemetry snapshot of one tier (usi_inspect / UsiTextStats).
+struct DegradedTierStats {
+  std::size_t cache_capacity = 0;
+  std::size_t cache_size = 0;
+  u64 records = 0;         ///< Exact answers observed (post-drop).
+  u64 record_drops = 0;    ///< Records dropped by try_lock contention.
+  u64 lookups = 0;         ///< Degraded-path consults.
+  u64 cache_hits = 0;      ///< Lookups answered by the cache rung.
+  u64 sketch_answers = 0;  ///< Lookups answered by the sketch rung.
+  u64 unanswered = 0;      ///< Lookups no rung could answer.
+  std::size_t sketch_width = 0;
+  std::size_t sketch_depth = 0;
+  double epsilon = 0;       ///< e / width: bound = epsilon * sketch_mass.
+  std::size_t sketched_keys = 0;   ///< Distinct patterns in the sketch.
+  std::size_t max_sketched_keys = 0;
+  double sketch_mass = 0;   ///< Total utility mass inserted (the M above).
+
+  /// Cache hit rate over degraded lookups (0 when never consulted).
+  double CacheHitRate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// The per-text front tier. One instance lives on each registered text of a
+/// UsiMultiService, shared across index generations (a quarantined text
+/// with no servable generation is exactly when the tier earns its keep).
+class DegradedTier {
+ public:
+  explicit DegradedTier(const DegradedTierOptions& options = {});
+
+  /// The tier's pattern identity: a 64-bit hash of the pattern bytes plus
+  /// the length. Self-consistent within the tier (it need not match the
+  /// index's Karp-Rabin key — the tier is only ever consulted against what
+  /// it recorded itself).
+  static PatternKey KeyFor(std::span<const Symbol> pattern);
+
+  /// Observes one exactly-served answer (the exact path calls this for
+  /// every answered query). Never blocks: under lock contention the update
+  /// is dropped. Never allocates.
+  void RecordExact(const PatternKey& key, const QueryResult& result);
+
+  /// Degraded-path lookup: tries the cache rung then the sketch rung.
+  /// On success writes utility/occurrences and tags \p out with
+  /// provenance + error bound; returns false when no rung can answer
+  /// (\p out untouched). Never allocates.
+  bool TryAnswer(const PatternKey& key, QueryResult* out);
+
+  /// Forgets everything (the owning text's content changed: recorded
+  /// answers and bounds no longer describe it). Cumulative telemetry
+  /// counters survive; structures and sketch mass reset.
+  void Clear();
+
+  /// Telemetry snapshot.
+  DegradedTierStats stats() const;
+
+  /// Heap footprint in bytes.
+  std::size_t SizeInBytes() const;
+
+ private:
+  /// One answer-cache slot (open addressing, bounded probe window).
+  struct CacheSlot {
+    PatternKey key;
+    double utility = 0;
+    index_t occurrences = 0;
+    u32 popularity = 0;  ///< HeavyKeeper estimate when last touched.
+    bool used = false;
+  };
+  static constexpr std::size_t kProbeWindow = 8;
+
+  void CacheUpsertLocked(const PatternKey& key, u64 hash,
+                         const QueryResult& result, u32 popularity);
+  bool CacheFindLocked(const PatternKey& key, u64 hash, QueryResult* out);
+  /// Inserts \p hash into the membership filter; true only when newly
+  /// inserted (false when already present or the filter is at capacity).
+  bool SeenInsertLocked(u64 hash);
+  bool SeenContainsLocked(u64 hash) const;
+  std::size_t CmsBucket(u64 hash, std::size_t row) const;
+
+  DegradedTierOptions options_;
+  mutable std::mutex mu_;
+
+  /// Query-popularity sketch feeding cache admission (HeavyKeeper).
+  DecaySketch popularity_;
+
+  std::vector<CacheSlot> cache_;  ///< Power-of-two slots; empty = disabled.
+  std::size_t cache_size_ = 0;
+
+  /// Single-insertion membership filter: open-addressed key-hash set.
+  std::vector<u64> seen_;
+  std::size_t seen_size_ = 0;
+  std::size_t seen_cap_ = 0;  ///< Admission stops here (~7/8 of slots).
+
+  /// Utility / occurrence count-min arrays, width_ * depth_ each.
+  std::size_t width_ = 0;
+  std::size_t depth_ = 0;
+  double epsilon_ = 0;
+  std::vector<u64> row_seeds_;
+  std::vector<double> cms_utility_;
+  std::vector<u32> cms_occurrences_;
+  double sketch_mass_ = 0;
+
+  u64 records_ = 0;
+  std::atomic<u64> record_drops_{0};  ///< Bumped without the lock held.
+  u64 lookups_ = 0;
+  u64 cache_hits_ = 0;
+  u64 sketch_answers_ = 0;
+  u64 unanswered_ = 0;
+};
+
+}  // namespace usi
+
+#endif  // USI_CORE_DEGRADED_TIER_HPP_

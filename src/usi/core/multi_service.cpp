@@ -58,7 +58,7 @@ struct UsiMultiService::TextEntry {
 
   std::mutex mu;  ///< Guards current, build_options, scheduled, completed,
                   ///< published, building, last_failed, last_error,
-                  ///< failed_builds, retries, source_path.
+                  ///< failed_builds, retries, source_path, removed.
   std::condition_variable cv;  ///< Signals per-text build completions.
   std::shared_ptr<const Generation> current;  ///< Null until first publish.
   UsiOptions build_options;
@@ -73,6 +73,16 @@ struct UsiMultiService::TextEntry {
   /// Backing file of mapped generations (RegisterTextFromFile); recovery
   /// after a mapped fault re-loads from here when the file is still good.
   std::string source_path;
+  /// UnregisterText ran: the entry is out of the registry; a build still
+  /// holding it must not publish (the generation would be unreachable
+  /// anyway — this just skips the wasted service construction).
+  bool removed = false;
+
+  /// Graceful-degradation tier: learns exact answers, serves the degraded
+  /// paths. Shared across generations — a quarantined text with no
+  /// servable generation is exactly when it is needed. Null when disabled
+  /// service-wide. The tier itself is internally synchronized.
+  std::unique_ptr<DegradedTier> tier;
 
   std::atomic<u64> batches{0};
   std::atomic<u64> queries{0};
@@ -177,6 +187,9 @@ UsiMultiService::EntryPtr UsiMultiService::EnsureEntry(std::string_view id) {
   if (it != registry_.end()) return it->second;
   EntryPtr entry = std::make_shared<TextEntry>();
   entry->id = std::string(id);
+  if (options_.enable_degraded_tier) {
+    entry->tier = std::make_unique<DegradedTier>(options_.degraded);
+  }
   registry_.emplace(entry->id, entry);
   return entry;
 }
@@ -190,6 +203,8 @@ u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws,
     entry->build_options = build_options;
     generation = ++entry->scheduled;
   }
+  // New content: recorded answers (and their bounds) describe the old text.
+  if (entry->tier != nullptr) entry->tier->Clear();
   ScheduleBuild(std::move(entry), std::move(ws), generation);
   return generation;
 }
@@ -226,6 +241,9 @@ u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
     gen->number = ++entry->scheduled;
     entry->source_path = path;
   }
+  // Upsert may swap in different content; the tier must not replay answers
+  // recorded against the previous text.
+  if (entry->tier != nullptr) entry->tier->Clear();
   // Account the instant publish as a scheduled-and-completed build so
   // WaitForText/WaitForBuilds targets stay consistent with SubmitText's.
   {
@@ -262,16 +280,56 @@ u64 UsiMultiService::UpdateText(std::string_view id, WeightedString ws) {
     std::lock_guard<std::mutex> lock(entry->mu);
     generation = ++entry->scheduled;
   }
+  // New content: recorded answers (and their bounds) describe the old text.
+  if (entry->tier != nullptr) entry->tier->Clear();
   ScheduleBuild(std::move(entry), std::move(ws), generation);
   return generation;
 }
 
-bool UsiMultiService::RemoveText(std::string_view id) {
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  auto it = registry_.find(id);
-  if (it == registry_.end()) return false;
-  registry_.erase(it);
+bool UsiMultiService::UnregisterText(std::string_view id) {
+  EntryPtr entry;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = registry_.find(id);
+    if (it == registry_.end()) return false;
+    entry = it->second;
+    registry_.erase(it);
+  }
+  // Reclaim queued build work: jobs for this text that have not started are
+  // dropped. Each dropped job still counts as a completed build — a
+  // WaitForBuilds (or a WaitForText that grabbed the EntryPtr before the
+  // erase) blocks on scheduled==completed targets and must not hang on work
+  // that will never run.
+  std::size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(build_mu_);
+    for (auto it = build_queue_.begin(); it != build_queue_.end();) {
+      if (it->entry == entry) {
+        it = build_queue_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    builds_completed_ += dropped;
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->removed = true;  // A build mid-run skips its publish.
+    entry->completed += dropped;
+    entry->building = false;
+    // Drop the registry's generation reference. In-flight batches that
+    // pinned it keep serving (RCU: their shared_ptrs keep entry and
+    // generation alive; the last reader reclaims both).
+    entry->current = nullptr;
+  }
+  entry->cv.notify_all();
+  build_cv_.notify_all();
   return true;
+}
+
+bool UsiMultiService::RemoveText(std::string_view id) {
+  return UnregisterText(id);
 }
 
 bool UsiMultiService::HasText(std::string_view id) const {
@@ -383,6 +441,15 @@ bool UsiMultiService::BuildOne(BuildJob& job) {
   UsiOptions build_options;
   {
     std::lock_guard<std::mutex> lock(entry.mu);
+    if (entry.removed) {
+      // Unregistered while queued or retrying: the publish target is gone,
+      // so the build (and any remaining retries) would be pure waste.
+      // Count the job completed and stop here.
+      ++entry.completed;
+      entry.building = false;
+      entry.cv.notify_all();
+      return true;
+    }
     entry.building = true;
     build_options = entry.build_options;
   }
@@ -435,7 +502,9 @@ bool UsiMultiService::BuildOne(BuildJob& job) {
     // Monotonic publish: a stale build can never clobber a newer
     // generation. Readers that pinned the previous generation keep it
     // alive until their batch completes; the store reclaims nothing.
-    if (gen->number > entry.published) {
+    // A text unregistered mid-build skips the publish entirely (the
+    // generation would be unreachable — it is reclaimed right here).
+    if (!entry.removed && gen->number > entry.published) {
       entry.published = gen->number;
       entry.current = std::move(gen);
       entry.last_failed = false;
@@ -527,6 +596,11 @@ ServeStatus UsiMultiService::QueryBatchInto(
   USI_CHECK(results.size() >= queries.size());
   if (queries.empty()) return ServeStatus::kOk;
 
+  // Degradation ladder opt-in: a shed or failed batch is answered from the
+  // per-text tiers (exact -> cache -> sketch -> none) instead of rejected.
+  const bool degrade =
+      batch_options.allow_degraded && options_.enable_degraded_tier;
+
   // Admission, stage 1 — the in-flight count cap: a counter, not a queue,
   // so overload is shed with kBusy immediately instead of building an
   // unbounded backlog.
@@ -535,6 +609,10 @@ ServeStatus UsiMultiService::QueryBatchInto(
       inflight_batches_.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (cap != 0 && inflight > cap) {
     inflight_batches_.fetch_sub(1, std::memory_order_release);
+    // Shedding to the tier costs microseconds and touches no engine, so a
+    // degraded serve does not re-enter admission: the caller still gets an
+    // answer per slot while the exact path stays protected.
+    if (degrade) return ServeDegradedBatch(queries, results);
     busy_rejected_.fetch_add(1, std::memory_order_relaxed);
     return ServeStatus::kBusy;
   }
@@ -606,6 +684,7 @@ ServeStatus UsiMultiService::QueryBatchInto(
         inflight_cost_ns_.fetch_add(est_cost_ns, std::memory_order_acq_rel);
     if (prev >= cost_cap_ns) {
       inflight_cost_ns_.fetch_sub(est_cost_ns, std::memory_order_release);
+      if (degrade) return ServeDegradedBatch(queries, results);
       overload_rejected_.fetch_add(1, std::memory_order_relaxed);
       return ServeStatus::kOverloaded;
     }
@@ -653,10 +732,13 @@ ServeStatus UsiMultiService::QueryBatchInto(
           return ServeStatus::kUnknownText;
         }
         std::shared_ptr<const Generation> gen = entry->PinGeneration();
-        if (gen == nullptr) {
+        if (gen == nullptr && !(degrade && entry->tier != nullptr)) {
           cleanup();
           return ServeStatus::kNotReady;
         }
+        // gen may be null past this point: a degraded-opt-in batch admits a
+        // generation-less text (first build pending, or quarantined while
+        // the build lane retries) and serves that group from its tier.
         if (used_groups == scratch->groups.size()) {
           scratch->groups.emplace_back();
         }
@@ -680,17 +762,29 @@ ServeStatus UsiMultiService::QueryBatchInto(
   const bool has_deadline = batch_options.deadline.has_value();
   bool expired = false;
   bool unavailable = false;
+  bool degraded_used = false;
   std::size_t answered = 0;
+  std::size_t answered_degraded = 0;
   for (std::size_t k = 0; k < used_groups; ++k) {
     BatchScratch::Group& group = scratch->groups[k];
     const std::size_t n = group.indices.size();
+    DegradedTier* tier = degrade ? group.entry->tier.get() : nullptr;
     if (expired ||
         (has_deadline &&
          std::chrono::steady_clock::now() >= *batch_options.deadline)) {
       expired = true;
-      for (std::size_t j = 0; j < n; ++j) {
-        results[group.indices[j]] = QueryResult{};
-      }
+      // Deadline rung: unreached slots get tier answers instead of bare
+      // defaults (status stays kDeadlineExceeded; provenance tells the
+      // caller which slots the tier filled).
+      answered_degraded += FillFromTier(tier, queries, group.indices, results);
+      continue;
+    }
+    if (group.gen == nullptr) {
+      // Quarantine rung: no servable generation, whole group from the tier
+      // while the build lane retries in the background.
+      answered_degraded += FillFromTier(tier, queries, group.indices, results);
+      degraded_used = true;
+      group.entry->batches.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (scratch->patterns.size() < n) scratch->patterns.resize(n);
@@ -718,6 +812,18 @@ ServeStatus UsiMultiService::QueryBatchInto(
     group.entry->hash_hits.fetch_add(batch_stats.hash_hits,
                                      std::memory_order_relaxed);
     if (group_status == ServeStatus::kOk) {
+      // Feed the tier from the exact path: every served (pattern, answer)
+      // pair is popularity evidence and a candidate cache/sketch entry.
+      // Recording happens whether or not THIS batch opted into degraded
+      // serving — learning must precede the first failure. RecordExact
+      // never blocks (try_lock, drop on contention) and never allocates.
+      if (group.entry->tier != nullptr) {
+        DegradedTier& learn = *group.entry->tier;
+        for (std::size_t j = 0; j < n; ++j) {
+          learn.RecordExact(DegradedTier::KeyFor(scratch->patterns[j]),
+                            scratch->results[j]);
+        }
+      }
       // Cost-model calibration: only fully-served groups feed the estimate
       // (a partial group's bytes/time ratio is not the text's). Wall time
       // under a shared pool scales with the number of concurrent batches,
@@ -735,7 +841,18 @@ ServeStatus UsiMultiService::QueryBatchInto(
     } else if (group_status == ServeStatus::kDeadlineExceeded) {
       expired = true;
     } else if (group_status == ServeStatus::kIndexUnavailable) {
-      unavailable = true;
+      if (tier != nullptr) {
+        // Fault rung: the group's engine failed mid-serve (mapped fault or
+        // an exception out of the fallback path). Which slots it reached is
+        // unknowable from here — a legitimate exact answer and a failure
+        // default are both representable as zeros — so the WHOLE group is
+        // re-answered from the tier with honest provenance on every slot.
+        answered_degraded +=
+            FillFromTier(tier, queries, group.indices, results);
+        degraded_used = true;
+      } else {
+        unavailable = true;
+      }
       if (group.gen->mapped) {
         // A mapped generation faulted (truncated or revoked backing file):
         // demote it so no later batch serves from the bad mapping, and
@@ -766,6 +883,9 @@ ServeStatus UsiMultiService::QueryBatchInto(
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(answered, std::memory_order_relaxed);
+  if (answered_degraded != 0) {
+    degraded_answers_.fetch_add(answered_degraded, std::memory_order_relaxed);
+  }
   if (expired) deadline_expired_.fetch_add(1, std::memory_order_relaxed);
   if (unavailable) {
     index_unavailable_.fetch_add(1, std::memory_order_relaxed);
@@ -773,7 +893,69 @@ ServeStatus UsiMultiService::QueryBatchInto(
   cleanup();
   if (unavailable) return ServeStatus::kIndexUnavailable;
   if (expired) return ServeStatus::kDeadlineExceeded;
+  if (degraded_used) {
+    degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+    return ServeStatus::kDegraded;
+  }
   return ServeStatus::kOk;
+}
+
+std::size_t UsiMultiService::FillFromTier(DegradedTier* tier,
+                                          std::span<const MultiQuery> queries,
+                                          std::span<const u32> indices,
+                                          std::span<QueryResult> results) {
+  std::size_t filled = 0;
+  for (const u32 idx : indices) {
+    QueryResult& slot = results[idx];
+    slot = QueryResult{};
+    if (tier != nullptr &&
+        tier->TryAnswer(DegradedTier::KeyFor(queries[idx].pattern), &slot)) {
+      ++filled;
+    } else {
+      slot.provenance = AnswerProvenance::kNone;
+    }
+  }
+  return filled;
+}
+
+ServeStatus UsiMultiService::ServeDegradedBatch(
+    std::span<const MultiQuery> queries, std::span<QueryResult> results) {
+  // Validation pass first: the all-or-nothing kUnknownText contract (no
+  // result slot touched) holds on the degraded path too.
+  {
+    std::string_view last_id{};
+    bool have_last = false;
+    for (const MultiQuery& q : queries) {
+      if (have_last && q.text_id == last_id) continue;
+      if (FindEntry(q.text_id) == nullptr) return ServeStatus::kUnknownText;
+      last_id = q.text_id;
+      have_last = true;
+    }
+  }
+  std::size_t filled = 0;
+  std::string_view last_id{};
+  EntryPtr entry;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const MultiQuery& q = queries[i];
+    if (entry == nullptr || q.text_id != last_id) {
+      entry = FindEntry(q.text_id);  // May be gone since validation: kNone.
+      last_id = q.text_id;
+    }
+    QueryResult& slot = results[i];
+    slot = QueryResult{};
+    DegradedTier* tier = entry == nullptr ? nullptr : entry->tier.get();
+    if (tier != nullptr &&
+        tier->TryAnswer(DegradedTier::KeyFor(q.pattern), &slot)) {
+      ++filled;
+    } else {
+      slot.provenance = AnswerProvenance::kNone;
+    }
+  }
+  degraded_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (filled != 0) {
+    degraded_answers_.fetch_add(filled, std::memory_order_relaxed);
+  }
+  return ServeStatus::kDegraded;
 }
 
 MultiBatchResult UsiMultiService::QueryBatch(
@@ -785,7 +967,8 @@ MultiBatchResult UsiMultiService::QueryBatch(
   // all-or-nothing rejections leave nothing worth returning.
   if (out.status != ServeStatus::kOk &&
       out.status != ServeStatus::kDeadlineExceeded &&
-      out.status != ServeStatus::kIndexUnavailable) {
+      out.status != ServeStatus::kIndexUnavailable &&
+      out.status != ServeStatus::kDegraded) {
     out.results.clear();
   }
   return out;
@@ -827,6 +1010,7 @@ std::optional<UsiTextStats> UsiMultiService::StatsFor(
         static_cast<double>(entry->served_ns.load(std::memory_order_relaxed)) /
         static_cast<double>(served_bytes);
   }
+  if (entry->tier != nullptr) stats.degraded = entry->tier->stats();
   return stats;
 }
 
@@ -842,6 +1026,10 @@ UsiMultiStats UsiMultiService::stats() const {
   stats.index_unavailable =
       index_unavailable_.load(std::memory_order_relaxed);
   stats.builds_failed = builds_failed_.load(std::memory_order_relaxed);
+  stats.degraded_batches =
+      degraded_batches_.load(std::memory_order_relaxed);
+  stats.degraded_answers =
+      degraded_answers_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(build_mu_);
     stats.builds_scheduled = builds_scheduled_;

@@ -56,11 +56,21 @@
 /// growing an unbounded backlog — the first cut of the ROADMAP's
 /// backpressure item.
 ///
+/// \par Graceful degradation
+/// Every registered text carries a DegradedTier (core/degraded_tier.hpp)
+/// that records exact answers as they are served. A batch that opts in
+/// (MultiBatchOptions::allow_degraded) falls through the degradation ladder
+/// instead of being rejected: overload/busy sheds serve the whole batch
+/// from the tiers, a quarantined or faulted text answers from its tier
+/// while the build lane retries, and deadline expiry fills unreached slots
+/// from the tier. Such batches return ServeStatus::kDegraded (or keep
+/// kDeadlineExceeded) with per-result provenance and error bounds.
+///
 /// \par Thread safety
 /// All public members are safe to call concurrently. QueryBatch never
 /// blocks on builds (it reads the pinned generation); registry mutations
-/// (SubmitText/UpdateText/RemoveText) take the registry lock briefly and
-/// never wait for in-flight batches. The destructor waits for pending
+/// (SubmitText/UpdateText/UnregisterText) take the registry lock briefly
+/// and never wait for in-flight batches. The destructor waits for pending
 /// builds to finish draining.
 
 #include <atomic>
@@ -76,6 +86,7 @@
 #include <string_view>
 #include <vector>
 
+#include "usi/core/degraded_tier.hpp"
 #include "usi/core/usi_index.hpp"
 #include "usi/core/usi_service.hpp"
 #include "usi/text/weighted_string.hpp"
@@ -139,6 +150,14 @@ struct UsiMultiServiceOptions {
   /// Build options applied when SubmitText is called without explicit
   /// options. threads is overridden to 1 inside the build lane.
   UsiOptions default_build = {};
+  /// Graceful degradation: every registered text carries a DegradedTier
+  /// that observes exact answers and serves bounded-error ones on the
+  /// degraded paths (see MultiBatchOptions::allow_degraded). Disabling
+  /// removes the per-text memory cost and makes allow_degraded a no-op
+  /// (batches fail with the PR 8 statuses instead).
+  bool enable_degraded_tier = true;
+  /// Per-text tier geometry (cache capacity, sketch width/depth, ...).
+  DegradedTierOptions degraded = {};
 };
 
 /// Per-batch knobs for UsiMultiService::QueryBatchInto.
@@ -148,6 +167,17 @@ struct MultiBatchOptions {
   /// batch stages). Expired batches return kDeadlineExceeded with partial
   /// results. nullopt = no deadline.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Opt-in to the degradation ladder (exact -> hot-pattern cache -> sketch
+  /// estimate -> none): instead of rejecting, an overloaded/busy batch, a
+  /// text with no servable generation (quarantined build lane) or a group
+  /// that lost its index mid-serve is answered from the text's DegradedTier
+  /// and the batch returns kDegraded with every slot written — each answer
+  /// tagged with its provenance and error bound (QueryResult::provenance /
+  /// error_bound). A deadline-expired batch additionally fills *unreached*
+  /// slots from the tier (status stays kDeadlineExceeded; provenance says
+  /// which slots are tier answers). Off by default: callers that cannot
+  /// consume approximate answers keep the PR 8 fail-clean behavior.
+  bool allow_degraded = false;
 };
 
 /// Per-text lifetime telemetry, aggregated across generations.
@@ -166,6 +196,9 @@ struct UsiTextStats {
   /// served enough bytes to calibrate. Feeds cost-aware admission.
   double cost_ns_per_byte = 0;
   UsiBuildInfo last_build;  ///< build_info() of the served generation.
+  /// Degraded-tier telemetry (cache occupancy/hit rate, sketch geometry and
+  /// mass); nullopt when the tier is disabled service-wide.
+  std::optional<DegradedTierStats> degraded;
 };
 
 /// Service-wide telemetry.
@@ -182,14 +215,19 @@ struct UsiMultiStats {
   u64 builds_completed = 0;
   u64 builds_failed = 0;      ///< Terminal build failures (quarantines).
   std::size_t texts = 0;   ///< Registered texts right now.
+  u64 degraded_batches = 0;  ///< Batches that returned kDegraded.
+  /// Individual queries answered by a tier rung (cache or sketch) instead
+  /// of an exact index; kNone filler slots are not counted.
+  u64 degraded_answers = 0;
 };
 
 /// Convenience return form of QueryBatch.
 struct MultiBatchResult {
   ServeStatus status = ServeStatus::kOk;
   /// Populated on kOk and on the partial statuses (kDeadlineExceeded /
-  /// kIndexUnavailable — unreached slots are default QueryResult{});
-  /// cleared on the all-or-nothing rejections.
+  /// kIndexUnavailable / kDegraded — unreached slots are default
+  /// QueryResult{} or provenance-tagged tier answers); cleared on the
+  /// all-or-nothing rejections.
   std::vector<QueryResult> results;
 };
 
@@ -241,9 +279,19 @@ class UsiMultiService {
   /// number, or 0 if \p id is not registered.
   u64 UpdateText(std::string_view id, WeightedString ws);
 
-  /// Unregisters \p id; in-flight batches that already pinned a generation
-  /// finish against it (the shared_ptr keeps it alive). Returns false if
-  /// \p id is not registered.
+  /// Unregisters \p id, RCU-style: the registry entry is removed
+  /// immediately (new batches answer kUnknownText), in-flight batches that
+  /// already pinned a generation finish against it unharmed (their
+  /// shared_ptrs keep entry and generation alive; the last reader
+  /// reclaims), queued-but-not-started builds for the text are dropped from
+  /// the build lane (their completion is accounted, so WaitForBuilds and a
+  /// blocked WaitForText never hang), and a build currently running skips
+  /// its publish. Returns false if \p id is not registered. A long-lived
+  /// server that registers texts dynamically must unregister them too —
+  /// before this existed the registry grew forever.
+  bool UnregisterText(std::string_view id);
+
+  /// Alias of UnregisterText (the original name of the operation).
   bool RemoveText(std::string_view id);
 
   /// Whether \p id is registered (its first build may still be pending).
@@ -271,8 +319,11 @@ class UsiMultiService {
   /// generation's UsiService (sharded across the shared pool). On the
   /// all-or-nothing statuses (kBusy / kOverloaded / kUnknownText /
   /// kNotReady) no query executes and results are untouched; the partial
-  /// statuses (kDeadlineExceeded / kIndexUnavailable) return with every
-  /// result slot written — unreached queries carry default QueryResult{}.
+  /// statuses (kDeadlineExceeded / kIndexUnavailable / kDegraded) return
+  /// with every result slot written — unreached queries carry default
+  /// QueryResult{}. With batch_options.allow_degraded, the rejecting
+  /// statuses other than kUnknownText are replaced by degraded serving
+  /// from the per-text tier (see MultiBatchOptions::allow_degraded).
   ServeStatus QueryBatchInto(std::span<const MultiQuery> queries,
                              std::span<QueryResult> results,
                              const MultiBatchOptions& batch_options = {});
@@ -333,6 +384,20 @@ class UsiMultiService {
   std::unique_ptr<BatchScratch> AcquireBatchScratch();
   void ReleaseBatchScratch(std::unique_ptr<BatchScratch> scratch);
 
+  /// Degraded whole-batch serve (the overload/busy shed path): every slot
+  /// answered from its text's tier (kNone filler where no rung answers).
+  /// Returns kDegraded, or kUnknownText when a query names an unregistered
+  /// id (results untouched in that case).
+  ServeStatus ServeDegradedBatch(std::span<const MultiQuery> queries,
+                                 std::span<QueryResult> results);
+
+  /// Fills \p indices' result slots from \p tier (kNone filler where no
+  /// rung answers); returns how many slots a rung actually answered.
+  std::size_t FillFromTier(DegradedTier* tier,
+                           std::span<const MultiQuery> queries,
+                           std::span<const u32> indices,
+                           std::span<QueryResult> results);
+
   ThreadPool* pool_ = nullptr;  ///< Borrowed, may be null.
   std::unique_ptr<ThreadPool> owned_pool_;
   UsiMultiServiceOptions options_;
@@ -361,6 +426,8 @@ class UsiMultiService {
   std::atomic<u64> deadline_expired_{0};
   std::atomic<u64> index_unavailable_{0};
   std::atomic<u64> builds_failed_{0};
+  std::atomic<u64> degraded_batches_{0};
+  std::atomic<u64> degraded_answers_{0};
 };
 
 }  // namespace usi

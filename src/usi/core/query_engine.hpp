@@ -38,11 +38,45 @@ namespace usi {
 /// and unchanged for the duration of the batch call.
 using PatternSpan = std::span<const Symbol>;
 
+/// Where an answer came from — the rung of the degradation ladder that
+/// produced it (exact → hot-pattern cache → sketch estimate → none). The
+/// exact path never touches this field: engines write utility/occurrences
+/// and leave the default kExact standing, so threading provenance through
+/// the serving stack costs the steady state nothing.
+enum class AnswerProvenance : u8 {
+  kExact = 0,     ///< Answered by an index/engine; error_bound is 0.
+  kCached,        ///< Degraded: an exact answer this pattern received
+                  ///< earlier, replayed from the hot-pattern cache
+                  ///< (error_bound 0 relative to the recorded generation).
+  kApproximate,   ///< Degraded: sketch estimate; |utility - U(P)| <=
+                  ///< error_bound (one-sided: never an under-estimate).
+  kNone,          ///< Filler: no rung could answer; utility/occurrences are
+                  ///< default and carry no information.
+};
+
+/// Display name of an AnswerProvenance ("exact", "cached", ...).
+inline const char* AnswerProvenanceName(AnswerProvenance provenance) {
+  switch (provenance) {
+    case AnswerProvenance::kExact: return "exact";
+    case AnswerProvenance::kCached: return "cached";
+    case AnswerProvenance::kApproximate: return "approximate";
+    case AnswerProvenance::kNone: return "none";
+  }
+  return "?";
+}
+
 /// Result of a USI query.
 struct QueryResult {
   double utility = 0;        ///< U(P); 0 when the pattern does not occur.
   index_t occurrences = 0;   ///< |occ_S(P)|.
   bool from_hash_table = false;  ///< Answered from a precomputed/cached table.
+  /// Degradation-ladder rung that produced this answer. Engines leave the
+  /// default (kExact); only the degraded serving paths write it.
+  AnswerProvenance provenance = AnswerProvenance::kExact;
+  /// Advertised error bound on `utility`: 0 for exact/cached answers;
+  /// for kApproximate, utility - U(P) is in [0, error_bound] with the
+  /// sketch's (epsilon, delta) guarantee (see core/degraded_tier.hpp).
+  double error_bound = 0;
 };
 
 /// Cooperative cancellation state shared by every worker of one batch.

@@ -20,9 +20,23 @@ const char* ServeStatusName(ServeStatus status) {
     case ServeStatus::kOverloaded: return "overloaded";
     case ServeStatus::kDeadlineExceeded: return "deadline-exceeded";
     case ServeStatus::kIndexUnavailable: return "index-unavailable";
+    case ServeStatus::kDegraded: return "degraded";
   }
   return "?";
 }
+
+namespace {
+
+/// Filler for result slots a batch never reached (deadline expiry) or lost
+/// (engine fault): zeros, tagged kNone so callers can tell "no answer" from
+/// an exact answer that happens to be zero.
+QueryResult UnansweredResult() {
+  QueryResult result;
+  result.provenance = AnswerProvenance::kNone;
+  return result;
+}
+
+}  // namespace
 
 UsiService::UsiService(QueryEngine& engine, const UsiServiceOptions& options)
     : engine_(&engine), options_(options) {
@@ -185,7 +199,7 @@ ServeStatus UsiService::QueryBatchIntoImpl(
     if (ok) {
       answered.fetch_add(span_patterns.size(), std::memory_order_relaxed);
     } else {
-      std::fill(span_results.begin(), span_results.end(), QueryResult{});
+      std::fill(span_results.begin(), span_results.end(), UnansweredResult());
       unavailable.store(true, std::memory_order_relaxed);
     }
   };
@@ -206,7 +220,7 @@ ServeStatus UsiService::QueryBatchIntoImpl(
             std::min(patterns.size(), begin + min_shard);
         if (control.Expired()) {
           std::fill(results.begin() + begin,
-                    results.begin() + patterns.size(), QueryResult{});
+                    results.begin() + patterns.size(), UnansweredResult());
           break;
         }
         serve_span(patterns.subspan(begin, end - begin),
@@ -229,7 +243,7 @@ ServeStatus UsiService::QueryBatchIntoImpl(
       const std::size_t end = std::min(patterns.size(), begin + shard_size);
       if (control.Expired()) {
         std::fill(results.begin() + begin, results.begin() + end,
-                  QueryResult{});
+                  UnansweredResult());
         return;
       }
       serve_span(patterns.subspan(begin, end - begin),

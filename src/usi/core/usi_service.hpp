@@ -57,10 +57,12 @@ class ThreadPool;
 
 /// Outcome of a serving-layer batch (UsiService and UsiMultiService share
 /// the taxonomy). kOk / kBusy / kOverloaded / kUnknownText / kNotReady are
-/// all-or-nothing: no query executed, results untouched. The two partial
-/// statuses — kDeadlineExceeded and kIndexUnavailable — return with every
-/// result slot WRITTEN (answered queries carry real answers, unreached ones
-/// are default QueryResult{}), so callers can use what was served.
+/// all-or-nothing: no query executed, results untouched. The partial
+/// statuses — kDeadlineExceeded, kIndexUnavailable and kDegraded — return
+/// with every result slot WRITTEN (answered queries carry real answers,
+/// unreached ones are default QueryResult{} or, on the degraded paths,
+/// tier answers tagged with their provenance), so callers can use what was
+/// served.
 enum class ServeStatus : u8 {
   kOk = 0,
   kBusy,          ///< Admission: over the in-flight batch cap.
@@ -69,6 +71,9 @@ enum class ServeStatus : u8 {
   kOverloaded,    ///< Admission: estimated batch cost over the cost cap.
   kDeadlineExceeded,  ///< Deadline hit mid-batch; partial results.
   kIndexUnavailable,  ///< Index backing failed (mmap fault / exception).
+  kDegraded,      ///< Batch answered, at least partly, by the degraded tier
+                  ///< (hot-pattern cache / sketch estimates) instead of the
+                  ///< exact index; per-result provenance says which rung.
 };
 
 /// Display name of a ServeStatus ("ok", "busy", ...).

@@ -1,6 +1,7 @@
 #include "usi/core/workload.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "usi/util/rng.hpp"
 
@@ -48,6 +49,44 @@ Workload MakeWorkloadW1(const Text& text,
     } else {
       workload.patterns.push_back(RandomSubstring(
           text, options.random_min_len, options.random_max_len, &rng));
+      ++workload.random_substrings;
+    }
+  }
+  return workload;
+}
+
+Workload MakeWorkloadZipf(const Text& text,
+                          const ZipfWorkloadOptions& options) {
+  Workload workload;
+  workload.patterns.reserve(options.num_queries);
+  Rng rng(options.seed);
+  USI_CHECK(!text.empty());
+  USI_CHECK(options.s >= 0);
+  // The ranked hot pool: pool_size random substrings, rank = draw order.
+  const std::size_t pool_size = std::max<std::size_t>(1, options.pool_size);
+  std::vector<Text> pool;
+  pool.reserve(pool_size);
+  for (std::size_t r = 0; r < pool_size; ++r) {
+    pool.push_back(
+        RandomSubstring(text, options.min_len, options.max_len, &rng));
+  }
+  // Zipf CDF over ranks: weight(r) = (r+1)^-s, sampled by binary search.
+  std::vector<double> cdf(pool_size);
+  double total = 0;
+  for (std::size_t r = 0; r < pool_size; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -options.s);
+    cdf[r] = total;
+  }
+  for (std::size_t q = 0; q < options.num_queries; ++q) {
+    if (rng.UniformDouble() < options.hot_fraction) {
+      const double draw = rng.UniformDouble() * total;
+      const std::size_t rank = static_cast<std::size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), draw) - cdf.begin());
+      workload.patterns.push_back(pool[std::min(rank, pool_size - 1)]);
+      ++workload.from_frequent;
+    } else {
+      workload.patterns.push_back(RandomSubstring(
+          text, options.min_len, options.max_len, &rng));
       ++workload.random_substrings;
     }
   }

@@ -51,6 +51,33 @@ Workload MakeWorkloadW2(const Text& text,
                         const std::vector<TopKSubstring>& frequent_pool_w1,
                         u32 p_percent, const WorkloadOptions& options);
 
+/// Tuning for the skewed (Zipf) generator.
+struct ZipfWorkloadOptions {
+  std::size_t num_queries = 10'000;
+  /// Distinct hot patterns; rank r in [0, pool_size) is drawn with
+  /// probability proportional to (r+1)^-s.
+  std::size_t pool_size = 512;
+  /// Zipf exponent: 0 = uniform over the pool, 1 = classic Zipf; larger
+  /// concentrates traffic on the first ranks harder.
+  double s = 1.0;
+  /// Fraction of queries drawn from the ranked pool; the rest are fresh
+  /// uniform-random substrings (the cold tail).
+  double hot_fraction = 0.9;
+  index_t min_len = 4;  ///< Pattern length range (pool and tail).
+  index_t max_len = 64;
+  u64 seed = 0x21BF;
+};
+
+/// Builds a skewed hot-pattern workload: a ranked pool of \p pool_size
+/// random substrings queried with Zipf(s) rank frequencies, mixed with a
+/// uniform-random cold tail. This is the realistic "millions of users hit
+/// the same few patterns" traffic shape that hot-pattern caches and the
+/// degraded tier's admission learning are built for; W1/W2 above are the
+/// paper's benchmark mixes, which need a mined frequent pool.
+/// `from_frequent` counts the pool draws, `random_substrings` the tail.
+Workload MakeWorkloadZipf(const Text& text,
+                          const ZipfWorkloadOptions& options);
+
 }  // namespace usi
 
 #endif  // USI_CORE_WORKLOAD_HPP_

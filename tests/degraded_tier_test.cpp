@@ -1,0 +1,191 @@
+// Unit tests for the per-text degradation tier (core/degraded_tier.hpp):
+// the cache rung replays exact answers with bound 0, the sketch rung
+// answers within its advertised epsilon * mass bound and never
+// under-estimates, unknown patterns stay unanswered (kNone at the serving
+// layer), Clear forgets learned state, and the telemetry snapshot reports
+// the geometry usi_inspect prints.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/degraded_tier.hpp"
+
+namespace usi {
+namespace {
+
+using testing::T;
+
+QueryResult Exact(double utility, index_t occurrences) {
+  QueryResult result;
+  result.utility = utility;
+  result.occurrences = occurrences;
+  return result;
+}
+
+TEST(DegradedTier, KeyForIsDeterministicAndLengthAware) {
+  const Text a = T("banana");
+  const Text b = T("banana");
+  const Text c = T("banan");
+  EXPECT_TRUE(DegradedTier::KeyFor(a) == DegradedTier::KeyFor(b));
+  EXPECT_FALSE(DegradedTier::KeyFor(a) == DegradedTier::KeyFor(c));
+  EXPECT_EQ(DegradedTier::KeyFor(c).len, 5u);
+}
+
+TEST(DegradedTier, CacheHitReplaysExactAnswerWithZeroBound) {
+  DegradedTier tier;
+  const PatternKey key = DegradedTier::KeyFor(T("needle"));
+  tier.RecordExact(key, Exact(12.5, 3));
+
+  QueryResult got;
+  ASSERT_TRUE(tier.TryAnswer(key, &got));
+  EXPECT_EQ(got.provenance, AnswerProvenance::kCached);
+  EXPECT_EQ(got.error_bound, 0.0);
+  EXPECT_EQ(got.utility, 12.5);
+  EXPECT_EQ(got.occurrences, 3u);
+  EXPECT_FALSE(got.from_hash_table);
+
+  const DegradedTierStats stats = tier.stats();
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.lookups, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_DOUBLE_EQ(stats.CacheHitRate(), 1.0);
+}
+
+TEST(DegradedTier, SketchRungNeverUnderEstimatesAndHonorsBound) {
+  // Cache rung disabled: every answer must come from the count-min sketch.
+  DegradedTierOptions options;
+  options.cache_capacity = 0;
+  options.sketch_width = 256;
+  options.sketch_depth = 4;
+  DegradedTier tier(options);
+
+  Rng rng(0x5EED);
+  std::vector<PatternKey> keys;
+  std::vector<QueryResult> exact;
+  for (int i = 0; i < 2000; ++i) {
+    // Unique by construction (the index is encoded in the prefix), so each
+    // key has exactly one exact answer to compare against.
+    Text pattern = {static_cast<Symbol>(i & 0xFF),
+                    static_cast<Symbol>((i >> 8) & 0xFF)};
+    const std::size_t len = 1 + rng.UniformBelow(12);
+    for (std::size_t j = 0; j < len; ++j) {
+      pattern.push_back(static_cast<Symbol>(rng.UniformBelow(8)));
+    }
+    const PatternKey key = DegradedTier::KeyFor(pattern);
+    const QueryResult answer =
+        Exact(rng.UniformDouble() * 10.0,
+              static_cast<index_t>(1 + rng.UniformBelow(20)));
+    tier.RecordExact(key, answer);
+    keys.push_back(key);
+    exact.push_back(answer);
+  }
+
+  const DegradedTierStats stats = tier.stats();
+  ASSERT_GT(stats.sketched_keys, 0u);
+  ASSERT_GT(stats.sketch_mass, 0.0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    QueryResult got;
+    if (!tier.TryAnswer(keys[i], &got)) continue;  // Duplicate key dropped.
+    EXPECT_EQ(got.provenance, AnswerProvenance::kApproximate);
+    EXPECT_DOUBLE_EQ(got.error_bound, stats.epsilon * stats.sketch_mass);
+    // One-sided CMS guarantee: never below the recorded exact answer. The
+    // per-answer over-estimate can exceed the advertised bound only with
+    // probability e^-depth; the aggregate check lives in sketch_bounds_test.
+    EXPECT_GE(got.utility, exact[i].utility - 1e-9) << i;
+    EXPECT_GE(got.occurrences, exact[i].occurrences) << i;
+  }
+}
+
+TEST(DegradedTier, DuplicateRecordsEnterTheSketchOnce) {
+  DegradedTierOptions options;
+  options.cache_capacity = 0;
+  DegradedTier tier(options);
+  const PatternKey key = DegradedTier::KeyFor(T("hot"));
+  for (int i = 0; i < 50; ++i) tier.RecordExact(key, Exact(4.0, 2));
+
+  // Single insertion: the mass (and hence the estimate) must not scale
+  // with how often the same pattern was served.
+  const DegradedTierStats stats = tier.stats();
+  EXPECT_EQ(stats.sketched_keys, 1u);
+  EXPECT_DOUBLE_EQ(stats.sketch_mass, 4.0);
+  QueryResult got;
+  ASSERT_TRUE(tier.TryAnswer(key, &got));
+  EXPECT_DOUBLE_EQ(got.utility, 4.0);
+  EXPECT_EQ(got.occurrences, 2u);
+}
+
+TEST(DegradedTier, UnknownPatternStaysUnanswered) {
+  DegradedTier tier;
+  tier.RecordExact(DegradedTier::KeyFor(T("known")), Exact(1.0, 1));
+  QueryResult got;
+  got.utility = -7;  // Sentinel: a failed lookup must leave *out untouched.
+  EXPECT_FALSE(tier.TryAnswer(DegradedTier::KeyFor(T("stranger")), &got));
+  EXPECT_EQ(got.utility, -7.0);
+  EXPECT_EQ(tier.stats().unanswered, 1u);
+}
+
+TEST(DegradedTier, ClearForgetsAnswersButKeepsCounters) {
+  DegradedTier tier;
+  const PatternKey key = DegradedTier::KeyFor(T("gone"));
+  tier.RecordExact(key, Exact(2.0, 1));
+  QueryResult got;
+  ASSERT_TRUE(tier.TryAnswer(key, &got));
+
+  tier.Clear();
+  EXPECT_FALSE(tier.TryAnswer(key, &got))
+      << "content changed: stale answers must not survive Clear";
+  const DegradedTierStats stats = tier.stats();
+  EXPECT_EQ(stats.cache_size, 0u);
+  EXPECT_EQ(stats.sketched_keys, 0u);
+  EXPECT_DOUBLE_EQ(stats.sketch_mass, 0.0);
+  // Telemetry is cumulative across content versions.
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.lookups, 2u);
+}
+
+TEST(DegradedTier, PopularPatternsDisplaceColdOnesInTheCache) {
+  // A cache far smaller than the key population forces displacement; the
+  // BSL3/BSL4 admission rule must keep a heavily-queried pattern resident.
+  DegradedTierOptions options;
+  options.cache_capacity = 16;
+  options.sketch_width = 0;  // Cache rung only.
+  DegradedTier tier(options);
+
+  const Text hot_pattern = T("hothothot");
+  const PatternKey hot = DegradedTier::KeyFor(hot_pattern);
+  Rng rng(0xCAFE);
+  for (int round = 0; round < 400; ++round) {
+    tier.RecordExact(hot, Exact(9.0, 9));  // Popularity accrues per record.
+    Text cold;
+    for (int j = 0; j < 6; ++j) {
+      cold.push_back(static_cast<Symbol>(rng.UniformBelow(200)));
+    }
+    tier.RecordExact(DegradedTier::KeyFor(cold),
+                     Exact(rng.UniformDouble(), 1));
+  }
+  QueryResult got;
+  EXPECT_TRUE(tier.TryAnswer(hot, &got))
+      << "the hot pattern must survive 400 cold insertions";
+  EXPECT_EQ(got.provenance, AnswerProvenance::kCached);
+  EXPECT_DOUBLE_EQ(got.utility, 9.0);
+}
+
+TEST(DegradedTier, StatsReportGeometryAndFootprint) {
+  DegradedTierOptions options;
+  options.cache_capacity = 100;   // Rounds up to 128.
+  options.sketch_width = 1000;    // Rounds up to 1024.
+  options.sketch_depth = 5;
+  DegradedTier tier(options);
+  const DegradedTierStats stats = tier.stats();
+  EXPECT_EQ(stats.cache_capacity, 128u);
+  EXPECT_EQ(stats.sketch_width, 1024u);
+  EXPECT_EQ(stats.sketch_depth, 5u);
+  EXPECT_DOUBLE_EQ(stats.epsilon, 2.718281828459045 / 1024.0);
+  EXPECT_EQ(stats.cache_size, 0u);
+  EXPECT_DOUBLE_EQ(stats.CacheHitRate(), 0.0);
+  EXPECT_GT(tier.SizeInBytes(),
+            1024u * 5u * (sizeof(double) + sizeof(u32)));
+}
+
+}  // namespace
+}  // namespace usi

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "test_helpers.hpp"
+#include "usi/core/degraded_tier.hpp"
 #include "usi/core/usi_index.hpp"
 #include "usi/core/usi_service.hpp"
 
@@ -141,6 +142,44 @@ TEST(QueryAlloc, SteadyStateQueryBatchIntoAllocatesNothing) {
   const std::size_t after = AllocationsNow();
   EXPECT_EQ(after, before)
       << "steady-state QueryBatchInto must not touch the heap";
+}
+
+TEST(QueryAlloc, DegradedTierRecordAndLookupAllocateNothing) {
+  // RecordExact rides on every exactly-served query, so the tier shares the
+  // hot path's contract: all structures are sized at construction, and
+  // steady-state records AND degraded lookups never touch the heap.
+  DegradedTier tier;
+  Rng rng(0x7EE4);
+  std::vector<PatternKey> keys;
+  std::vector<QueryResult> answers;
+  for (int i = 0; i < 2'000; ++i) {
+    Text pattern;
+    const std::size_t len = 2 + rng.UniformBelow(14);
+    for (std::size_t j = 0; j < len; ++j) {
+      pattern.push_back(static_cast<Symbol>(rng.UniformBelow(16)));
+    }
+    keys.push_back(DegradedTier::KeyFor(pattern));
+    QueryResult answer;
+    answer.utility = rng.UniformDouble() * 5.0;
+    answer.occurrences = static_cast<index_t>(1 + rng.UniformBelow(9));
+    answers.push_back(answer);
+  }
+
+  for (std::size_t i = 0; i < keys.size(); ++i) {  // Warm-up.
+    tier.RecordExact(keys[i], answers[i]);
+  }
+
+  const std::size_t before = AllocationsNow();
+  QueryResult out;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      tier.RecordExact(keys[i], answers[i]);
+      tier.TryAnswer(keys[i], &out);
+    }
+  }
+  const std::size_t after = AllocationsNow();
+  EXPECT_EQ(after, before)
+      << "steady-state tier traffic must not touch the heap";
 }
 
 TEST(QueryAlloc, SteadyStateQueryAllWindowsAllocatesNothing) {

@@ -86,7 +86,7 @@ TEST_F(ReliabilityTest, ServeStatusNamesAreDistinct) {
       ServeStatus::kOk,         ServeStatus::kBusy,
       ServeStatus::kUnknownText, ServeStatus::kNotReady,
       ServeStatus::kOverloaded, ServeStatus::kDeadlineExceeded,
-      ServeStatus::kIndexUnavailable,
+      ServeStatus::kIndexUnavailable, ServeStatus::kDegraded,
   };
   std::vector<std::string> names;
   for (ServeStatus status : all) {

@@ -1,0 +1,168 @@
+// Satellite: deterministic-seed verification that the probabilistic
+// counting structures honor their advertised (epsilon, delta) guarantees.
+//
+// CountMinSketch with width w and depth d promises, per query Q over a
+// stream of total mass M:
+//   * one-sided: Estimate(Q) >= true_count(Q), always;
+//   * additive:  Estimate(Q) <= true_count(Q) + epsilon * M with
+//     probability >= 1 - delta, where epsilon = e / w and delta = e^-d.
+// The suite replays adversarial (uniform flood, far more keys than
+// buckets) and Zipf-skewed streams with fixed seeds and checks both
+// clauses: the one-sided clause on every key, the additive clause as an
+// empirical violation fraction <= delta. Seeds are fixed, so the checks
+// are exact replay, not flaky sampling.
+//
+// DecaySketch (HeavyKeeper) promises no hard bound — it is an admission
+// signal — so its check is behavioral: hot items keep estimates near their
+// true counts and order above cold items.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/hash/count_min_sketch.hpp"
+#include "usi/util/rng.hpp"
+
+namespace usi {
+namespace {
+
+constexpr double kEuler = 2.718281828459045;
+
+struct Stream {
+  std::map<u64, u32> exact;
+  u64 mass = 0;
+};
+
+Stream AdversarialStream(std::size_t distinct_keys, u64 seed) {
+  // Uniform flood: every key occurs a handful of times, and there are far
+  // more keys than sketch buckets — the worst shape for bucket sharing
+  // (no heavy hitter absorbs the collisions).
+  Stream stream;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < distinct_keys; ++i) {
+    const u64 key = rng.Next();
+    const u32 count = static_cast<u32>(1 + rng.UniformBelow(4));
+    stream.exact[key] += count;
+    stream.mass += count;
+  }
+  return stream;
+}
+
+Stream ZipfStream(std::size_t distinct_keys, std::size_t draws, double s,
+                  u64 seed) {
+  Stream stream;
+  Rng rng(seed);
+  std::vector<u64> keys(distinct_keys);
+  for (u64& key : keys) key = rng.Next();
+  std::vector<double> cdf(distinct_keys);
+  double total = 0;
+  for (std::size_t r = 0; r < distinct_keys; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -s);
+    cdf[r] = total;
+  }
+  for (std::size_t q = 0; q < draws; ++q) {
+    const double draw = rng.UniformDouble() * total;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), draw) - cdf.begin());
+    const u64 key = keys[std::min(rank, distinct_keys - 1)];
+    stream.exact[key] += 1;
+    stream.mass += 1;
+  }
+  return stream;
+}
+
+/// Feeds \p stream into a (width, depth) sketch and checks both clauses of
+/// the CMS guarantee over every distinct key.
+void CheckCmsBounds(const Stream& stream, std::size_t width,
+                    std::size_t depth, u64 seed) {
+  CountMinSketch sketch(width, depth, seed);
+  for (const auto& [key, count] : stream.exact) sketch.Add(key, count);
+
+  const double epsilon = kEuler / static_cast<double>(width);
+  const double delta = std::exp(-static_cast<double>(depth));
+  const double slack = epsilon * static_cast<double>(stream.mass);
+  std::size_t violations = 0;
+  for (const auto& [key, count] : stream.exact) {
+    const u32 estimate = sketch.Estimate(key);
+    ASSERT_GE(estimate, count) << "CMS must never under-estimate";
+    if (static_cast<double>(estimate) >
+        static_cast<double>(count) + slack) {
+      ++violations;
+    }
+  }
+  const double violation_fraction =
+      static_cast<double>(violations) /
+      static_cast<double>(stream.exact.size());
+  EXPECT_LE(violation_fraction, delta)
+      << "width=" << width << " depth=" << depth
+      << " mass=" << stream.mass << " keys=" << stream.exact.size();
+}
+
+TEST(SketchBounds, CountMinHoldsOnAdversarialFlood) {
+  // 20k distinct keys over 256 buckets/row: ~80 keys share every bucket.
+  CheckCmsBounds(AdversarialStream(20'000, 0xAD5E), /*width=*/256,
+                 /*depth=*/4, /*seed=*/0xC3C3);
+}
+
+TEST(SketchBounds, CountMinHoldsOnZipfTraffic) {
+  CheckCmsBounds(ZipfStream(5'000, 200'000, /*s=*/1.1, 0x21BF),
+                 /*width=*/512, /*depth=*/4, /*seed=*/0xC3C3);
+}
+
+TEST(SketchBounds, CountMinHoldsAtShallowDepth) {
+  // depth 2 => delta ~= 13.5%: the loosest geometry the tier would ship;
+  // the empirical violation rate must still sit under it.
+  CheckCmsBounds(AdversarialStream(10'000, 0xF00D), /*width=*/128,
+                 /*depth=*/2, /*seed=*/0xBEEF);
+}
+
+TEST(SketchBounds, CountMinDeterministicForFixedSeed) {
+  const Stream stream = ZipfStream(1'000, 20'000, 1.0, 0x7777);
+  CountMinSketch a(256, 4, 0x1234);
+  CountMinSketch b(256, 4, 0x1234);
+  for (const auto& [key, count] : stream.exact) {
+    a.Add(key, count);
+    b.Add(key, count);
+  }
+  for (const auto& [key, count] : stream.exact) {
+    EXPECT_EQ(a.Estimate(key), b.Estimate(key));
+  }
+}
+
+TEST(SketchBounds, HeavyKeeperTracksHotItemsUnderZipf) {
+  // A Zipf stream through the decay sketch: the hottest ranks must retain
+  // estimates close to their true counts (decay only evicts cold items),
+  // and dominate any cold item's estimate — that ordering is exactly what
+  // cache admission consumes.
+  const std::size_t distinct = 2'000;
+  Stream stream = ZipfStream(distinct, 100'000, 1.2, 0x1EAF);
+  DecaySketch sketch(1'024, 4, 1.08, 0xDECA1);
+  Rng rng(0x1EAF);
+  std::vector<u64> keys(distinct);
+  for (u64& key : keys) key = rng.Next();  // Same chain as ZipfStream.
+  for (const auto& [key, count] : stream.exact) {
+    for (u32 i = 0; i < count; ++i) sketch.Insert(key);
+  }
+
+  // keys[0] is rank 0 — the hottest item by construction.
+  const u32 hot_true = stream.exact.at(keys[0]);
+  const u32 hot_estimate = sketch.Estimate(keys[0]);
+  ASSERT_GT(hot_true, 10'000u);
+  EXPECT_GE(hot_estimate, hot_true / 2)
+      << "decay must not wipe out the hottest item";
+  EXPECT_LE(hot_estimate, hot_true)
+      << "HeavyKeeper counts only fingerprint-matched inserts";
+
+  u32 max_cold = 0;
+  for (std::size_t rank = distinct / 2; rank < distinct; ++rank) {
+    max_cold = std::max(max_cold, sketch.Estimate(keys[rank]));
+  }
+  EXPECT_GT(hot_estimate, 4 * max_cold)
+      << "hot/cold ordering must be unambiguous for admission";
+}
+
+}  // namespace
+}  // namespace usi

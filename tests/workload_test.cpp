@@ -1,4 +1,6 @@
-// Tests for the W1 / W2,p workload generators.
+// Tests for the W1 / W2,p / Zipf workload generators.
+
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -107,6 +109,78 @@ TEST(Workload, W2PatternsComeFromText) {
   for (const Text& pattern : w.patterns) {
     ASSERT_FALSE(testing::BruteOccurrences(fx.text, pattern).empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Zipf / skewed hot-pattern generator (satellite of the degradation PR: the
+// traffic shape hot-pattern caches and tier admission are exercised with).
+
+std::map<Text, std::size_t> PatternCounts(const Workload& w) {
+  std::map<Text, std::size_t> counts;
+  for (const Text& p : w.patterns) ++counts[p];
+  return counts;
+}
+
+TEST(Workload, ZipfHasRequestedSizeAndIsDeterministic) {
+  WorkloadFixture fx;
+  ZipfWorkloadOptions options;
+  options.num_queries = 800;
+  const Workload a = MakeWorkloadZipf(fx.text, options);
+  const Workload b = MakeWorkloadZipf(fx.text, options);
+  EXPECT_EQ(a.patterns.size(), 800u);
+  EXPECT_EQ(a.from_frequent + a.random_substrings, 800u);
+  EXPECT_EQ(a.patterns, b.patterns);
+}
+
+TEST(Workload, ZipfPatternsOccurInTextWithinLengthBounds) {
+  WorkloadFixture fx;
+  ZipfWorkloadOptions options;
+  options.num_queries = 300;
+  options.min_len = 3;
+  options.max_len = 24;
+  const Workload w = MakeWorkloadZipf(fx.text, options);
+  for (const Text& pattern : w.patterns) {
+    EXPECT_GE(pattern.size(), 3u);
+    EXPECT_LE(pattern.size(), 24u);
+    ASSERT_FALSE(testing::BruteOccurrences(fx.text, pattern).empty());
+  }
+}
+
+TEST(Workload, ZipfHotFractionRoughlyHolds) {
+  WorkloadFixture fx;
+  ZipfWorkloadOptions options;
+  options.num_queries = 4000;
+  options.hot_fraction = 0.9;
+  const Workload w = MakeWorkloadZipf(fx.text, options);
+  const double fraction =
+      static_cast<double>(w.from_frequent) / w.patterns.size();
+  EXPECT_GT(fraction, 0.85);
+  EXPECT_LT(fraction, 0.95);
+}
+
+TEST(Workload, ZipfSkewConcentratesTrafficOnTopRanks) {
+  WorkloadFixture fx;
+  ZipfWorkloadOptions options;
+  options.num_queries = 6000;
+  options.pool_size = 256;
+  options.hot_fraction = 1.0;  // Pure pool traffic isolates the skew.
+
+  // Higher exponents concentrate more of the traffic on the hottest
+  // pattern; s = 0 degenerates to uniform over the pool.
+  std::size_t last_top = 0;
+  for (const double s : {0.0, 1.0, 1.5}) {
+    options.s = s;
+    const Workload w = MakeWorkloadZipf(fx.text, options);
+    std::size_t top = 0;
+    for (const auto& [pattern, count] : PatternCounts(w)) {
+      top = std::max(top, count);
+    }
+    EXPECT_GT(top, last_top) << "s=" << s;
+    last_top = top;
+  }
+  // At s = 1.5 the head dominates: the hottest pattern alone draws a large
+  // multiple of the uniform share (6000 / 256 ~ 23).
+  EXPECT_GT(last_top, 1000u);
 }
 
 }  // namespace

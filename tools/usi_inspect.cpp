@@ -4,7 +4,10 @@
 //       Dumps the header (and, for v3, the section directory) of an index
 //       file and validates it: magic/version, header checksum, directory
 //       geometry, exact file size. --deep also re-checksums every v3
-//       section payload. Exit 0 = valid, 1 = corrupt/unreadable.
+//       section payload. Valid files additionally get the degraded-tier
+//       block: the per-text tier UsiMultiService attaches at registration
+//       (cache capacity and hit rate, sketch width/depth/epsilon, learned
+//       mass, footprint). Exit 0 = valid, 1 = corrupt/unreadable.
 //
 //   usi_inspect convert <in> <out> (--to v2|v3)
 //                       (--dataset NAME [--n N] | --text FILE [--seed S])
@@ -18,9 +21,12 @@
 //   usi_inspect selftest
 //       End-to-end check run by CTest: builds a small index, saves both
 //       formats, validates them through the info path, converts v3->v2->v3,
-//       and verifies the round trip is byte-identical with matching
-//       query answers.
+//       verifies the round trip is byte-identical with matching query
+//       answers, and drives the degraded tier (exact batches feed it, the
+//       cache rung replays them exactly, the sketch rung honors its bound,
+//       and a deadline-expired allow_degraded batch serves from it).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "usi/core/degraded_tier.hpp"
 #include "usi/core/index_format.hpp"
 #include "usi/core/multi_service.hpp"
 #include "usi/core/usi_index.hpp"
@@ -75,6 +82,23 @@ const char* SectionName(u32 id) {
     case format_v3::kTableSlots: return "table_slots";
     default: return "?";
   }
+}
+
+/// Prints one degraded-tier telemetry snapshot: the per-text stats block of
+/// `info` and the traffic report of `selftest`.
+void PrintDegradedTier(const DegradedTierStats& s) {
+  std::printf("  cache:       %zu/%zu slots, hit rate %.1f%% over %llu "
+              "lookups\n",
+              s.cache_size, s.cache_capacity, 100.0 * s.CacheHitRate(),
+              static_cast<unsigned long long>(s.lookups));
+  std::printf("  sketch:      %zu x %zu (epsilon %.3g, bound = epsilon * "
+              "mass)\n",
+              s.sketch_width, s.sketch_depth, s.epsilon);
+  std::printf("  learned:     %zu/%zu keys, mass %.1f, %llu records "
+              "(%llu dropped)\n",
+              s.sketched_keys, s.max_sketched_keys, s.sketch_mass,
+              static_cast<unsigned long long>(s.records),
+              static_cast<unsigned long long>(s.record_drops));
 }
 
 /// Prints a failure verdict tagged with the typed load-error code the
@@ -251,8 +275,21 @@ int Info(const std::string& path, bool deep) {
     std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
     return 1;
   }
-  if (magic == format_v3::kMagic) return InfoV3(path, deep);
-  if (magic == format_v2::kMagic) return InfoV2(path);
+  if (magic == format_v3::kMagic || magic == format_v2::kMagic) {
+    const int rc =
+        magic == format_v3::kMagic ? InfoV3(path, deep) : InfoV2(path);
+    if (rc == 0) {
+      // The serving-side companion of the file: the per-text degradation
+      // tier UsiMultiService attaches when this index is registered
+      // (default geometry; counters accrue at serve time — query a live
+      // service's StatsFor for trafficked numbers).
+      const DegradedTier tier(UsiMultiServiceOptions{}.degraded);
+      std::printf("degraded tier (attached per text at registration):\n");
+      PrintDegradedTier(tier.stats());
+      std::printf("  footprint:   %zu KiB\n", tier.SizeInBytes() / 1024);
+    }
+    return rc;
+  }
   std::fprintf(stderr, "error: %s is not a UsiIndex file (magic 0x%08X)\n",
                path.c_str(), magic);
   return Reject(LoadErrorCode::kBadFormat, "(unrecognized magic)");
@@ -425,6 +462,60 @@ int Selftest() {
   std::remove(v2_path.c_str());
   std::remove(rt_path.c_str());
   std::remove(nolearn_path.c_str());
+
+  // Degraded-tier coverage: serve an exact batch through a multi-service
+  // (which feeds the text's tier), check the tier telemetry surfaces via
+  // StatsFor, then re-serve the same batch with an already-expired deadline
+  // and allow_degraded — every slot must be filled from the tier, and every
+  // tier answer must sit within [exact, exact + error_bound].
+  {
+    UsiMultiServiceOptions service_options;
+    service_options.threads = 1;
+    UsiMultiService service(service_options);
+    WeightedString ws_copy = ws;
+    service.SubmitText("t", std::move(ws_copy));
+    if (service.WaitForText("t") != BuildState::kReady) {
+      return fail("tier text build");
+    }
+    std::vector<Text> patterns;
+    for (index_t i = 0; i + 6 <= ws.size(); i += 503) {
+      patterns.push_back(ws.Fragment(i, 6));
+    }
+    std::vector<MultiQuery> batch;
+    for (const Text& pattern : patterns) batch.push_back({"t", pattern});
+    const MultiBatchResult exact_batch = service.QueryBatch(batch);
+    if (exact_batch.status != ServeStatus::kOk) return fail("tier exact batch");
+    const std::optional<UsiTextStats> before = service.StatsFor("t");
+    if (!before.has_value() || !before->degraded.has_value()) {
+      return fail("tier stats absent");
+    }
+    if (before->degraded->records == 0) return fail("tier learned nothing");
+
+    MultiBatchOptions expired;
+    expired.deadline =
+        std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+    expired.allow_degraded = true;
+    std::vector<QueryResult> degraded(batch.size());
+    if (service.QueryBatchInto(batch, degraded, expired) !=
+        ServeStatus::kDeadlineExceeded) {
+      return fail("tier deadline status");
+    }
+    for (std::size_t i = 0; i < degraded.size(); ++i) {
+      const QueryResult& got = degraded[i];
+      if (got.provenance == AnswerProvenance::kNone) continue;
+      if (got.utility + 1e-9 < exact_batch.results[i].utility ||
+          got.utility > exact_batch.results[i].utility + got.error_bound +
+                            1e-9) {
+        return fail("tier answer outside its bound");
+      }
+    }
+    const DegradedTierStats after = service.StatsFor("t")->degraded.value();
+    if (after.lookups == 0 || after.cache_hits + after.sketch_answers == 0) {
+      return fail("tier never consulted");
+    }
+    std::printf("degraded tier after selftest traffic:\n");
+    PrintDegradedTier(after);
+  }
   std::printf("selftest OK\n");
   return 0;
 }
