@@ -42,6 +42,21 @@ void DynamicUsi::Append(Symbol c, double w) {
       value->acc.Add(psw_.LocalUtility(start, len), options_.utility);
     }
   }
+
+  // Bounded staleness: the tracked set may only drift max_staleness appends
+  // before the deferred O(n) recomputation runs automatically.
+  if (options_.max_staleness > 0 &&
+      appends_since_refresh_ >= options_.max_staleness) {
+    RefreshTopK();
+  }
+}
+
+void DynamicUsi::Reserve(index_t n) {
+  text_.reserve(n);
+  weights_.reserve(n);
+  psw_.Reserve(n);
+  prefix_fps_.reserve(static_cast<std::size_t>(n) + 1);
+  hasher_.ReservePowers(n);
 }
 
 void DynamicUsi::RefreshTopK() {

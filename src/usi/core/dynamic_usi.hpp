@@ -39,6 +39,11 @@ struct DynamicUsiOptions {
   u64 k = 1024;  ///< Size of the tracked (precomputed) substring set.
   GlobalUtilityKind utility = GlobalUtilityKind::kSum;
   u64 hash_seed = 0xD1D1;
+  /// Hard bound on StalenessBound(): when > 0, Append triggers an automatic
+  /// RefreshTopK once this many appends have accumulated since the last
+  /// refresh, so the tracked set's drift stays bounded without the caller
+  /// scheduling refreshes. 0 = unbounded (refresh only on demand).
+  index_t max_staleness = 0;
 };
 
 /// Append-only USI index.
@@ -51,12 +56,37 @@ class DynamicUsi {
 
   /// Appends letter \p c with utility \p w. O(L_K) table maintenance plus
   /// amortized-O(1) suffix-tree work (ancestor counts are updated lazily by
-  /// the tree's leaf bookkeeping).
+  /// the tree's leaf bookkeeping). With options.max_staleness > 0 an
+  /// automatic RefreshTopK runs once the bound is reached.
   void Append(Symbol c, double w);
+
+  /// Pre-grows the append-path arrays (text, weights, PSW, prefix
+  /// fingerprints, hasher powers) for a text of \p n positions, so appends
+  /// up to that length skip their geometric reallocation steps. The suffix
+  /// tree still allocates nodes as structure demands — Reserve bounds the
+  /// array churn, it cannot make appends allocation-free.
+  void Reserve(index_t n);
 
   /// Answers U(P) over the current text. Exact: hash hit (tracked set) in
   /// O(m), otherwise suffix-tree search + PSW aggregation.
   QueryResult Query(std::span<const Symbol> pattern) const;
+
+  /// Start positions of \p pattern, written into \p out with \p stack as
+  /// traversal scratch (both cleared first; zero allocations once warm).
+  /// The update tier's boundary-crossing probe runs on this.
+  void CollectOccurrencesInto(std::span<const Symbol> pattern,
+                              std::vector<index_t>& out,
+                              std::vector<index_t>& stack) const {
+    tree_.CollectOccurrencesInto(pattern, out, stack);
+  }
+
+  /// Local utility of the length-\p len fragment at \p start (PSW lookup).
+  double LocalUtility(index_t start, index_t len) const {
+    return psw_.LocalUtility(start, len);
+  }
+
+  /// The aggregation kind answers are finalized with.
+  GlobalUtilityKind utility_kind() const { return options_.utility; }
 
   /// Recomputes the tracked top-K set from scratch (O(n) — the cost the
   /// paper defers; call at a cadence of your choosing).
@@ -72,6 +102,9 @@ class DynamicUsi {
 
   /// Current text.
   const Text& text() const { return text_; }
+
+  /// Per-position utilities, parallel to text().
+  const std::vector<double>& weights() const { return weights_; }
 
   /// Number of tracked substrings in H.
   std::size_t TrackedEntries() const { return table_.size(); }

@@ -58,10 +58,32 @@ struct UsiMultiService::TextEntry {
 
   std::mutex mu;  ///< Guards current, build_options, scheduled, completed,
                   ///< published, building, last_failed, last_error,
-                  ///< failed_builds, retries, source_path, removed.
+                  ///< failed_builds, retries, source_path, removed, delta,
+                  ///< delta_epoch, compaction_scheduled, appends,
+                  ///< compactions, compact_publish_ns.
   std::condition_variable cv;  ///< Signals per-text build completions.
   std::shared_ptr<const Generation> current;  ///< Null until first publish.
+  /// Update-tier overlay paired with `current`: absorbs appends past the
+  /// published base; null until the first append (and again right after a
+  /// compaction that left nothing pending). Swapped together with
+  /// `current` under `mu`, so a pin sees a consistent (base, delta) pair;
+  /// the overlay itself is internally synchronized for its readers.
+  std::shared_ptr<DeltaOverlay> delta;
+  /// Overlay lineage counter: bumps whenever `delta` is dropped or
+  /// replaced. A compaction records the epoch its snapshot saw and only
+  /// publishes while the live overlay still carries it — a delta recreated
+  /// for different content can never be trimmed by a stale compaction.
+  u64 delta_epoch = 0;
+  /// A compaction build for this text is queued or running; appends do not
+  /// schedule another until it reaches a terminal state.
+  bool compaction_scheduled = false;
+  u64 appends = 0;              ///< AppendText calls absorbed.
+  u64 compactions = 0;          ///< Compaction publishes.
+  u64 compact_publish_ns = 0;   ///< Entry-lock hold of the latest publish.
   UsiOptions build_options;
+  /// A build lane holds this text (guarded by the service's build_mu_, NOT
+  /// by `mu`): per-text serialization across the multi-lane executor.
+  bool lane_claimed = false;
   u64 scheduled = 0;  ///< Generation numbers handed out so far.
   u64 completed = 0;  ///< Builds finished (published, superseded or failed).
   u64 published = 0;  ///< Highest generation number stored in `current`.
@@ -105,6 +127,16 @@ struct UsiMultiService::TextEntry {
     return current;
   }
 
+  /// As PinGeneration, additionally pinning the update-tier overlay in the
+  /// SAME critical section: the pair describes one boundary, so a batch
+  /// can never merge a new delta into an old base (or vice versa).
+  void PinServing(std::shared_ptr<const Generation>* gen_out,
+                  std::shared_ptr<DeltaOverlay>* delta_out) {
+    std::lock_guard<std::mutex> lock(mu);
+    *gen_out = current;
+    *delta_out = delta;
+  }
+
   /// Build-lane state; caller holds `mu`.
   BuildState StateLocked() const {
     if (completed >= scheduled) {
@@ -126,6 +158,11 @@ struct UsiMultiService::BuildJob {
   /// Non-empty marks a recovery job: try a heap load of this index file
   /// before paying for a full rebuild.
   std::string recover_path;
+  /// Compaction job: ws is the overlay's merged snapshot; at publish the
+  /// successor overlay warm-starts from the old one.
+  bool compaction = false;
+  index_t compact_boundary = 0;  ///< Snapshot length ns (new base covers it).
+  u64 compact_epoch = 0;         ///< Overlay lineage the snapshot saw.
 };
 
 /// Leased per-batch routing buffers: the per-text groups (with their pinned
@@ -135,6 +172,9 @@ struct UsiMultiService::BatchScratch {
   struct Group {
     EntryPtr entry;
     std::shared_ptr<const Generation> gen;
+    /// The update-tier overlay pinned WITH gen (one entry-lock critical
+    /// section), so the group's base and delta describe the same boundary.
+    std::shared_ptr<DeltaOverlay> delta;
     std::vector<u32> indices;  ///< Positions in the incoming batch.
   };
   std::vector<Group> groups;  ///< groups[0..used) active this batch.
@@ -144,6 +184,7 @@ struct UsiMultiService::BatchScratch {
   /// copies pattern bytes.
   std::vector<PatternSpan> patterns;
   std::vector<QueryResult> results;  ///< Group-local results to scatter.
+  DeltaOverlay::Scratch delta_scratch;  ///< Crossing-probe reuse buffers.
 };
 
 UsiMultiService::UsiMultiService(const UsiMultiServiceOptions& options)
@@ -166,8 +207,9 @@ UsiMultiService::~UsiMultiService() {
   // task can touch this object's members. (An owned pool additionally joins
   // its workers when destroyed below.)
   std::unique_lock<std::mutex> lock(build_mu_);
-  build_cv_.wait(lock,
-                 [this] { return build_queue_.empty() && !build_lane_active_; });
+  build_cv_.wait(lock, [this] {
+    return build_queue_.empty() && build_lanes_active_ == 0;
+  });
 }
 
 unsigned UsiMultiService::threads() const {
@@ -202,6 +244,12 @@ u64 UsiMultiService::SubmitText(std::string_view id, WeightedString ws,
     std::lock_guard<std::mutex> lock(entry->mu);
     entry->build_options = build_options;
     generation = ++entry->scheduled;
+    // Full-content replacement supersedes the update tier: pending appends
+    // describe the outgoing text.
+    if (entry->delta != nullptr) {
+      entry->delta = nullptr;
+      ++entry->delta_epoch;
+    }
   }
   // New content: recorded answers (and their bounds) describe the old text.
   if (entry->tier != nullptr) entry->tier->Clear();
@@ -240,6 +288,11 @@ u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
     std::lock_guard<std::mutex> lock(entry->mu);
     gen->number = ++entry->scheduled;
     entry->source_path = path;
+    // Full-content replacement supersedes the update tier.
+    if (entry->delta != nullptr) {
+      entry->delta = nullptr;
+      ++entry->delta_epoch;
+    }
   }
   // Upsert may swap in different content; the tier must not replay answers
   // recorded against the previous text.
@@ -273,17 +326,134 @@ u64 UsiMultiService::RegisterTextFromFile(std::string_view id,
 }
 
 u64 UsiMultiService::UpdateText(std::string_view id, WeightedString ws) {
+  return UpdateText(id, std::move(ws), nullptr);
+}
+
+u64 UsiMultiService::UpdateText(std::string_view id, WeightedString ws,
+                                const UsiOptions& build_options) {
+  return UpdateText(id, std::move(ws), &build_options);
+}
+
+u64 UsiMultiService::UpdateText(std::string_view id, WeightedString ws,
+                                const UsiOptions* build_options) {
   EntryPtr entry = FindEntry(id);
   if (entry == nullptr) return 0;
   u64 generation;
   {
     std::lock_guard<std::mutex> lock(entry->mu);
+    if (build_options != nullptr) entry->build_options = *build_options;
     generation = ++entry->scheduled;
+    // Full-content replacement supersedes the update tier.
+    if (entry->delta != nullptr) {
+      entry->delta = nullptr;
+      ++entry->delta_epoch;
+    }
   }
   // New content: recorded answers (and their bounds) describe the old text.
   if (entry->tier != nullptr) entry->tier->Clear();
   ScheduleBuild(std::move(entry), std::move(ws), generation);
   return generation;
+}
+
+bool UsiMultiService::SetBuildOptions(std::string_view id,
+                                      const UsiOptions& build_options) {
+  EntryPtr entry = FindEntry(id);
+  if (entry == nullptr) return false;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->build_options = build_options;
+  return true;
+}
+
+ServeStatus UsiMultiService::AppendText(std::string_view id,
+                                        std::span<const Symbol> text,
+                                        std::span<const double> weights) {
+  return AppendTextImpl(id, text, weights, nullptr);
+}
+
+ServeStatus UsiMultiService::AppendText(std::string_view id,
+                                        std::span<const Symbol> text,
+                                        std::span<const double> weights,
+                                        const UsiOptions& build_options) {
+  return AppendTextImpl(id, text, weights, &build_options);
+}
+
+ServeStatus UsiMultiService::AppendTextImpl(std::string_view id,
+                                            std::span<const Symbol> text,
+                                            std::span<const double> weights,
+                                            const UsiOptions* build_options) {
+  USI_CHECK(text.size() == weights.size());
+  EntryPtr entry = FindEntry(id);
+  if (entry == nullptr) return ServeStatus::kUnknownText;
+
+  bool schedule_compaction = false;
+  WeightedString compact_ws;
+  u64 compact_generation = 0;
+  index_t compact_boundary = 0;
+  u64 compact_epoch = 0;
+  {
+    // The entry lock is held for the whole append (overlay creation, the
+    // append itself, the compaction decision): it serializes appenders and
+    // — because the compaction publish also swaps under this lock — an
+    // append can never land in an overlay that is being replaced mid-span.
+    // Readers are unaffected: they pin (pointer copy) and probe the overlay
+    // under ITS lock, never this one.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (build_options != nullptr) entry->build_options = *build_options;
+    if (entry->current == nullptr) {
+      // Appends extend a published base; before the first publish there is
+      // no boundary to append past (and no index to merge with).
+      return ServeStatus::kNotReady;
+    }
+    if (entry->delta == nullptr) {
+      // First append against this generation: the overlay borrows the
+      // generation's text through an aliasing shared_ptr, so the base stays
+      // alive as long as the overlay does.
+      std::shared_ptr<const WeightedString> base(entry->current,
+                                                 &entry->current->ws);
+      entry->delta = std::make_shared<DeltaOverlay>(
+          std::move(base), options_.delta_context, ++entry->delta_epoch,
+          entry->current->index->utility_kind());
+    }
+    try {
+      entry->delta->Append(text, weights);
+    } catch (...) {
+      if (entry->delta->poisoned()) {
+        // Mid-span failure tore the overlay: pending appends are lost with
+        // it; the base keeps serving exact answers over its own prefix.
+        entry->delta = nullptr;
+        ++entry->delta_epoch;
+      }
+      return ServeStatus::kIndexUnavailable;
+    }
+    ++entry->appends;
+    {
+      auto read = entry->delta->LockForRead();
+      if (options_.delta_compact_threshold > 0 &&
+          entry->delta->AppendedLocked() >= options_.delta_compact_threshold &&
+          !entry->compaction_scheduled) {
+        compact_boundary = entry->delta->TotalSizeLocked();
+        compact_epoch = entry->delta->epoch();
+        schedule_compaction = true;
+      }
+    }
+    if (schedule_compaction) {
+      // Snapshot under the entry lock (appenders are excluded, so the
+      // snapshot IS the content compact_boundary describes) and mark the
+      // compaction in flight — one at a time per text.
+      compact_ws = entry->delta->SnapshotMerged();
+      compact_generation = ++entry->scheduled;
+      entry->compaction_scheduled = true;
+    }
+  }
+  // Appended content changed the text: recorded tier answers (and their
+  // bounds) describe the shorter text.
+  if (entry->tier != nullptr) entry->tier->Clear();
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  if (schedule_compaction) {
+    ScheduleBuild(std::move(entry), std::move(compact_ws), compact_generation,
+                  {}, true, compact_boundary, compact_epoch);
+  }
+  return ServeStatus::kOk;
 }
 
 bool UsiMultiService::UnregisterText(std::string_view id) {
@@ -322,6 +492,10 @@ bool UsiMultiService::UnregisterText(std::string_view id) {
     // pinned it keep serving (RCU: their shared_ptrs keep entry and
     // generation alive; the last reader reclaims both).
     entry->current = nullptr;
+    if (entry->delta != nullptr) {
+      entry->delta = nullptr;
+      ++entry->delta_epoch;
+    }
   }
   entry->cv.notify_all();
   build_cv_.notify_all();
@@ -345,14 +519,16 @@ std::vector<std::string> UsiMultiService::TextIds() const {
 }
 
 void UsiMultiService::ScheduleBuild(EntryPtr entry, WeightedString ws,
-                                    u64 generation,
-                                    std::string recover_path) {
+                                    u64 generation, std::string recover_path,
+                                    bool compaction, index_t compact_boundary,
+                                    u64 compact_epoch) {
   if (pool_ == nullptr) {
     // Degenerate no-pool configuration: build synchronously, right here —
     // retries included (the backoff is a sleep on the caller's thread).
     BuildJob job{std::move(entry), std::move(ws), generation, 0,
                  std::chrono::steady_clock::time_point{},
-                 std::move(recover_path)};
+                 std::move(recover_path), compaction, compact_boundary,
+                 compact_epoch};
     {
       std::lock_guard<std::mutex> lock(build_mu_);
       ++builds_scheduled_;
@@ -373,14 +549,18 @@ void UsiMultiService::ScheduleBuild(EntryPtr entry, WeightedString ws,
     build_queue_.push_back(BuildJob{std::move(entry), std::move(ws),
                                     generation, 0,
                                     std::chrono::steady_clock::time_point{},
-                                    std::move(recover_path)});
+                                    std::move(recover_path), compaction,
+                                    compact_boundary, compact_epoch});
     ++builds_scheduled_;
-    if (!build_lane_active_) {
-      build_lane_active_ = true;
+    // Spawn another lane while the executor is under its configured width;
+    // a surplus lane that finds nothing claimable simply retires.
+    if (build_lanes_active_ < std::max(1u, options_.build_lanes)) {
+      ++build_lanes_active_;
       start_lane = true;
     }
   }
   if (start_lane) pool_->Run([this] { BuildLane(); });
+  build_cv_.notify_all();
 }
 
 void UsiMultiService::BuildLane() {
@@ -390,46 +570,61 @@ void UsiMultiService::BuildLane() {
       std::unique_lock<std::mutex> lock(build_mu_);
       for (;;) {
         if (build_queue_.empty()) {
-          build_lane_active_ = false;
+          --build_lanes_active_;
           // Notify while still holding the lock: a destructor waiting on
           // build_cv_ can only resume after we release it, by which point
           // this task no longer touches the service.
           build_cv_.notify_all();
           return;
         }
-        // FIFO among ready jobs; retry jobs whose backoff has not elapsed
-        // are skipped over (a delayed retry must not stall the lane for
-        // every other text).
+        // FIFO among ready jobs whose text no other lane holds: the
+        // per-text claim keeps each text's generations strictly sequential
+        // while distinct texts build in parallel. Retry jobs whose backoff
+        // has not elapsed are skipped over (a delayed retry must not stall
+        // the lane for every other text).
         const auto now = std::chrono::steady_clock::now();
         auto ready = std::find_if(
-            build_queue_.begin(), build_queue_.end(),
-            [&](const BuildJob& j) { return j.not_before <= now; });
+            build_queue_.begin(), build_queue_.end(), [&](const BuildJob& j) {
+              return j.not_before <= now && !j.entry->lane_claimed;
+            });
         if (ready != build_queue_.end()) {
           job = std::move(*ready);
           build_queue_.erase(ready);
+          job.entry->lane_claimed = true;
           break;
         }
-        const auto earliest = std::min_element(
-            build_queue_.begin(), build_queue_.end(),
-            [](const BuildJob& a, const BuildJob& b) {
-              return a.not_before < b.not_before;
-            });
-        build_cv_.wait_until(lock, earliest->not_before);
+        // Nothing claimable: every remaining job is either backing off or
+        // held by another lane. Sleep until the earliest unclaimed backoff
+        // expires, or — all claimed — until a lane finishing wakes us.
+        auto earliest = build_queue_.end();
+        for (auto it = build_queue_.begin(); it != build_queue_.end(); ++it) {
+          if (it->entry->lane_claimed) continue;
+          if (earliest == build_queue_.end() ||
+              it->not_before < earliest->not_before) {
+            earliest = it;
+          }
+        }
+        if (earliest != build_queue_.end()) {
+          build_cv_.wait_until(lock, earliest->not_before);
+        } else {
+          build_cv_.wait(lock);
+        }
       }
     }
-    if (BuildOne(job)) {
-      {
-        std::lock_guard<std::mutex> lock(build_mu_);
-        ++builds_completed_;
-      }
-      build_cv_.notify_all();
-    } else {
-      // Failed attempt, retries remain: the job went back into the queue
-      // with its backoff; it is still the same scheduled build, so the
-      // completion counters do not move.
+    const bool terminal = BuildOne(job);
+    {
       std::lock_guard<std::mutex> lock(build_mu_);
-      build_queue_.push_back(std::move(job));
+      job.entry->lane_claimed = false;
+      if (terminal) {
+        ++builds_completed_;
+      } else {
+        // Failed attempt, retries remain: back into the queue with its
+        // backoff; it is still the same scheduled build, so the completion
+        // counters do not move.
+        build_queue_.push_back(std::move(job));
+      }
     }
+    build_cv_.notify_all();
   }
 }
 
@@ -447,6 +642,7 @@ bool UsiMultiService::BuildOne(BuildJob& job) {
       // Count the job completed and stop here.
       ++entry.completed;
       entry.building = false;
+      if (job.compaction) entry.compaction_scheduled = false;
       entry.cv.notify_all();
       return true;
     }
@@ -464,6 +660,9 @@ bool UsiMultiService::BuildOne(BuildJob& job) {
   // untouched.
   try {
     USI_FAILPOINT("multi.build");
+    // Compaction-specific chaos hook: a failed fold must leave the old base
+    // serving and the overlay absorbing, per the quarantine semantics.
+    if (job.compaction) USI_FAILPOINT("compact.swap");
     if (!job.recover_path.empty()) {
       // Recovery after a mapped-generation fault: a heap load of the source
       // file is much cheaper than a rebuild — but only a HEAP load is
@@ -495,22 +694,87 @@ bool UsiMultiService::BuildOne(BuildJob& job) {
   gen->service =
       std::make_unique<UsiService>(*gen->index, pool_, service_options);
 
+  bool compaction_published = false;
   {
     std::lock_guard<std::mutex> lock(entry.mu);
+    Timer publish_timer;  // Measures the lock hold appenders/pinners see.
     ++entry.completed;
     entry.building = false;
+    if (job.compaction) entry.compaction_scheduled = false;
     // Monotonic publish: a stale build can never clobber a newer
     // generation. Readers that pinned the previous generation keep it
     // alive until their batch completes; the store reclaims nothing.
     // A text unregistered mid-build skips the publish entirely (the
     // generation would be unreachable — it is reclaimed right here).
-    if (!entry.removed && gen->number > entry.published) {
+    bool publish = !entry.removed && gen->number > entry.published;
+    if (publish && job.compaction &&
+        (entry.delta == nullptr ||
+         entry.delta->epoch() != job.compact_epoch)) {
+      // Epoch gate: this base indexes a snapshot of the overlay lineage
+      // recorded at schedule time. The live overlay was dropped or replaced
+      // since (UpdateText, a poisoned append) — it extends DIFFERENT
+      // content, and merging it over this base would double-count the
+      // positions both cover. The superseding build publishes instead.
+      publish = false;
+    }
+    if (publish) {
+      if (job.compaction) {
+        // Fold: the new base covers [0, ns). Appends that landed during
+        // the build (entry lock excludes appenders NOW, so the count is
+        // exact) replay into a successor overlay warm-started over the new
+        // base; none pending means no overlay at all.
+        std::shared_ptr<DeltaOverlay> old = std::move(entry.delta);
+        const index_t ns = job.compact_boundary;
+        const index_t extra = old->TotalSizeLocked() - ns;
+        if (extra > 0) {
+          bool warm = !USI_FAILPOINT_FIRED("compact.warmstart");
+          if (warm) {
+            try {
+              std::shared_ptr<const WeightedString> base(gen, &gen->ws);
+              auto next = std::make_shared<DeltaOverlay>(
+                  std::move(base), options_.delta_context,
+                  ++entry.delta_epoch, gen->index->utility_kind());
+              next->AppendFrom(*old, ns, extra);
+              entry.delta = std::move(next);
+            } catch (...) {
+              warm = false;
+            }
+          }
+          if (!warm) {
+            // Containment fallback: keep the old overlay, move its boundary
+            // to the new base's edge. Still exact — the old window's
+            // content is a prefix slice of the new base — just wider than
+            // needed; the next successful warm start reclaims the memory.
+            old->Rebase(ns);
+            entry.delta = std::move(old);
+          }
+        } else {
+          // `old` (the last reference) releases the overlay — and with it
+          // the pinned previous generation — when it leaves scope.
+          ++entry.delta_epoch;
+        }
+        ++entry.compactions;
+        compaction_published = true;
+      } else if (entry.delta != nullptr) {
+        // A full rebuild replaces content wholesale; an overlay created
+        // against the outgoing base (appends raced the rebuild) describes
+        // text this generation supersedes.
+        entry.delta = nullptr;
+        ++entry.delta_epoch;
+      }
       entry.published = gen->number;
       entry.current = std::move(gen);
       entry.last_failed = false;
     }
+    if (compaction_published) {
+      entry.compact_publish_ns =
+          static_cast<u64>(publish_timer.ElapsedSeconds() * 1e9);
+    }
   }
   entry.cv.notify_all();
+  if (compaction_published) {
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -543,6 +807,11 @@ bool UsiMultiService::HandleBuildFailure(BuildJob& job,
     ++entry.failed_builds;
     entry.last_error = what;
     entry.building = false;
+    // A quarantined compaction re-arms the trigger: the old base keeps
+    // serving, the overlay keeps absorbing, and the next append past the
+    // threshold schedules a fresh fold. (While retrying, the flag stays
+    // set — one compaction in flight per text.)
+    if (job.compaction) entry.compaction_scheduled = false;
     if (job.generation > entry.published) entry.last_failed = true;
   }
   entry.cv.notify_all();
@@ -706,6 +975,7 @@ ServeStatus UsiMultiService::QueryBatchInto(
     for (std::size_t k = 0; k < used_groups; ++k) {
       scratch->groups[k].entry.reset();
       scratch->groups[k].gen.reset();  // Unpin: may reclaim an old generation.
+      scratch->groups[k].delta.reset();
     }
     ReleaseBatchScratch(std::move(scratch));
   };
@@ -731,7 +1001,9 @@ ServeStatus UsiMultiService::QueryBatchInto(
           cleanup();
           return ServeStatus::kUnknownText;
         }
-        std::shared_ptr<const Generation> gen = entry->PinGeneration();
+        std::shared_ptr<const Generation> gen;
+        std::shared_ptr<DeltaOverlay> delta;
+        entry->PinServing(&gen, &delta);
         if (gen == nullptr && !(degrade && entry->tier != nullptr)) {
           cleanup();
           return ServeStatus::kNotReady;
@@ -745,6 +1017,7 @@ ServeStatus UsiMultiService::QueryBatchInto(
         last_group = &scratch->groups[used_groups++];
         last_group->entry = std::move(entry);
         last_group->gen = std::move(gen);
+        last_group->delta = std::move(delta);
         last_group->indices.clear();
       }
       last_id = q.text_id;
@@ -802,10 +1075,44 @@ ServeStatus UsiMultiService::QueryBatchInto(
         std::span<const PatternSpan>(scratch->patterns.data(), n),
         std::span<QueryResult>(scratch->results.data(), n), &batch_stats,
         sub_options);
+    // Update-tier merge: the pinned base answered occurrences ending inside
+    // its own prefix; the pinned overlay answers those ending past it. One
+    // read lock spans the whole group, so every slot merges against the
+    // same append snapshot. Taken only after the entry lock was released
+    // (pinning) — the service-wide lock order.
+    bool delta_discarded = false;
+    if (group.delta != nullptr) {
+      auto read = group.delta->LockForRead();
+      if (group.delta->AppendedLocked() > 0) {
+        if (group_status == ServeStatus::kOk) {
+          const GlobalUtilityKind kind = group.gen->index->utility_kind();
+          for (std::size_t j = 0; j < n; ++j) {
+            const QueryResult cross = group.delta->QueryCrossingLocked(
+                scratch->patterns[j], scratch->delta_scratch);
+            if (cross.occurrences > 0) {
+              scratch->results[j] =
+                  MergeQueryResults(scratch->results[j], cross, kind);
+              // The table's precomputed answer covered the base only.
+              scratch->results[j].from_hash_table = false;
+            }
+          }
+        } else if (group_status == ServeStatus::kDeadlineExceeded) {
+          // The deadline tripped mid-group: which slots the base reached is
+          // known, but an "answered" slot here carries a base-only answer —
+          // NOT a full-text answer — and the caller cannot tell it from a
+          // complete one. Discard to defaults (the partial-status contract:
+          // unreached slots carry QueryResult{}).
+          for (std::size_t j = 0; j < n; ++j) {
+            scratch->results[j] = QueryResult{};
+          }
+          delta_discarded = true;
+        }
+      }
+    }
     for (std::size_t j = 0; j < n; ++j) {
       results[group.indices[j]] = scratch->results[j];
     }
-    answered += batch_stats.answered;
+    if (!delta_discarded) answered += batch_stats.answered;
     group.entry->batches.fetch_add(1, std::memory_order_relaxed);
     group.entry->queries.fetch_add(batch_stats.answered,
                                    std::memory_order_relaxed);
@@ -868,6 +1175,13 @@ ServeStatus UsiMultiService::QueryBatchInto(
           std::lock_guard<std::mutex> lock(entry.mu);
           if (entry.current == group.gen) {
             entry.current = nullptr;
+            // The overlay extends the demoted base; the recovery build
+            // re-indexes the base content alone, so pending appends are
+            // dropped with the mapping that lost them.
+            if (entry.delta != nullptr) {
+              entry.delta = nullptr;
+              ++entry.delta_epoch;
+            }
             generation = ++entry.scheduled;
             recover_path = entry.source_path;
             demoted = true;
@@ -991,6 +1305,7 @@ std::optional<UsiTextStats> UsiMultiService::StatsFor(
     stats.generation = gen->number;
     stats.last_build = gen->index->build_info();
   }
+  std::shared_ptr<DeltaOverlay> delta;
   {
     std::lock_guard<std::mutex> lock(entry->mu);
     stats.builds_scheduled = entry->scheduled;
@@ -999,7 +1314,12 @@ std::optional<UsiTextStats> UsiMultiService::StatsFor(
     stats.build_retries = entry->retries;
     stats.build_state = entry->StateLocked();
     stats.last_build_error = entry->last_error;
+    stats.appends = entry->appends;
+    stats.compactions = entry->compactions;
+    stats.compact_publish_ns = entry->compact_publish_ns;
+    delta = entry->delta;  // Snapshot OUTSIDE the entry lock (lock order).
   }
+  if (delta != nullptr) stats.delta = delta->StatsSnapshot();
   stats.batches = entry->batches.load(std::memory_order_relaxed);
   stats.queries = entry->queries.load(std::memory_order_relaxed);
   stats.hash_hits = entry->hash_hits.load(std::memory_order_relaxed);
@@ -1026,6 +1346,8 @@ UsiMultiStats UsiMultiService::stats() const {
   stats.index_unavailable =
       index_unavailable_.load(std::memory_order_relaxed);
   stats.builds_failed = builds_failed_.load(std::memory_order_relaxed);
+  stats.appends = appends_.load(std::memory_order_relaxed);
+  stats.compactions = compactions_.load(std::memory_order_relaxed);
   stats.degraded_batches =
       degraded_batches_.load(std::memory_order_relaxed);
   stats.degraded_answers =

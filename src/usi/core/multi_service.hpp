@@ -37,16 +37,35 @@
 /// never observes a half-applied rebuild (answers are entirely old-text or
 /// entirely new-text, pinned by the generation-swap concurrency test).
 ///
-/// \par Build lane
-/// Rebuild jobs run FIFO through a single *build lane*: at most one pool
-/// worker executes builds at any moment, so on a pool of W >= 2 threads
-/// query fan-out always has W-1 workers available, and on W == 1 queries
+/// \par Build lanes
+/// Rebuild jobs run FIFO through a width-configurable *build-lane
+/// executor*: up to UsiMultiServiceOptions::build_lanes pool workers
+/// (default 1) drain the queue concurrently, with a per-text claim so two
+/// lanes never build the same text at once — N texts build in parallel,
+/// each text's generations stay strictly sequential. On a pool of W >
+/// lanes threads query fan-out keeps W - lanes workers; on W == 1 queries
 /// are served inline on the caller's thread while the lone worker builds.
 /// Each job runs the staged UsiBuilder sequentially (a build inside a pool
 /// task must not ParallelFor on the same pool); the trade — per-build
 /// parallelism for serving isolation — is the "async construction" item of
 /// the ROADMAP. Without a pool (injected null), builds run synchronously
 /// inside SubmitText/UpdateText.
+///
+/// \par Update tier (appends without rebuilds)
+/// AppendText extends a text past its published generation without paying
+/// a rebuild: appends land in a per-text DeltaOverlay (update_tier.hpp), a
+/// DynamicUsi over a bounded tail window of the base, and batches pin the
+/// (generation, overlay) pair together — the base answers occurrences
+/// ending inside [0, n0), the overlay answers those ending past n0, and
+/// the two halves merge exactly (MergeQueryResults). Once the overlay
+/// crosses delta_compact_threshold appended symbols, a *compaction* build
+/// is scheduled through the build lanes: the merged content is indexed as
+/// a normal generation, and at publish the successor overlay is
+/// warm-started from the old one (only appends that landed during the
+/// build replay; the window reseeds from the new base). A compaction whose
+/// build fails quarantines per the PR 8 semantics — the old base keeps
+/// serving and the overlay keeps absorbing appends. SubmitText/UpdateText
+/// replace content wholesale and therefore drop the overlay.
 ///
 /// \par Admission control
 /// max_inflight_batches bounds the number of concurrently executing
@@ -87,6 +106,7 @@
 #include <vector>
 
 #include "usi/core/degraded_tier.hpp"
+#include "usi/core/update_tier.hpp"
 #include "usi/core/usi_index.hpp"
 #include "usi/core/usi_service.hpp"
 #include "usi/text/weighted_string.hpp"
@@ -150,6 +170,20 @@ struct UsiMultiServiceOptions {
   /// Build options applied when SubmitText is called without explicit
   /// options. threads is overridden to 1 inside the build lane.
   UsiOptions default_build = {};
+  /// Width of the build-lane executor: how many texts may build
+  /// concurrently (each text's generations stay sequential via a per-text
+  /// claim). Clamped to >= 1. Lanes occupy pool workers while building, so
+  /// keep lanes < pool width when serving latency matters.
+  unsigned build_lanes = 1;
+  /// Update tier: appended symbols a text's delta overlay may hold before a
+  /// background compaction folds it into a new base generation. 0 disables
+  /// automatic compaction (the overlay grows until the next full rebuild).
+  index_t delta_compact_threshold = 4096;
+  /// Update tier: tail-window length each overlay seeds from its base. Any
+  /// pattern with m - 1 <= delta_context takes the indexed window path; a
+  /// longer pattern falls back to a verify-and-sum scan of its O(m +
+  /// appended) crossing candidates.
+  index_t delta_context = 512;
   /// Graceful degradation: every registered text carries a DegradedTier
   /// that observes exact answers and serves bounded-error ones on the
   /// degraded paths (see MultiBatchOptions::allow_degraded). Disabling
@@ -190,6 +224,14 @@ struct UsiTextStats {
   u64 batches = 0;    ///< Batches that touched this text.
   u64 queries = 0;    ///< Queries routed to this text.
   u64 hash_hits = 0;  ///< Of those, answered from the precomputed table.
+  u64 appends = 0;       ///< AppendText calls absorbed by the update tier.
+  u64 compactions = 0;   ///< Delta-folding generation publishes.
+  /// Wall time the most recent compaction publish held the entry lock (the
+  /// pause appenders/pinners can observe); 0 before the first compaction.
+  u64 compact_publish_ns = 0;
+  /// Update-tier overlay telemetry; nullopt when the text has no live
+  /// overlay (never appended, or compacted away with nothing pending).
+  std::optional<DeltaOverlayStats> delta;
   BuildState build_state = BuildState::kUnknown;
   std::string last_build_error;  ///< Cause of the last build failure.
   /// Calibrated serving cost (ns per pattern byte); 0 until this text has
@@ -215,6 +257,8 @@ struct UsiMultiStats {
   u64 builds_completed = 0;
   u64 builds_failed = 0;      ///< Terminal build failures (quarantines).
   std::size_t texts = 0;   ///< Registered texts right now.
+  u64 appends = 0;      ///< AppendText calls absorbed service-wide.
+  u64 compactions = 0;  ///< Delta compactions published service-wide.
   u64 degraded_batches = 0;  ///< Batches that returned kDegraded.
   /// Individual queries answered by a tier rung (cache or sketch) instead
   /// of an exact index; kNone filler slots are not counted.
@@ -276,8 +320,40 @@ class UsiMultiService {
 
   /// Schedules a rebuild of an existing text with new content, reusing the
   /// build options it was submitted with. Returns the scheduled generation
-  /// number, or 0 if \p id is not registered.
+  /// number, or 0 if \p id is not registered. Replacing content supersedes
+  /// the update tier: a live delta overlay is dropped with its appends.
   u64 UpdateText(std::string_view id, WeightedString ws);
+
+  /// As above, additionally replacing the text's build options (applied to
+  /// this rebuild and every later build, compactions included).
+  u64 UpdateText(std::string_view id, WeightedString ws,
+                 const UsiOptions& build_options);
+
+  /// Replaces \p id's build options without scheduling anything: later
+  /// rebuilds and compactions use them. Returns false when \p id is not
+  /// registered.
+  bool SetBuildOptions(std::string_view id, const UsiOptions& build_options);
+
+  /// Appends \p text / \p weights (equal length) past \p id's published
+  /// content — the update tier: the appended positions are visible to
+  /// queries as soon as this returns (exact merged answers, no rebuild),
+  /// and a background compaction folds them into a new base generation
+  /// once the per-text overlay crosses delta_compact_threshold. The whole
+  /// span lands atomically: a concurrent batch sees all of it or none.
+  /// Returns kOk; kUnknownText when \p id is not registered; kNotReady
+  /// before the first generation has published (appends extend a published
+  /// base); kIndexUnavailable when the append was rejected (armed
+  /// `delta.append` failpoint, or an allocation failure — in the latter
+  /// case pending uncompacted appends are dropped with the overlay).
+  ServeStatus AppendText(std::string_view id, std::span<const Symbol> text,
+                         std::span<const double> weights);
+
+  /// As above, first replacing the text's build options (the per-text
+  /// build-option update surface of the update tier — the next compaction
+  /// or rebuild uses them).
+  ServeStatus AppendText(std::string_view id, std::span<const Symbol> text,
+                         std::span<const double> weights,
+                         const UsiOptions& build_options);
 
   /// Unregisters \p id, RCU-style: the registry entry is removed
   /// immediately (new batches answer kUnknownText), in-flight batches that
@@ -359,15 +435,20 @@ class UsiMultiService {
   /// (registry lock taken inside).
   EntryPtr EnsureEntry(std::string_view id);
 
-  /// Registers the job in the build queue and wakes the build lane (or, with
-  /// no pool, builds synchronously — including synchronous retries).
+  /// Registers the job in the build queue and wakes the build lanes (or,
+  /// with no pool, builds synchronously — including synchronous retries).
   /// \p recover_path non-empty marks a recovery job: BuildOne first tries a
   /// heap LoadFromFile of that path before falling back to a full rebuild.
+  /// \p compaction jobs fold a delta overlay: \p compact_boundary is the
+  /// snapshot length and \p compact_epoch the overlay lineage the publish
+  /// must still observe.
   void ScheduleBuild(EntryPtr entry, WeightedString ws, u64 generation,
-                     std::string recover_path = {});
+                     std::string recover_path = {}, bool compaction = false,
+                     index_t compact_boundary = 0, u64 compact_epoch = 0);
 
-  /// Body of the build-lane pool task: drains the queue FIFO, one job at a
-  /// time (delayed retry jobs wait out their backoff), then retires.
+  /// Body of one build-lane pool task: claims ready jobs whose text no
+  /// other lane holds, runs them (delayed retry jobs wait out their
+  /// backoff), and retires when the queue drains.
   void BuildLane();
 
   /// Runs one build attempt and publishes on success (monotonic swap).
@@ -380,6 +461,16 @@ class UsiMultiService {
   /// returns false while retries remain, else quarantines the text
   /// (BuildState::kFailed) and returns true.
   bool HandleBuildFailure(BuildJob& job, const std::string& what);
+
+  /// Shared body of the AppendText overloads; \p build_options may be null
+  /// (keep the text's current options).
+  ServeStatus AppendTextImpl(std::string_view id, std::span<const Symbol> text,
+                             std::span<const double> weights,
+                             const UsiOptions* build_options);
+
+  /// Shared body of the UpdateText overloads; \p build_options may be null.
+  u64 UpdateText(std::string_view id, WeightedString ws,
+                 const UsiOptions* build_options);
 
   std::unique_ptr<BatchScratch> AcquireBatchScratch();
   void ReleaseBatchScratch(std::unique_ptr<BatchScratch> scratch);
@@ -405,9 +496,10 @@ class UsiMultiService {
   mutable std::mutex registry_mu_;  ///< Guards registry_.
   std::map<std::string, EntryPtr, std::less<>> registry_;
 
-  mutable std::mutex build_mu_;  ///< Guards the four members below.
+  mutable std::mutex build_mu_;  ///< Guards the four members below (and
+                                 ///< every TextEntry's lane_claimed flag).
   std::deque<BuildJob> build_queue_;
-  bool build_lane_active_ = false;
+  unsigned build_lanes_active_ = 0;  ///< Lane tasks currently running.
   u64 builds_scheduled_ = 0;
   u64 builds_completed_ = 0;
   std::condition_variable build_cv_;  ///< Signals build completions.
@@ -426,6 +518,8 @@ class UsiMultiService {
   std::atomic<u64> deadline_expired_{0};
   std::atomic<u64> index_unavailable_{0};
   std::atomic<u64> builds_failed_{0};
+  std::atomic<u64> appends_{0};
+  std::atomic<u64> compactions_{0};
   std::atomic<u64> degraded_batches_{0};
   std::atomic<u64> degraded_answers_{0};
 };

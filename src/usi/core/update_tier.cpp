@@ -1,0 +1,136 @@
+#include "usi/core/update_tier.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "usi/util/failpoint.hpp"
+
+namespace usi {
+
+DeltaOverlay::DeltaOverlay(std::shared_ptr<const WeightedString> base,
+                           index_t context, u64 epoch, GlobalUtilityKind kind)
+    : base_(std::move(base)),
+      boundary_(base_->size()),
+      d0_(boundary_ - std::min(context, boundary_)),
+      epoch_(epoch),
+      dyn_([kind] {
+        DynamicUsiOptions options;
+        // No tracked table: crossing probes filter by end position, which a
+        // whole-window aggregate cannot answer — and skipping the table
+        // keeps the per-append cost at the tree + PSW work alone.
+        options.k = 0;
+        options.utility = kind;
+        return options;
+      }()) {
+  // Seed the window [d0, n0): same letters, same weights, so the window's
+  // prefix sums reproduce the full text's local utilities.
+  dyn_.Reserve(boundary_ - d0_);
+  for (index_t i = d0_; i < boundary_; ++i) {
+    dyn_.Append(base_->letter(i), base_->weight(i));
+  }
+}
+
+void DeltaOverlay::Append(std::span<const Symbol> text,
+                          std::span<const double> weights) {
+  USI_CHECK(text.size() == weights.size());
+  // Chaos hook, armed BEFORE any mutation: a fired `delta.append` rejects
+  // the whole span with the overlay untouched (strong guarantee).
+  USI_FAILPOINT("delta.append");
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  try {
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      dyn_.Append(text[i], weights[i]);
+    }
+  } catch (...) {
+    // A mid-span failure leaves the tree/PSW half-extended; there is no
+    // rollback, so the overlay marks itself unservable and rethrows — the
+    // service drops it (base answers stay exact; the overlay's pending
+    // appends are lost with it, which the caller sees as the error).
+    poisoned_ = true;
+    throw;
+  }
+}
+
+QueryResult DeltaOverlay::QueryCrossingLocked(std::span<const Symbol> pattern,
+                                              Scratch& scratch) const {
+  QueryResult out;
+  const index_t appended = AppendedLocked();
+  if (appended == 0 || pattern.empty()) return out;
+  const index_t m = static_cast<index_t>(pattern.size());
+  const index_t total = boundary_ + appended;
+  if (m > total) return out;
+  const GlobalUtilityKind kind = dyn_.utility_kind();
+  UtilityAccumulator acc;
+  if (d0_ == 0 || m <= boundary_ - d0_ + 1) {
+    // Every crossing occurrence lies inside the window: collect, keep the
+    // ones ending past the boundary, aggregate through the window PSW.
+    dyn_.CollectOccurrencesInto(pattern, scratch.occ, scratch.stack);
+    for (const index_t j : scratch.occ) {
+      if (d0_ + j + m > boundary_) acc.Add(dyn_.LocalUtility(j, m), kind);
+    }
+  } else {
+    // Pattern longer than the window: verify each candidate start directly
+    // against base + appended content. Candidates are the O(m + appended)
+    // starts whose occurrence would end past the boundary.
+    const index_t first = boundary_ >= m ? boundary_ - m + 1 : 0;
+    for (index_t i = first; i + m <= total; ++i) {
+      bool match = true;
+      for (index_t k = 0; k < m && match; ++k) {
+        match = SymbolAtLocked(i + k) == pattern[k];
+      }
+      if (!match) continue;
+      double local = 0;
+      for (index_t k = 0; k < m; ++k) local += WeightAtLocked(i + k);
+      acc.Add(local, kind);
+    }
+  }
+  if (acc.count == 0) return out;
+  out.utility = acc.Finalize(kind);
+  out.occurrences = acc.count;
+  return out;
+}
+
+WeightedString DeltaOverlay::SnapshotMerged() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const index_t total = TotalSizeLocked();
+  Text text;
+  std::vector<double> weights;
+  text.reserve(total);
+  weights.reserve(total);
+  text.insert(text.end(), base_->text().begin(),
+              base_->text().begin() + d0_);
+  weights.insert(weights.end(), base_->weights().begin(),
+                 base_->weights().begin() + d0_);
+  text.insert(text.end(), dyn_.text().begin(), dyn_.text().end());
+  weights.insert(weights.end(), dyn_.weights().begin(), dyn_.weights().end());
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+void DeltaOverlay::AppendFrom(const DeltaOverlay& from, index_t from_pos,
+                              index_t count) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  for (index_t i = 0; i < count; ++i) {
+    dyn_.Append(from.SymbolAtLocked(from_pos + i),
+                from.WeightAtLocked(from_pos + i));
+  }
+}
+
+void DeltaOverlay::Rebase(index_t new_boundary) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  USI_CHECK(new_boundary >= boundary_ && new_boundary <= TotalSizeLocked());
+  boundary_ = new_boundary;
+}
+
+DeltaOverlayStats DeltaOverlay::StatsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  DeltaOverlayStats stats;
+  stats.boundary = boundary_;
+  stats.appended = AppendedLocked();
+  stats.window = boundary_ - d0_;
+  stats.staleness = dyn_.StalenessBound();
+  stats.bytes = dyn_.SizeInBytes();
+  stats.epoch = epoch_;
+  return stats;
+}
+
+}  // namespace usi

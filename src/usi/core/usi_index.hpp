@@ -263,6 +263,10 @@ class UsiIndex : public QueryEngine {
   /// Construction telemetry.
   const UsiBuildInfo& build_info() const { return build_info_; }
 
+  /// The aggregation kind answers are finalized with. The update tier's
+  /// delta merge must fold base and delta partials with the same kind.
+  GlobalUtilityKind utility_kind() const { return kind_; }
+
   /// The learned fallback model. empty() when the build disabled it
   /// (learned_epsilon == 0) or the opened image carries no learned section —
   /// misses then go through plain binary search.

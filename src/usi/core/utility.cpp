@@ -53,6 +53,35 @@ double UtilityAccumulator::Finalize(GlobalUtilityKind kind) const {
   return value;
 }
 
+QueryResult MergeQueryResults(const QueryResult& base, const QueryResult& delta,
+                              GlobalUtilityKind kind) {
+  if (delta.occurrences == 0) return base;
+  if (base.occurrences == 0) {
+    QueryResult out = delta;
+    return out;
+  }
+  QueryResult out = base;
+  out.occurrences = base.occurrences + delta.occurrences;
+  switch (kind) {
+    case GlobalUtilityKind::kSum:
+      out.utility = base.utility + delta.utility;
+      break;
+    case GlobalUtilityKind::kMin:
+      out.utility = std::min(base.utility, delta.utility);
+      break;
+    case GlobalUtilityKind::kMax:
+      out.utility = std::max(base.utility, delta.utility);
+      break;
+    case GlobalUtilityKind::kAvg:
+      out.utility =
+          (base.utility * static_cast<double>(base.occurrences) +
+           delta.utility * static_cast<double>(delta.occurrences)) /
+          static_cast<double>(out.occurrences);
+      break;
+  }
+  return out;
+}
+
 SaInterval ExhaustiveQueryEngine::Locate(
     std::span<const Symbol> pattern) const {
   USI_CHECK(wired());

@@ -95,6 +95,15 @@ class PrefixSumWeights {
     size_ = psw_.size();
   }
 
+  /// Pre-grows the owned array so Append up to \p n positions skips its
+  /// geometric reallocation steps. Views are immutable; reserving on one is
+  /// a programming error.
+  void Reserve(index_t n) {
+    USI_CHECK(!view_);
+    psw_.reserve(n);
+    data_ = psw_.data();
+  }
+
   /// Number of covered positions.
   index_t size() const { return static_cast<index_t>(size_); }
 
@@ -125,6 +134,17 @@ struct UtilityAccumulator {
   void Add(double local, GlobalUtilityKind kind);
   double Finalize(GlobalUtilityKind kind) const;
 };
+
+/// Merges two finalized answers over DISJOINT occurrence sets of the same
+/// pattern (the update tier's base + delta split: base counts occurrences
+/// ending inside the pinned generation, the delta counts those ending past
+/// it) into the answer over their union. Exact for kSum/kMin/kMax — the
+/// aggregates compose losslessly; kAvg reconstructs each side's sum from
+/// its average, so the merged value can differ from a monolithic
+/// computation by one floating-point rounding (occurrence counts are always
+/// exact). Either side may be empty (count 0).
+QueryResult MergeQueryResults(const QueryResult& base, const QueryResult& delta,
+                              GlobalUtilityKind kind);
 
 /// The prefix-sums query path shared by USI's fallback and all baselines:
 /// locate the pattern in the suffix array (O(m log n)), then aggregate the

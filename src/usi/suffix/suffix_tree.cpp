@@ -160,21 +160,31 @@ index_t SuffixTree::CountOccurrences(std::span<const Symbol> pattern) const {
 std::vector<index_t> SuffixTree::CollectOccurrences(
     std::span<const Symbol> pattern) const {
   std::vector<index_t> occurrences;
+  std::vector<index_t> stack;
+  CollectOccurrencesInto(pattern, occurrences, stack);
+  return occurrences;
+}
+
+void SuffixTree::CollectOccurrencesInto(std::span<const Symbol> pattern,
+                                        std::vector<index_t>& out,
+                                        std::vector<index_t>& stack) const {
+  out.clear();
+  stack.clear();
   const index_t n = static_cast<index_t>(text_.size());
   if (pattern.empty()) {
-    occurrences.resize(n);
-    for (index_t j = 0; j < n; ++j) occurrences[j] = j;
-    return occurrences;
+    out.resize(n);
+    for (index_t j = 0; j < n; ++j) out[j] = j;
+    return;
   }
   const index_t locus = FindLocus(pattern);
   if (locus != kNoNode) {
-    occurrences.reserve(nodes_[locus].leaves);
-    std::vector<index_t> stack = {locus};
+    out.reserve(nodes_[locus].leaves);
+    stack.push_back(locus);
     while (!stack.empty()) {
       const index_t node = stack.back();
       stack.pop_back();
       if (nodes_[node].suffix_start != kInvalidIndex) {
-        occurrences.push_back(nodes_[node].suffix_start);
+        out.push_back(nodes_[node].suffix_start);
       }
       for (const auto& [symbol, child] : nodes_[node].children) {
         (void)symbol;
@@ -192,9 +202,8 @@ std::vector<index_t> SuffixTree::CollectOccurrences(
         break;
       }
     }
-    if (match) occurrences.push_back(j);
+    if (match) out.push_back(j);
   }
-  return occurrences;
 }
 
 std::vector<SuffixTree::NodeSummary> SuffixTree::CollectNodeSummaries() const {

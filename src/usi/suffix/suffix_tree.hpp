@@ -51,6 +51,14 @@ class SuffixTree {
   /// O(m + occ) once the locus is found.
   std::vector<index_t> CollectOccurrences(std::span<const Symbol> pattern) const;
 
+  /// As CollectOccurrences, writing into \p out (cleared first) and using
+  /// \p stack as traversal scratch — zero heap allocations once both have
+  /// warmed to the workload's occurrence counts. The serving tier's
+  /// delta-overlay probe runs on this form.
+  void CollectOccurrencesInto(std::span<const Symbol> pattern,
+                              std::vector<index_t>& out,
+                              std::vector<index_t>& stack) const;
+
   /// Whether \p pattern occurs at least once.
   bool Contains(std::span<const Symbol> pattern) const {
     return CountOccurrences(pattern) > 0;

@@ -15,6 +15,7 @@
 
 #include "test_helpers.hpp"
 #include "usi/core/degraded_tier.hpp"
+#include "usi/core/multi_service.hpp"
 #include "usi/core/usi_index.hpp"
 #include "usi/core/usi_service.hpp"
 
@@ -180,6 +181,96 @@ TEST(QueryAlloc, DegradedTierRecordAndLookupAllocateNothing) {
   const std::size_t after = AllocationsNow();
   EXPECT_EQ(after, before)
       << "steady-state tier traffic must not touch the heap";
+}
+
+TEST(QueryAlloc, SteadyStateServeWithDeltaAllocatesNothing) {
+  // The update tier extends the contract: a batch served through a pinned
+  // (generation, delta overlay) pair — base answers merged with crossing
+  // probes — must also be heap-silent once the routing groups, the
+  // UsiService scratch and the overlay's crossing buffers are warm.
+  UsiMultiServiceOptions options;
+  options.threads = 1;  // Inline serving: the measured path is this thread.
+  options.delta_compact_threshold = 0;  // Keep the overlay live throughout.
+  UsiMultiService service(options);
+  const WeightedString ws = testing::RandomWeighted(2'000, 4, 0xDE17A);
+  service.SubmitText("t", ws);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  Rng rng(0xDE17B);
+  const std::vector<double> one_weight = {1.0};
+  Text one_symbol(1, Symbol{0});
+  for (int i = 0; i < 200; ++i) {
+    one_symbol[0] = static_cast<Symbol>(rng.UniformBelow(4));
+    ASSERT_EQ(service.AppendText("t", one_symbol, one_weight),
+              ServeStatus::kOk);
+  }
+  ASSERT_TRUE(service.StatsFor("t")->delta.has_value());
+
+  // Mixed batch: base-only patterns, tail patterns whose occurrences cross
+  // the boundary (the merge path), and absent patterns.
+  std::vector<Text> patterns;
+  for (int i = 0; i < 200; ++i) {
+    const index_t start = static_cast<index_t>(rng.UniformBelow(ws.size()));
+    const index_t max_len = std::min<index_t>(12, ws.size() - start);
+    patterns.push_back(ws.Fragment(
+        start, static_cast<index_t>(rng.UniformInRange(1, max_len))));
+  }
+  for (int i = 0; i < 100; ++i) {
+    patterns.push_back(Text(static_cast<std::size_t>(rng.UniformInRange(1, 4)),
+                            static_cast<Symbol>(rng.UniformBelow(4))));
+  }
+  for (int i = 0; i < 50; ++i) {
+    patterns.push_back(
+        Text(static_cast<std::size_t>(rng.UniformInRange(1, 12)),
+             static_cast<Symbol>(250)));  // Never occurs.
+  }
+  std::vector<MultiQuery> queries;
+  for (const Text& p : patterns) queries.push_back({"t", p});
+  std::vector<QueryResult> results(queries.size());
+
+  service.QueryBatchInto(queries, results);  // Warm-up.
+  service.QueryBatchInto(queries, results);
+
+  const std::size_t before = AllocationsNow();
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_EQ(service.QueryBatchInto(queries, results), ServeStatus::kOk);
+  }
+  const std::size_t after = AllocationsNow();
+  EXPECT_EQ(after, before)
+      << "steady-state serve-with-delta must not touch the heap";
+}
+
+TEST(QueryAlloc, AppendPathAllocationsStayBounded) {
+  // AppendText cannot be allocation-free (the overlay's suffix tree grows
+  // nodes as structure demands), but after warm-up its footprint must stay
+  // a small bounded number of allocations per appended symbol — no
+  // per-append rebuild of anything O(window) or O(text).
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  options.delta_compact_threshold = 0;  // No compactions mid-measurement.
+  UsiMultiService service(options);
+  service.SubmitText("t", testing::RandomWeighted(1'000, 3, 0xAB3D));
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  Rng rng(0xAB3E);
+  const std::vector<double> one_weight = {1.0};
+  Text one_symbol(1, Symbol{0});
+  for (int i = 0; i < 256; ++i) {  // Warm-up: overlay exists and has grown.
+    one_symbol[0] = static_cast<Symbol>(rng.UniformBelow(3));
+    ASSERT_EQ(service.AppendText("t", one_symbol, one_weight),
+              ServeStatus::kOk);
+  }
+
+  constexpr std::size_t kMeasured = 64;
+  const std::size_t before = AllocationsNow();
+  for (std::size_t i = 0; i < kMeasured; ++i) {
+    one_symbol[0] = static_cast<Symbol>(rng.UniformBelow(3));
+    ASSERT_EQ(service.AppendText("t", one_symbol, one_weight),
+              ServeStatus::kOk);
+  }
+  const std::size_t after = AllocationsNow();
+  EXPECT_LE(after - before, kMeasured * 16)
+      << "append path regressed to > 16 allocations per symbol";
 }
 
 TEST(QueryAlloc, SteadyStateQueryAllWindowsAllocatesNothing) {

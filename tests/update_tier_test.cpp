@@ -1,0 +1,719 @@
+// Update tier: AppendText must make appended content visible to queries
+// immediately (exact merged base+delta answers, no rebuild), background
+// compaction must fold the delta into a new generation without readers ever
+// seeing a torn (base, delta) pair, and a failed compaction must quarantine
+// per the reliability-layer semantics while the old base keeps serving and
+// the delta keeps absorbing. The randomized-schedule test is the acceptance
+// pin: merged answers equal a full rebuild after every append, at pool
+// widths 1/2/4/8. Runs under ThreadSanitizer ("concurrency" label) and in
+// the chaos job ("chaos" label; failpoint tests skip when compiled out).
+
+#include <algorithm>
+#include <atomic>
+#include <latch>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "usi/core/dynamic_usi.hpp"
+#include "usi/core/multi_service.hpp"
+#include "usi/core/usi_index.hpp"
+#include "usi/parallel/thread_pool.hpp"
+#include "usi/util/failpoint.hpp"
+
+namespace usi {
+namespace {
+
+/// Random weighted string with INTEGER weights in [1, 5]: integer local
+/// sums make kSum merges exactly associative in double (any grouping of the
+/// base/delta split produces the bit-identical total), so the differential
+/// tests can demand operator== instead of a tolerance.
+WeightedString RandomIntegerWeighted(index_t n, u32 sigma, u64 seed) {
+  Rng rng(seed);
+  Text text(n);
+  for (auto& c : text) c = static_cast<Symbol>(rng.UniformBelow(sigma));
+  std::vector<double> weights(n);
+  for (auto& w : weights) {
+    w = static_cast<double>(rng.UniformInRange(1, 5));
+  }
+  return WeightedString(std::move(text), std::move(weights));
+}
+
+/// Every test disarms every failpoint on the way out.
+class UpdateTierTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(UpdateTierTest, AppendIsVisibleImmediatelyAndExact) {
+  const WeightedString seed = RandomIntegerWeighted(200, 3, 0x71);
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  UsiMultiService service(options);
+  service.SubmitText("t", seed);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  // Mirror of the full text the service should now be equivalent to.
+  Text full = seed.text();
+  std::vector<double> weights = seed.weights();
+  Rng rng(0x72);
+  for (int step = 0; step < 40; ++step) {
+    const std::size_t len = rng.UniformInRange(1, 4);
+    Text span(len);
+    std::vector<double> w(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      span[i] = static_cast<Symbol>(rng.UniformBelow(3));
+      w[i] = static_cast<double>(rng.UniformInRange(1, 5));
+    }
+    ASSERT_EQ(service.AppendText("t", span, w), ServeStatus::kOk);
+    full.insert(full.end(), span.begin(), span.end());
+    weights.insert(weights.end(), w.begin(), w.end());
+
+    // No WaitForBuilds: visibility must not depend on any build landing.
+    const WeightedString current(full, weights);
+    for (int trial = 0; trial < 6; ++trial) {
+      const index_t m = static_cast<index_t>(rng.UniformInRange(1, 6));
+      // Bias half the probes to the tail so boundary-crossing occurrences
+      // are exercised on every step.
+      const index_t start =
+          trial % 2 == 0
+              ? static_cast<index_t>(rng.UniformBelow(current.size() - m))
+              : current.size() - m -
+                    static_cast<index_t>(
+                        rng.UniformBelow(std::min<index_t>(8, current.size() - m) + 1));
+      const Text pattern = current.Fragment(start, m);
+      QueryResult got;
+      ASSERT_EQ(service.Query("t", pattern, got), ServeStatus::kOk);
+      const QueryResult want =
+          testing::BruteUtility(current, pattern, GlobalUtilityKind::kSum);
+      ASSERT_EQ(got.occurrences, want.occurrences)
+          << "step " << step << " start " << start << " len " << m;
+      ASSERT_EQ(got.utility, want.utility)
+          << "step " << step << " start " << start << " len " << m;
+    }
+  }
+  auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appends, 40u);
+  ASSERT_TRUE(stats->delta.has_value());
+  EXPECT_GT(stats->delta->appended, 0u);
+  EXPECT_EQ(stats->delta->boundary + stats->delta->appended,
+            static_cast<index_t>(full.size()));
+}
+
+TEST_F(UpdateTierTest, AppendEdgeCases) {
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  const Text span = testing::T("ab");
+  const std::vector<double> w = {1.0, 1.0};
+  {
+    UsiMultiService service(options);
+    EXPECT_EQ(service.AppendText("nope", span, w), ServeStatus::kUnknownText);
+  }
+  // Before the first generation publishes there is no base to append past:
+  // park the only worker so the build cannot start.
+  ThreadPool pool(1);
+  std::latch started(1);
+  std::latch release(1);
+  pool.Run([&] {
+    started.count_down();
+    release.wait();
+  });
+  started.wait();
+  UsiMultiService service(&pool);
+  service.SubmitText("t", RandomIntegerWeighted(100, 2, 0x73));
+  EXPECT_EQ(service.AppendText("t", span, w), ServeStatus::kNotReady);
+  release.count_down();
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+  EXPECT_EQ(service.AppendText("t", span, w), ServeStatus::kOk);
+}
+
+// The acceptance pin: a randomized append schedule of 10k symbols, verified
+// after EVERY append against an exact oracle (DynamicUsi over the same
+// content — itself differentially pinned to brute force and the static
+// index in dynamic_usi_test), plus periodic full UsiIndex rebuilds compared
+// with operator== — byte-equality, possible because integer kSum utilities
+// are exact in double whatever the base/delta split. Repeated at pool
+// widths 1, 2, 4 and 8; compactions run concurrently with the schedule
+// (low threshold), so warm starts with appends-during-build happen
+// organically.
+TEST_F(UpdateTierTest, RandomizedScheduleMatchesFullRebuildAtEveryStep) {
+  constexpr index_t kAppendTotal = 10000;
+  constexpr index_t kCheckpointEvery = 2500;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const WeightedString seed = RandomIntegerWeighted(512, 3, 0x80 + threads);
+    UsiOptions build;
+    build.k = 64;
+    UsiMultiServiceOptions options;
+    options.threads = threads;
+    options.delta_compact_threshold = 1500;
+    options.default_build = build;
+    UsiMultiService service(options);
+    service.SubmitText("t", seed);
+    ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+    DynamicUsiOptions oracle_options;
+    oracle_options.k = 0;  // Pure tree + PSW: exact, no table to maintain.
+    DynamicUsi oracle(seed, oracle_options);
+    Text full = seed.text();
+    std::vector<double> weights = seed.weights();
+
+    Rng rng(0x90 + threads);
+    index_t appended = 0;
+    index_t next_checkpoint = kCheckpointEvery;
+    while (appended < kAppendTotal) {
+      const std::size_t len =
+          std::min<std::size_t>(rng.UniformInRange(1, 8),
+                                static_cast<std::size_t>(kAppendTotal - appended));
+      Text span(len);
+      std::vector<double> w(len);
+      for (std::size_t i = 0; i < len; ++i) {
+        span[i] = static_cast<Symbol>(rng.UniformBelow(3));
+        w[i] = static_cast<double>(rng.UniformInRange(1, 5));
+      }
+      ASSERT_EQ(service.AppendText("t", span, w), ServeStatus::kOk);
+      for (std::size_t i = 0; i < len; ++i) oracle.Append(span[i], w[i]);
+      full.insert(full.end(), span.begin(), span.end());
+      weights.insert(weights.end(), w.begin(), w.end());
+      appended += static_cast<index_t>(len);
+
+      // Two probes per append: one anywhere, one pinned to the tail (the
+      // crossing region a stale base would get wrong).
+      const index_t total = static_cast<index_t>(full.size());
+      Text patterns[2];
+      {
+        const index_t m = static_cast<index_t>(rng.UniformInRange(2, 10));
+        const index_t start = static_cast<index_t>(rng.UniformBelow(total - m));
+        patterns[0] = Text(full.begin() + start, full.begin() + start + m);
+        const index_t m2 = static_cast<index_t>(rng.UniformInRange(2, 10));
+        const index_t tail_start =
+            total - m2 - static_cast<index_t>(rng.UniformBelow(6));
+        patterns[1] = Text(full.begin() + tail_start,
+                           full.begin() + tail_start + m2);
+      }
+      const MultiQuery queries[2] = {{"t", patterns[0]}, {"t", patterns[1]}};
+      QueryResult got[2];
+      ASSERT_EQ(service.QueryBatchInto(queries, got), ServeStatus::kOk);
+      for (int p = 0; p < 2; ++p) {
+        const QueryResult want = oracle.Query(patterns[p]);
+        ASSERT_EQ(got[p].occurrences, want.occurrences)
+            << "threads " << threads << " appended " << appended;
+        ASSERT_EQ(got[p].utility, want.utility)
+            << "threads " << threads << " appended " << appended;
+      }
+
+      if (appended >= next_checkpoint || appended == kAppendTotal) {
+        next_checkpoint += kCheckpointEvery;
+        // Full-rebuild checkpoint: the merged tier must be indistinguishable
+        // from an index built over the complete current content.
+        const WeightedString current(full, weights);
+        const UsiIndex rebuilt(current, build);
+        for (int trial = 0; trial < 30; ++trial) {
+          const index_t m = static_cast<index_t>(rng.UniformInRange(1, 10));
+          const index_t start =
+              static_cast<index_t>(rng.UniformBelow(total - m));
+          const Text pattern = current.Fragment(start, m);
+          QueryResult via_service;
+          ASSERT_EQ(service.Query("t", pattern, via_service),
+                    ServeStatus::kOk);
+          const QueryResult via_rebuild = rebuilt.Query(pattern);
+          ASSERT_EQ(via_service.occurrences, via_rebuild.occurrences);
+          ASSERT_EQ(via_service.utility, via_rebuild.utility)
+              << "threads " << threads << " checkpoint at " << appended;
+        }
+      }
+    }
+    service.WaitForBuilds();
+    const auto stats = service.StatsFor("t");
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_GT(stats->compactions, 0u)
+        << "the schedule must actually exercise compaction";
+    EXPECT_EQ(service.stats().appends, stats->appends);
+  }
+}
+
+TEST_F(UpdateTierTest, LongPatternsBeyondTheWindowUseTheScanPath) {
+  // delta_context shorter than the probed patterns forces the
+  // verify-and-sum fallback that reads base text below the window.
+  const WeightedString seed = RandomIntegerWeighted(150, 2, 0xA1);
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  options.delta_context = 4;
+  options.delta_compact_threshold = 0;  // Never compact: keep the delta live.
+  UsiMultiService service(options);
+  service.SubmitText("t", seed);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  Text full = seed.text();
+  std::vector<double> weights = seed.weights();
+  Rng rng(0xA2);
+  for (int step = 0; step < 30; ++step) {
+    const Symbol c = static_cast<Symbol>(rng.UniformBelow(2));
+    const double w = static_cast<double>(rng.UniformInRange(1, 5));
+    ASSERT_EQ(service.AppendText("t", Text(1, c), std::vector<double>{w}),
+              ServeStatus::kOk);
+    full.push_back(c);
+    weights.push_back(w);
+    const WeightedString current(full, weights);
+    for (index_t m = 6; m <= 12; ++m) {
+      // Straddle the boundary: binary alphabet makes long repeats common
+      // enough that these actually occur.
+      const index_t start = current.size() - m - 2;
+      const Text pattern = current.Fragment(start, m);
+      QueryResult got;
+      ASSERT_EQ(service.Query("t", pattern, got), ServeStatus::kOk);
+      const QueryResult want =
+          testing::BruteUtility(current, pattern, GlobalUtilityKind::kSum);
+      ASSERT_EQ(got.occurrences, want.occurrences) << "step " << step;
+      ASSERT_EQ(got.utility, want.utility) << "step " << step;
+    }
+  }
+}
+
+TEST_F(UpdateTierTest, CompactionFoldsTheDeltaAndStaysExact) {
+  const WeightedString seed = RandomIntegerWeighted(256, 3, 0xB1);
+  UsiMultiServiceOptions options;
+  options.threads = 2;
+  options.delta_compact_threshold = 64;
+  UsiMultiService service(options);
+  service.SubmitText("t", seed);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  Text full = seed.text();
+  std::vector<double> weights = seed.weights();
+  Rng rng(0xB2);
+  for (int step = 0; step < 200; ++step) {
+    const Symbol c = static_cast<Symbol>(rng.UniformBelow(3));
+    const double w = static_cast<double>(rng.UniformInRange(1, 5));
+    ASSERT_EQ(service.AppendText("t", Text(1, c), std::vector<double>{w}),
+              ServeStatus::kOk);
+    full.push_back(c);
+    weights.push_back(w);
+  }
+  service.WaitForBuilds();
+
+  auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->compactions, 2u);
+  EXPECT_GT(stats->generation, 1u) << "compactions publish real generations";
+  // Appends that raced the last compaction survive in the warm-started
+  // successor overlay; whatever remains is sub-threshold and accounts for
+  // exactly the unfolded tail (overlay gone entirely when nothing raced).
+  if (stats->delta.has_value()) {
+    EXPECT_LT(stats->delta->appended, options.delta_compact_threshold);
+    EXPECT_EQ(stats->delta->boundary + stats->delta->appended,
+              static_cast<index_t>(full.size()));
+  }
+  // Either way the tier matches a from-scratch index over the full content.
+  const WeightedString current(full, weights);
+  const UsiIndex rebuilt(current, UsiOptions{});
+  for (int trial = 0; trial < 100; ++trial) {
+    const index_t m = static_cast<index_t>(rng.UniformInRange(1, 8));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(current.size() - m));
+    const Text pattern = current.Fragment(start, m);
+    QueryResult got;
+    ASSERT_EQ(service.Query("t", pattern, got), ServeStatus::kOk);
+    const QueryResult want = rebuilt.Query(pattern);
+    ASSERT_EQ(got.occurrences, want.occurrences);
+    ASSERT_EQ(got.utility, want.utility);
+  }
+}
+
+TEST_F(UpdateTierTest, CompactionUnderLoadNeverShowsATornView) {
+  // Readers hammer a batch of {"ab", "ba", "aa"} while a writer appends
+  // whole "ab" pairs and compactions cycle underneath (tiny threshold).
+  // Invariants every admitted batch must satisfy on (ab)^p content:
+  //   occ("ab") == occ("ba") + 1   (torn half-pair or mixed snapshot breaks
+  //                                 this: text ending in a lone 'a' gives
+  //                                 occ("ab") == occ("ba"))
+  //   occ("aa") == 0
+  //   utility("ab") == 2 * occ("ab")  (uniform weight 1, kSum)
+  //   occ("ab") non-decreasing per reader (appends only grow the text;
+  //                                 compaction must not lose or replay any)
+  constexpr index_t kBasePairs = 64;
+  constexpr int kWriterPairs = 400;
+  Text base;
+  for (index_t i = 0; i < kBasePairs; ++i) {
+    base.push_back(static_cast<Symbol>('a'));
+    base.push_back(static_cast<Symbol>('b'));
+  }
+  UsiMultiServiceOptions options;
+  options.threads = 4;
+  options.delta_compact_threshold = 64;
+  UsiMultiService service(options);
+  service.SubmitText("t", WeightedString::WithUniformWeights(base, 1.0));
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  const Text pat_ab = testing::T("ab");
+  const Text pat_ba = testing::T("ba");
+  const Text pat_aa = testing::T("aa");
+  std::atomic<u64> violations{0};
+  std::atomic<u64> failed{0};
+  std::atomic<bool> writer_done{false};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      index_t last_ab = 0;
+      while (!writer_done.load(std::memory_order_acquire)) {
+        const MultiQuery queries[3] = {
+            {"t", pat_ab}, {"t", pat_ba}, {"t", pat_aa}};
+        QueryResult got[3];
+        if (service.QueryBatchInto(queries, got) != ServeStatus::kOk) {
+          failed.fetch_add(1);
+          continue;
+        }
+        const index_t ab = got[0].occurrences;
+        if (got[1].occurrences + 1 != ab) violations.fetch_add(1);
+        if (got[2].occurrences != 0) violations.fetch_add(1);
+        if (got[0].utility != 2.0 * static_cast<double>(ab)) {
+          violations.fetch_add(1);
+        }
+        if (ab < last_ab || ab < kBasePairs ||
+            ab > kBasePairs + kWriterPairs) {
+          violations.fetch_add(1);
+        }
+        last_ab = ab;
+      }
+    });
+  }
+  std::thread writer([&] {
+    const Text pair = testing::T("ab");
+    const std::vector<double> w = {1.0, 1.0};
+    for (int i = 0; i < kWriterPairs; ++i) {
+      if (service.AppendText("t", pair, w) != ServeStatus::kOk) {
+        failed.fetch_add(1);
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  service.WaitForBuilds();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(failed.load(), 0u);
+  QueryResult final_ab;
+  ASSERT_EQ(service.Query("t", pat_ab, final_ab), ServeStatus::kOk);
+  EXPECT_EQ(final_ab.occurrences, kBasePairs + kWriterPairs);
+  const auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appends, static_cast<u64>(kWriterPairs));
+  EXPECT_GE(stats->compactions, 1u);
+}
+
+TEST_F(UpdateTierTest, FullContentReplacementDropsTheDelta) {
+  const WeightedString v1 = RandomIntegerWeighted(200, 3, 0xC1);
+  const WeightedString v2 = RandomIntegerWeighted(180, 3, 0xC2);
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  options.delta_compact_threshold = 0;
+  UsiMultiService service(options);
+  service.SubmitText("t", v1);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  const Text span = testing::T("xyz");
+  const std::vector<double> w = {2.0, 2.0, 2.0};
+  ASSERT_EQ(service.AppendText("t", span, w), ServeStatus::kOk);
+  ASSERT_TRUE(service.StatsFor("t")->delta.has_value());
+
+  service.UpdateText("t", v2);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+  EXPECT_FALSE(service.StatsFor("t")->delta.has_value());
+  // Answers describe v2 alone — the appended "xyz" is gone with v1.
+  QueryResult got;
+  ASSERT_EQ(service.Query("t", span, got), ServeStatus::kOk);
+  EXPECT_EQ(got.occurrences, 0u);
+  const Text probe = v2.Fragment(10, 4);
+  ASSERT_EQ(service.Query("t", probe, got), ServeStatus::kOk);
+  const QueryResult want =
+      testing::BruteUtility(v2, probe, GlobalUtilityKind::kSum);
+  EXPECT_EQ(got.occurrences, want.occurrences);
+  EXPECT_EQ(got.utility, want.utility);
+}
+
+TEST_F(UpdateTierTest, PerTextBuildOptionsFollowAppendAndUpdate) {
+  const WeightedString seed = RandomIntegerWeighted(400, 3, 0xD1);
+  UsiOptions initial;
+  initial.k = 64;
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  options.delta_compact_threshold = 16;
+  UsiMultiService service(options);
+  service.SubmitText("t", seed, initial);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+  EXPECT_EQ(service.StatsFor("t")->last_build.k, 64u);
+
+  // AppendText's options overload re-options the text: the compaction this
+  // append run triggers must build with the new K.
+  UsiOptions appended_options;
+  appended_options.k = 24;
+  const Text one = testing::T("a");
+  const std::vector<double> w = {1.0};
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(service.AppendText("t", one, w, appended_options),
+              ServeStatus::kOk);
+  }
+  service.WaitForBuilds();
+  auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_GE(stats->compactions, 1u);
+  EXPECT_EQ(stats->last_build.k, 24u);
+
+  // SetBuildOptions alone re-options without scheduling; the next plain
+  // UpdateText builds with it.
+  UsiOptions set_options;
+  set_options.k = 12;
+  EXPECT_TRUE(service.SetBuildOptions("t", set_options));
+  EXPECT_FALSE(service.SetBuildOptions("nope", set_options));
+  service.UpdateText("t", RandomIntegerWeighted(300, 3, 0xD2));
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+  EXPECT_EQ(service.StatsFor("t")->last_build.k, 12u);
+
+  // UpdateText's options overload wins over the stored ones.
+  UsiOptions update_options;
+  update_options.k = 40;
+  service.UpdateText("t", RandomIntegerWeighted(300, 3, 0xD3),
+                     update_options);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+  EXPECT_EQ(service.StatsFor("t")->last_build.k, 40u);
+}
+
+TEST_F(UpdateTierTest, MultiLaneExecutorBuildsManyTextsCorrectly) {
+  constexpr int kTexts = 6;
+  UsiOptions build;
+  build.k = 32;
+  UsiMultiServiceOptions options;
+  options.threads = 4;
+  options.build_lanes = 3;
+  options.default_build = build;
+  UsiMultiService service(options);
+
+  std::vector<WeightedString> texts;
+  for (int i = 0; i < kTexts; ++i) {
+    texts.push_back(RandomIntegerWeighted(400 + 50 * i, 3, 0xE0 + i));
+    service.SubmitText("t" + std::to_string(i), texts.back());
+  }
+  service.WaitForBuilds();
+  EXPECT_EQ(service.stats().builds_completed, static_cast<u64>(kTexts));
+
+  // Every text serves the answers its own direct index gives — lanes never
+  // cross-publish.
+  Rng rng(0xEE);
+  for (int i = 0; i < kTexts; ++i) {
+    const UsiIndex direct(texts[i], build);
+    for (int trial = 0; trial < 30; ++trial) {
+      const index_t m = static_cast<index_t>(rng.UniformInRange(1, 6));
+      const index_t start =
+          static_cast<index_t>(rng.UniformBelow(texts[i].size() - m));
+      const Text pattern = texts[i].Fragment(start, m);
+      QueryResult got;
+      ASSERT_EQ(service.Query("t" + std::to_string(i), pattern, got),
+                ServeStatus::kOk);
+      const QueryResult want = direct.Query(pattern);
+      ASSERT_EQ(got.occurrences, want.occurrences) << "text " << i;
+      ASSERT_EQ(got.utility, want.utility) << "text " << i;
+    }
+  }
+
+  // Update every text at once: the wide executor drains them all and each
+  // text's generations stay sequential (monotonic generation per text).
+  for (int i = 0; i < kTexts; ++i) {
+    service.UpdateText("t" + std::to_string(i),
+                       RandomIntegerWeighted(300, 3, 0xF0 + i));
+  }
+  service.WaitForBuilds();
+  for (int i = 0; i < kTexts; ++i) {
+    const auto stats = service.StatsFor("t" + std::to_string(i));
+    ASSERT_TRUE(stats.has_value());
+    EXPECT_EQ(stats->generation, 2u);
+    EXPECT_EQ(stats->builds_completed, 2u);
+  }
+}
+
+TEST_F(UpdateTierTest, ChaosAppendFailpointRejectsWithoutCorruption) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString seed = RandomIntegerWeighted(128, 2, 0x101);
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  UsiMultiService service(options);
+  service.SubmitText("t", seed);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  const Text span = testing::T("ab");
+  const std::vector<double> w = {1.0, 1.0};
+  ASSERT_EQ(service.AppendText("t", span, w), ServeStatus::kOk);
+
+  // The failpoint sits BEFORE any mutation: the rejected span must leave
+  // the overlay exactly as it was.
+  failpoint::Arm("delta.append", failpoint::Action::kThrow, /*fires=*/1);
+  EXPECT_EQ(service.AppendText("t", span, w), ServeStatus::kIndexUnavailable);
+
+  Text full = seed.text();
+  std::vector<double> weights = seed.weights();
+  full.insert(full.end(), span.begin(), span.end());
+  weights.insert(weights.end(), w.begin(), w.end());
+  const WeightedString current(full, weights);
+  QueryResult got;
+  ASSERT_EQ(service.Query("t", span, got), ServeStatus::kOk);
+  const QueryResult want =
+      testing::BruteUtility(current, span, GlobalUtilityKind::kSum);
+  EXPECT_EQ(got.occurrences, want.occurrences);
+  EXPECT_EQ(got.utility, want.utility);
+
+  // Disarmed (fires=1 exhausted): appends resume on the same overlay.
+  EXPECT_EQ(service.AppendText("t", span, w), ServeStatus::kOk);
+  const auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->appends, 2u) << "the rejected span must not count";
+  ASSERT_TRUE(stats->delta.has_value());
+  EXPECT_EQ(stats->delta->appended, 4u);
+}
+
+TEST_F(UpdateTierTest, ChaosFailedCompactionQuarantinesWhileDeltaServes) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString seed = RandomIntegerWeighted(128, 3, 0x111);
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  options.delta_compact_threshold = 32;
+  options.max_build_retries = 0;  // Straight to quarantine.
+  UsiMultiService service(options);
+  service.SubmitText("t", seed);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  failpoint::Arm("compact.swap", failpoint::Action::kThrow);
+  Text full = seed.text();
+  std::vector<double> weights = seed.weights();
+  Rng rng(0x112);
+  for (int i = 0; i < 32; ++i) {
+    const Symbol c = static_cast<Symbol>(rng.UniformBelow(3));
+    const double w = static_cast<double>(rng.UniformInRange(1, 5));
+    ASSERT_EQ(service.AppendText("t", Text(1, c), std::vector<double>{w}),
+              ServeStatus::kOk);
+    full.push_back(c);
+    weights.push_back(w);
+  }
+  // The scheduled compaction fails terminally; the entry is quarantined as
+  // kFailed per the PR 8 semantics...
+  EXPECT_EQ(service.WaitForText("t"), BuildState::kFailed);
+  EXPECT_GE(service.StatsFor("t")->builds_failed, 1u);
+  EXPECT_EQ(service.StatsFor("t")->compactions, 0u);
+
+  // ...but the old base + delta keep serving exact answers, and further
+  // appends keep landing.
+  const Text extra = testing::T("zz");
+  const std::vector<double> wz = {3.0, 3.0};
+  ASSERT_EQ(service.AppendText("t", extra, wz), ServeStatus::kOk);
+  full.insert(full.end(), extra.begin(), extra.end());
+  weights.insert(weights.end(), wz.begin(), wz.end());
+  service.WaitForBuilds();  // Drain the re-triggered (failing) compactions.
+  const WeightedString current(full, weights);
+  for (int trial = 0; trial < 50; ++trial) {
+    const index_t m = static_cast<index_t>(rng.UniformInRange(1, 6));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(current.size() - m));
+    const Text pattern = current.Fragment(start, m);
+    QueryResult got;
+    ASSERT_EQ(service.Query("t", pattern, got), ServeStatus::kOk);
+    const QueryResult want =
+        testing::BruteUtility(current, pattern, GlobalUtilityKind::kSum);
+    ASSERT_EQ(got.occurrences, want.occurrences);
+    ASSERT_EQ(got.utility, want.utility);
+  }
+
+  // Heal the lane: the next threshold-crossing append compacts for real.
+  failpoint::DisarmAll();
+  const Text heal = testing::T("q");
+  const std::vector<double> wq = {1.0};
+  ASSERT_EQ(service.AppendText("t", heal, wq), ServeStatus::kOk);
+  service.WaitForBuilds();
+  const auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->compactions, 1u);
+  EXPECT_EQ(service.WaitForText("t"), BuildState::kReady);
+}
+
+TEST_F(UpdateTierTest, ChaosWarmstartFailureFallsBackToRebase) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "built without USI_FAILPOINTS";
+  const WeightedString seed = RandomIntegerWeighted(128, 3, 0x121);
+  const index_t n0 = seed.size();
+  UsiMultiServiceOptions options;
+  options.threads = 1;
+  options.delta_compact_threshold = 32;
+  options.max_build_retries = 1;
+  // Generous backoff: the window in which the appends below land "during
+  // the build" (between the failed first attempt and the retry).
+  options.build_retry_backoff_ms = 500;
+  UsiMultiService service(options);
+  service.SubmitText("t", seed);
+  ASSERT_EQ(service.WaitForText("t"), BuildState::kReady);
+
+  // First compaction attempt fails fast; while it backs off, more appends
+  // land, so the eventual publish has pending appends to carry over — and
+  // the armed warmstart failpoint forces the Rebase containment path.
+  failpoint::Arm("compact.swap", failpoint::Action::kThrow, /*fires=*/1);
+  failpoint::Arm("compact.warmstart", failpoint::Action::kError);
+  Text full = seed.text();
+  std::vector<double> weights = seed.weights();
+  Rng rng(0x122);
+  const auto append_one = [&] {
+    const Symbol c = static_cast<Symbol>(rng.UniformBelow(3));
+    const double w = static_cast<double>(rng.UniformInRange(1, 5));
+    ASSERT_EQ(service.AppendText("t", Text(1, c), std::vector<double>{w}),
+              ServeStatus::kOk);
+    full.push_back(c);
+    weights.push_back(w);
+  };
+  for (int i = 0; i < 32; ++i) append_one();  // Triggers the compaction.
+  for (int i = 0; i < 8; ++i) append_one();   // Lands during the backoff.
+  service.WaitForBuilds();
+
+  auto stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(stats->compactions, 1u);
+  EXPECT_EQ(stats->build_retries, 1u);
+  // Rebase kept the old overlay: the boundary moved to the fold point, the
+  // 8 raced appends are still pending, and the window is the rebased one
+  // (old window + folded span), not a reseeded delta_context.
+  ASSERT_TRUE(stats->delta.has_value());
+  EXPECT_EQ(stats->delta->boundary, n0 + 32);
+  EXPECT_EQ(stats->delta->appended, 8u);
+
+  // Still exact through the rebased overlay.
+  const WeightedString current(full, weights);
+  for (int trial = 0; trial < 50; ++trial) {
+    const index_t m = static_cast<index_t>(rng.UniformInRange(1, 6));
+    const index_t start =
+        static_cast<index_t>(rng.UniformBelow(current.size() - m));
+    const Text pattern = current.Fragment(start, m);
+    QueryResult got;
+    ASSERT_EQ(service.Query("t", pattern, got), ServeStatus::kOk);
+    const QueryResult want =
+        testing::BruteUtility(current, pattern, GlobalUtilityKind::kSum);
+    ASSERT_EQ(got.occurrences, want.occurrences) << "trial " << trial;
+    ASSERT_EQ(got.utility, want.utility) << "trial " << trial;
+  }
+
+  // With the failpoint gone the next compaction warm-starts normally and
+  // clears the overlay (nothing raced it).
+  failpoint::DisarmAll();
+  for (int i = 0; i < 24; ++i) append_one();  // 8 pending + 24 = threshold.
+  service.WaitForBuilds();
+  stats = service.StatsFor("t");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->compactions, 2u);
+  EXPECT_FALSE(stats->delta.has_value());
+  QueryResult got;
+  const Text probe = WeightedString(full, weights).Fragment(full.size() - 6, 5);
+  ASSERT_EQ(service.Query("t", probe, got), ServeStatus::kOk);
+  const QueryResult want = testing::BruteUtility(
+      WeightedString(full, weights), probe, GlobalUtilityKind::kSum);
+  EXPECT_EQ(got.occurrences, want.occurrences);
+  EXPECT_EQ(got.utility, want.utility);
+}
+
+}  // namespace
+}  // namespace usi

@@ -101,6 +101,25 @@ void PrintDegradedTier(const DegradedTierStats& s) {
               static_cast<unsigned long long>(s.record_drops));
 }
 
+/// Prints one text's update-tier telemetry: the live delta overlay (size,
+/// window, staleness) and the compaction history behind it.
+void PrintUpdateTier(const UsiTextStats& s) {
+  std::printf("  appends:     %llu absorbed, %llu compactions (last publish "
+              "pause %.1f us)\n",
+              static_cast<unsigned long long>(s.appends),
+              static_cast<unsigned long long>(s.compactions),
+              static_cast<double>(s.compact_publish_ns) / 1e3);
+  if (!s.delta.has_value()) {
+    std::printf("  delta:       none (all appends folded into the base)\n");
+    return;
+  }
+  std::printf("  delta:       %u pending past boundary %u (window %u, "
+              "staleness %u, %zu KiB, epoch %llu)\n",
+              s.delta->appended, s.delta->boundary, s.delta->window,
+              s.delta->staleness, s.delta->bytes / 1024,
+              static_cast<unsigned long long>(s.delta->epoch));
+}
+
 /// Prints a failure verdict tagged with the typed load-error code the
 /// loaders would report for the same refusal, then returns exit code 1.
 int Reject(LoadErrorCode code, const char* detail) {
@@ -287,6 +306,13 @@ int Info(const std::string& path, bool deep) {
       std::printf("degraded tier (attached per text at registration):\n");
       PrintDegradedTier(tier.stats());
       std::printf("  footprint:   %zu KiB\n", tier.SizeInBytes() / 1024);
+      // And the update tier: appends land in a per-text delta overlay and
+      // compact into fresh generations of this same file format.
+      const UsiMultiServiceOptions defaults;
+      std::printf("update tier (attached per text at registration):\n");
+      std::printf("  delta:       window %u, compaction threshold %u appended "
+                  "symbols\n",
+                  defaults.delta_context, defaults.delta_compact_threshold);
     }
     return rc;
   }
@@ -515,6 +541,68 @@ int Selftest() {
     }
     std::printf("degraded tier after selftest traffic:\n");
     PrintDegradedTier(after);
+  }
+
+  // Update-tier coverage: append past the published generation, check the
+  // merged base+delta answers against a direct index over the grown
+  // content, surface the per-text delta telemetry, then push the overlay
+  // over its threshold and verify the compaction folds it.
+  {
+    UsiMultiServiceOptions service_options;
+    service_options.threads = 1;
+    service_options.delta_compact_threshold = 64;
+    UsiMultiService service(service_options);
+    WeightedString ws_copy = ws;
+    service.SubmitText("t", std::move(ws_copy));
+    if (service.WaitForText("t") != BuildState::kReady) {
+      return fail("update tier build");
+    }
+    Text grown = ws.text();
+    std::vector<double> weights = ws.weights();
+    Rng rng(0x5EE9);
+    const auto append_some = [&](index_t count) {
+      for (index_t i = 0; i < count; ++i) {
+        const Symbol c =
+            ws.letter(static_cast<index_t>(rng.UniformBelow(ws.size())));
+        const double w = 1.0 + static_cast<double>(rng.UniformBelow(4));
+        if (service.AppendText("t", Text(1, c), std::vector<double>{w}) !=
+            ServeStatus::kOk) {
+          return false;
+        }
+        grown.push_back(c);
+        weights.push_back(w);
+      }
+      return true;
+    };
+    if (!append_some(32)) return fail("append");
+    std::optional<UsiTextStats> stats = service.StatsFor("t");
+    if (!stats.has_value() || !stats->delta.has_value()) {
+      return fail("delta stats absent");
+    }
+    std::printf("update tier with a live delta (32 appends):\n");
+    PrintUpdateTier(*stats);
+    const WeightedString current(grown, weights);
+    const UsiIndex direct(current, UsiOptions{});
+    for (index_t i = 0; i + 6 <= current.size(); i += 503) {
+      const Text pattern = current.Fragment(i, 6);
+      QueryResult got;
+      if (service.Query("t", pattern, got) != ServeStatus::kOk) {
+        return fail("merged query");
+      }
+      const QueryResult want = direct.Query(pattern);
+      if (got.occurrences != want.occurrences || got.utility != want.utility) {
+        return fail("merged answer parity");
+      }
+    }
+    if (!append_some(32)) return fail("append to threshold");
+    service.WaitForBuilds();
+    stats = service.StatsFor("t");
+    if (!stats.has_value() || stats->compactions == 0) {
+      return fail("compaction never folded");
+    }
+    std::printf("update tier after compaction (%llu folded generations):\n",
+                static_cast<unsigned long long>(stats->compactions));
+    PrintUpdateTier(*stats);
   }
   std::printf("selftest OK\n");
   return 0;
